@@ -1,0 +1,37 @@
+# Reproduction build targets. Everything is stdlib-only Go; no network.
+
+GO ?= go
+
+.PHONY: all build test test-race bench figures demos check clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/expr/ ./internal/stats/ .
+
+# Per-figure benchmark harness (reduced run counts; see cmd/reprofigs for
+# the full protocol).
+bench:
+	$(GO) test -bench=. -benchmem -run XXX ./...
+
+# Regenerate every evaluation artifact with the paper's 61-run protocol.
+figures:
+	$(GO) run ./cmd/reprofigs -runs 61 -out out
+
+# Render the paper's worked examples (Figs. 1-9) to the terminal.
+demos:
+	$(GO) run ./cmd/pd2trace
+
+check: build
+	$(GO) vet ./...
+	gofmt -l . | (! grep .) || (echo "gofmt needed" && exit 1)
+	$(GO) test ./...
+
+clean:
+	rm -rf out test_output.txt bench_output.txt

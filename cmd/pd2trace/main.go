@@ -1,0 +1,339 @@
+// Command pd2trace renders the paper's worked scheduling examples: Pfair
+// window layouts (Fig. 1), the one-processor halting schedule (Fig. 4), the
+// Fig. 6 reweighting scenarios with their exact drift values, the Theorem 3
+// leave/join drift blow-up (Fig. 8), and the Theorem 4 EPDF deadline miss
+// (Fig. 9).
+//
+// It can also run an arbitrary scenario from a JSON spec file (see
+// internal/spec for the format and specs/ for examples):
+//
+//	pd2trace [-demo fig1|fig4|fig6a|fig6b|fig6c|fig6d|fig8|fig9|all]
+//	pd2trace -spec specs/fig6b.json [-gantt 0:30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/spec"
+)
+
+func main() {
+	demo := flag.String("demo", "all", "which worked example to render (fig1, fig4, fig6a, fig6b, fig6c, fig6d, fig8, fig9, all)")
+	specPath := flag.String("spec", "", "run a JSON scenario spec instead of a built-in demo")
+	ganttRange := flag.String("gantt", "", "slot range from:to to render for -spec (default the whole horizon)")
+	allocTask := flag.String("alloc", "", "also render the named task's per-slot ideal allocations (-spec runs)")
+	flag.Parse()
+
+	if *specPath != "" {
+		if err := runSpec(*specPath, *ganttRange, *allocTask); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	demos := map[string]func() error{
+		"fig1":  fig1,
+		"fig3":  fig3,
+		"fig4":  fig4,
+		"fig6a": fig6a,
+		"fig6b": func() error { return fig6Reweight("b") },
+		"fig6c": func() error { return fig6Reweight("c") },
+		"fig6d": func() error { return fig6Reweight("d") },
+		"fig8":  fig8,
+		"fig9":  fig9,
+	}
+	order := []string{"fig1", "fig3", "fig4", "fig6a", "fig6b", "fig6c", "fig6d", "fig8", "fig9"}
+
+	run := func(name string) {
+		fmt.Printf("=== %s ===\n", name)
+		if err := demos[name](); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if *demo == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	if _, ok := demos[*demo]; !ok {
+		fmt.Fprintf(os.Stderr, "unknown demo %q\n", *demo)
+		os.Exit(2)
+	}
+	run(*demo)
+}
+
+// fig1 renders the window layouts of Fig. 1: a periodic and an IS task of
+// weight 5/16.
+func fig1() error {
+	fmt.Println("Fig. 1(a): periodic task, weight 5/16")
+	fmt.Print(repro.WindowsDiagram("5/16", 6))
+	fmt.Println("\nFig. 1(b): IS task, weight 5/16, releases of T_2 and T_3 delayed")
+	fmt.Print(repro.WindowsDiagram("5/16", 6, 0, 2, 3))
+	return nil
+}
+
+// fig3 reproduces the per-slot allocation tables of Figs. 3(b) and 7(a): a
+// task X of weight 3/19 that enacts an increase to 2/5 at time 8 via rule
+// I. The boosted rate completes X_2 early (D = 10, deadline 13) and X_3 is
+// released at 11 with full new-weight allocations.
+func fig3() error {
+	sys := repro.System{M: 1, Tasks: []repro.Spec{{Name: "X", Weight: repro.NewRat(3, 19)}}}
+	s, err := repro.NewScheduler(repro.Config{
+		M: 1, Policy: repro.PolicyOI, Police: true, RecordSubtasks: true,
+	}, sys)
+	if err != nil {
+		return err
+	}
+	s.RunTo(8)
+	if err := s.Initiate("X", repro.NewRat(2, 5)); err != nil {
+		return err
+	}
+	s.RunTo(16)
+	fmt.Println("X: 3/19 -> 2/5 at t=8 via rule I (ideal-changeable increase).")
+	fmt.Print(repro.AllocTable(s, "X", 0, 14))
+	return nil
+}
+
+// fig4 reproduces the one-processor schedule of Fig. 4: T (2/5) and U
+// (2/5 -> 1/2 at time 3 via rule O, halting U_2).
+func fig4() error {
+	sys := repro.System{M: 1, Tasks: []repro.Spec{
+		{Name: "T", Weight: repro.NewRat(2, 5), Group: "T"},
+		{Name: "U", Weight: repro.NewRat(2, 5), Group: "U"},
+	}}
+	s, err := repro.NewScheduler(repro.Config{
+		M: 1, Policy: repro.PolicyOI, Police: true,
+		RecordSchedule: true, TieBreak: repro.FavorGroup("T"),
+	}, sys)
+	if err != nil {
+		return err
+	}
+	s.RunTo(3)
+	if err := s.Initiate("U", repro.NewRat(1, 2)); err != nil {
+		return err
+	}
+	s.RunTo(10)
+	fmt.Println("U increases 2/5 -> 1/2 at t=3; U_2 is halted (omission-changeable).")
+	fmt.Print(repro.Gantt(s, 0, 10))
+	m, _ := s.Metrics("U")
+	fmt.Printf("U: scheduled=%d drift=%s misses=%d\n", m.Scheduled, m.Drift, m.Misses)
+	return nil
+}
+
+func fig6System(tWeight repro.Rat) repro.System {
+	tasks := repro.Replicate(19, repro.Spec{Name: "C", Weight: repro.NewRat(3, 20), Group: "C"})
+	tasks = append(tasks, repro.Spec{Name: "T", Weight: tWeight, Group: "T"})
+	return repro.System{M: 4, Tasks: tasks}
+}
+
+func groupOf(task string) string {
+	if task[0] == 'C' {
+		return "C(19x3/20)"
+	}
+	return task
+}
+
+// fig6a reproduces Fig. 6(a): T leaves at 8, U joins at 10.
+func fig6a() error {
+	s, err := repro.NewScheduler(repro.Config{
+		M: 4, Policy: repro.PolicyOI, Police: true,
+		RecordSchedule: true, TieBreak: repro.FavorGroup("C"),
+	}, fig6System(repro.NewRat(3, 20)))
+	if err != nil {
+		return err
+	}
+	s.RunTo(8)
+	if err := s.Leave("T"); err != nil {
+		return err
+	}
+	s.RunTo(10)
+	if err := s.Join(repro.Spec{Name: "U", Weight: repro.NewRat(1, 2), Group: "U"}); err != nil {
+		return err
+	}
+	s.RunTo(20)
+	fmt.Println("T (3/20) leaves at t=8 (rule L); U (1/2) joins at t=10 (rule J).")
+	fmt.Print(repro.GanttGrouped(s, groupOf, 0, 20))
+	fmt.Printf("misses=%d\n", len(s.Misses()))
+	return nil
+}
+
+// fig6Reweight reproduces Fig. 6(b)-(d): T reweights via rule O or I.
+func fig6Reweight(inset string) error {
+	var (
+		initial, target repro.Rat
+		at              repro.Time
+		tie             string
+		blurb           string
+	)
+	switch inset {
+	case "b":
+		initial, target, at, tie = repro.NewRat(3, 20), repro.NewRat(1, 2), 10, "C"
+		blurb = "T (3/20 -> 1/2 at t=10, ties favor C): omission-changeable, rule O halts T_2; drift +1/2"
+	case "c":
+		initial, target, at, tie = repro.NewRat(3, 20), repro.NewRat(1, 2), 10, "T"
+		blurb = "T (3/20 -> 1/2 at t=10, ties favor T): ideal-changeable increase, rule I enacts immediately; drift +1/2"
+	case "d":
+		initial, target, at, tie = repro.NewRat(2, 5), repro.NewRat(3, 20), 1, "T"
+		blurb = "T (2/5 -> 3/20 at t=1, ties favor T): ideal-changeable decrease, rule I enacts at D+b; drift -3/20"
+	}
+	s, err := repro.NewScheduler(repro.Config{
+		M: 4, Policy: repro.PolicyOI, Police: true,
+		RecordSchedule: true, TieBreak: repro.FavorGroup(tie), RecordDriftEvents: true,
+	}, fig6System(initial))
+	if err != nil {
+		return err
+	}
+	s.RunTo(at)
+	if err := s.Initiate("T", target); err != nil {
+		return err
+	}
+	s.RunTo(20)
+	fmt.Println(blurb)
+	fmt.Print(repro.GanttGrouped(s, groupOf, 0, 20))
+	m, _ := s.Metrics("T")
+	fmt.Printf("T: drift=%s  A(I_PS)=%s  A(I_CSW)=%s  misses=%d\n", m.Drift, m.CumPS, m.CumCSW, m.Misses)
+	for _, ev := range s.DriftEvents("T") {
+		fmt.Printf("  drift event at t=%d: %s\n", ev.At, ev.Value)
+	}
+	return nil
+}
+
+// fig8 reproduces the Theorem 3 example: under PD²-LJ, T's drift reaches
+// 24/10.
+func fig8() error {
+	tasks := repro.Replicate(35, repro.Spec{Name: "A", Weight: repro.NewRat(1, 10), Group: "A"})
+	tasks = append(tasks, repro.Spec{Name: "T", Weight: repro.NewRat(1, 10), Group: "T"})
+	s, err := repro.NewScheduler(repro.Config{
+		M: 4, Policy: repro.PolicyLJ, Police: true, RecordSchedule: true,
+	}, repro.System{M: 4, Tasks: tasks})
+	if err != nil {
+		return err
+	}
+	s.RunTo(4)
+	if err := s.Initiate("T", repro.NewRat(1, 2)); err != nil {
+		return err
+	}
+	s.RunTo(20)
+	fmt.Println("PD²-LJ: T (1/10 -> 1/2 at t=4) cannot rejoin before t=10; drift reaches 24/10.")
+	fmt.Print(repro.GanttGrouped(s, func(task string) string {
+		if task[0] == 'A' {
+			return "A(35x1/10)"
+		}
+		return task
+	}, 0, 20))
+	m, _ := s.Metrics("T")
+	fmt.Printf("T: drift=%s (paper: 24/10)  misses=%d\n", m.Drift, m.Misses)
+	return nil
+}
+
+// fig9 reproduces the Theorem 4 counterexample: EPDF with projected I_PS
+// deadlines misses a deadline at t=9.
+func fig9() error {
+	e := repro.NewEPDFPS(2)
+	e.RunTo(12, func(now repro.Time, e *repro.EPDFPS) {
+		switch now {
+		case 0:
+			for i := 0; i < 10; i++ {
+				must(e.Join(fmt.Sprintf("A#%d", i), repro.NewRat(1, 7)))
+			}
+			for i := 0; i < 2; i++ {
+				must(e.Join(fmt.Sprintf("B#%d", i), repro.NewRat(1, 6)))
+			}
+			for i := 0; i < 5; i++ {
+				must(e.Join(fmt.Sprintf("D#%d", i), repro.NewRat(1, 21)))
+			}
+		case 6:
+			must(e.Leave("B#0"))
+			must(e.Leave("B#1"))
+			must(e.Join("C#0", repro.NewRat(1, 14)))
+			must(e.Join("C#1", repro.NewRat(1, 14)))
+		case 7:
+			for i := 0; i < 10; i++ {
+				must(e.Leave(fmt.Sprintf("A#%d", i)))
+			}
+			for i := 0; i < 5; i++ {
+				must(e.SetWeight(fmt.Sprintf("D#%d", i), repro.NewRat(1, 3)))
+			}
+		}
+	})
+	fmt.Println("Two processors; D tasks reweight 1/21 -> 1/3 at t=7, pulling their")
+	fmt.Println("projected deadlines from 21 in to 9. Any EPDF scheme misses:")
+	for _, m := range e.Misses() {
+		fmt.Printf("  deadline miss: task %s quantum %d at t=%d\n", m.Task, m.Subtask, m.Deadline)
+	}
+	if len(e.Misses()) == 0 {
+		return fmt.Errorf("expected a deadline miss")
+	}
+	return nil
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runSpec executes a JSON scenario and prints its schedule and metrics.
+func runSpec(path, ganttRange, allocTask string) error {
+	f, err := spec.Load(path)
+	if err != nil {
+		return err
+	}
+	s, err := f.Run()
+	if err != nil {
+		return err
+	}
+	from, to := repro.Time(0), f.Horizon
+	if ganttRange != "" {
+		parts := strings.SplitN(ganttRange, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -gantt %q (want from:to)", ganttRange)
+		}
+		a, err1 := strconv.ParseInt(parts[0], 10, 64)
+		b, err2 := strconv.ParseInt(parts[1], 10, 64)
+		if err1 != nil || err2 != nil || a < 0 || b <= a {
+			return fmt.Errorf("bad -gantt %q", ganttRange)
+		}
+		from, to = a, b
+	}
+	fmt.Printf("spec %s: M=%d policy=%s horizon=%d\n\n", path, f.M, f.PolicyKind(), f.Horizon)
+	if len(s.TaskNames()) <= 24 {
+		fmt.Print(repro.Gantt(s, from, to))
+	} else {
+		fmt.Print(repro.GanttGrouped(s, func(task string) string {
+			if i := strings.IndexByte(task, '#'); i >= 0 {
+				return task[:i]
+			}
+			return task
+		}, from, to))
+	}
+	fmt.Println()
+	for _, name := range s.TaskNames() {
+		m, _ := s.Metrics(name)
+		if m.Initiations == 0 && m.Drift.IsZero() {
+			continue
+		}
+		fmt.Printf("%-10s weight=%-7s swt=%-7s scheduled=%3d drift=%-8s lag=%s\n",
+			name, m.Weight, m.SchedWeight, m.Scheduled, m.Drift, m.Lag)
+	}
+	if misses := s.Misses(); len(misses) > 0 {
+		fmt.Printf("DEADLINE MISSES: %v\n", misses)
+	} else {
+		fmt.Println("no deadline misses")
+	}
+	if allocTask != "" {
+		fmt.Println()
+		fmt.Print(repro.AllocTable(s, allocTask, from, to))
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+// Command whispersim runs the Whisper tracking-system evaluation of the
+// paper (Sec. 5): the Fig. 11 sweeps comparing PD²-OI against PD²-LJ and
+// the hybrid OI/LJ ablation of the companion paper.
+//
+// Usage:
+//
+//	whispersim -fig 11a            # one figure to stdout (TSV + ASCII chart)
+//	whispersim -fig all -runs 61   # the paper's full 61-run setup
+//	whispersim -single -speed 2.9  # a single scenario's metrics
+//	whispersim -print-geometry     # the Fig. 10 set-up
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 11a, 11b, 11c, 11d, hybrid, gamma, overhead, bursty, schemes, all")
+	runs := flag.Int("runs", 15, "randomized runs per configuration (the paper uses 61)")
+	seed := flag.Uint64("seed", 1000, "base seed; run i uses seed+i")
+	outDir := flag.String("out", "", "directory to also write TSV files into")
+	single := flag.Bool("single", false, "run a single scenario instead of a sweep")
+	speed := flag.Float64("speed", 2.9, "speed (m/s) for -single")
+	radius := flag.Float64("radius", 0.25, "orbit radius (m) for -single")
+	policy := flag.String("policy", "oi", "policy for -single: oi, lj")
+	geometry := flag.Bool("print-geometry", false, "print the simulated Whisper set-up (Fig. 10)")
+	flag.Parse()
+
+	if *geometry {
+		printGeometry()
+		return
+	}
+	if *single {
+		runSingle(*speed, *radius, *policy, *seed)
+		return
+	}
+
+	o := repro.Options{Runs: *runs, BaseSeed: *seed}
+	type gen struct {
+		ids []string
+		run func() ([]repro.Figure, error)
+	}
+	gens := []gen{
+		{[]string{"11a", "11b"}, func() ([]repro.Figure, error) {
+			a, b, err := repro.Fig11AB(o)
+			return []repro.Figure{a, b}, err
+		}},
+		{[]string{"11c", "11d"}, func() ([]repro.Figure, error) {
+			c, d, err := repro.Fig11CD(o)
+			return []repro.Figure{c, d}, err
+		}},
+		{[]string{"hybrid"}, func() ([]repro.Figure, error) {
+			h, err := repro.HybridAblation(o)
+			return []repro.Figure{h}, err
+		}},
+		{[]string{"gamma"}, func() ([]repro.Figure, error) {
+			g, err := repro.GammaAblation(o)
+			return []repro.Figure{g}, err
+		}},
+		{[]string{"overhead"}, func() ([]repro.Figure, error) {
+			f, err := repro.OverheadTradeoff(o)
+			return []repro.Figure{f}, err
+		}},
+		{[]string{"bursty"}, func() ([]repro.Figure, error) {
+			f, err := repro.BurstyComparison(o)
+			return []repro.Figure{f}, err
+		}},
+	}
+	wanted := func(id string) bool { return *fig == "all" || *fig == id }
+	any := false
+	if wanted("schemes") {
+		any = true
+		p := repro.DefaultWhisperParams()
+		p.Speed = *speed
+		p.Radius = *radius
+		table, err := repro.SchemeComparison(p, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(table.TSV())
+		fmt.Println()
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*outDir+"/schemes.tsv", []byte(table.TSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	for _, g := range gens {
+		need := false
+		for _, id := range g.ids {
+			if wanted(id) {
+				need = true
+			}
+		}
+		if !need {
+			continue
+		}
+		any = true
+		figs, err := g.run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for i, f := range figs {
+			if !wanted(g.ids[i]) {
+				continue
+			}
+			emit(f, *outDir)
+		}
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func emit(f repro.Figure, outDir string) {
+	fmt.Print(f.TSV())
+	series := make(map[string][]float64, len(f.Series))
+	var xs []float64
+	for _, s := range f.Series {
+		series[s.Label] = s.Mean
+		xs = s.X
+	}
+	if len(xs) > 1 {
+		fmt.Println(repro.Chart(f.Title, 10, xs, series))
+	}
+	if outDir != "" {
+		path, err := writeTSV(outDir, f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	fmt.Println()
+}
+
+func writeTSV(dir string, f repro.Figure) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := dir + "/" + f.ID + ".tsv"
+	return path, os.WriteFile(path, []byte(f.TSV()), 0o644)
+}
+
+func runSingle(speed, radius float64, policy string, seed uint64) {
+	p := repro.DefaultWhisperParams()
+	p.Speed = speed
+	p.Radius = radius
+	p.Seed = seed
+	kind := repro.PolicyOI
+	if policy == "lj" {
+		kind = repro.PolicyLJ
+	}
+	res, err := repro.RunWhisper(p, kind, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("policy=%s speed=%.2f radius=%.2f seed=%d\n", kind, speed, radius, seed)
+	fmt.Printf("  max |drift| at t=%d : %.4f quanta\n", p.Horizon, res.MaxAbsDrift)
+	fmt.Printf("  peak |drift|        : %.4f quanta\n", res.PeakAbsDrift)
+	fmt.Printf("  %% of ideal (mean)   : %.2f%%\n", res.PctIdeal*100)
+	fmt.Printf("  %% of ideal (worst)  : %.2f%%\n", res.MinPctIdeal*100)
+	fmt.Printf("  initiations=%d enactments=%d misses=%d\n", res.Initiations, res.Enactments, res.Misses)
+}
+
+func printGeometry() {
+	p := repro.DefaultWhisperParams()
+	fmt.Println("Simulated Whisper system (paper Fig. 10):")
+	fmt.Printf("  room      : %.1fm x %.1fm, microphones in all four corners\n", p.RoomSize, p.RoomSize)
+	fmt.Printf("  pole      : radius %.3fm at the center (occluding)\n", p.PoleRadius)
+	fmt.Printf("  speakers  : %d, orbiting at radius %.2fm, random initial phases\n", p.Speakers, p.Radius)
+	fmt.Printf("  tasks     : %d (one per speaker/microphone pair) on 4 processors\n", p.Speakers*4)
+	fmt.Printf("  quantum   : %.0fms, horizon %d quanta\n", p.QuantumSec*1000, p.Horizon)
+	fmt.Printf("  weights   : %s..%s, w = %.3g * d_eff^%.1f (x%.0f when occluded), 5cm buckets\n",
+		p.WMin, p.WMax, p.Alpha, p.Gamma, p.OccFactor)
+}

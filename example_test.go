@@ -1,0 +1,71 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Schedule two tasks on one processor and reweight one of them at run time
+// with the paper's fine-grained rules.
+func ExampleNewScheduler() {
+	sys := repro.System{M: 1, Tasks: []repro.Spec{
+		{Name: "A", Weight: repro.NewRat(1, 2)},
+		{Name: "B", Weight: repro.NewRat(1, 4)},
+	}}
+	s, err := repro.NewScheduler(repro.Config{M: 1, Policy: repro.PolicyOI, Police: true}, sys)
+	if err != nil {
+		panic(err)
+	}
+	s.RunTo(8)
+	if err := s.Initiate("B", repro.NewRat(1, 2)); err != nil {
+		panic(err)
+	}
+	s.RunTo(40)
+	m, _ := s.Metrics("B")
+	fmt.Println("B scheduling weight:", m.SchedWeight)
+	fmt.Println("deadline misses:", len(s.Misses()))
+	// Output:
+	// B scheduling weight: 1/2
+	// deadline misses: 0
+}
+
+// Render the Pfair windows of the paper's Fig. 1(a) task.
+func ExampleWindowsDiagram() {
+	fmt.Print(repro.WindowsDiagram("5/16", 2))
+	// Output:
+	// weight 5/16
+	// T_1  [==)     r=0 d=4 b=1
+	// T_2     [==)  r=3 d=7 b=1
+}
+
+// Exact rational weights round-trip through text.
+func ExampleParseRat() {
+	w, err := repro.ParseRat("3/19")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(w, w.Add(repro.NewRat(2, 19)))
+	// Output:
+	// 3/19 5/19
+}
+
+// The drift of the paper's Fig. 8 scenario under leave/join reweighting.
+func ExampleScheduler_Initiate() {
+	tasks := repro.Replicate(35, repro.Spec{Name: "A", Weight: repro.NewRat(1, 10)})
+	tasks = append(tasks, repro.Spec{Name: "T", Weight: repro.NewRat(1, 10)})
+	s, err := repro.NewScheduler(repro.Config{M: 4, Policy: repro.PolicyLJ, Police: true},
+		repro.System{M: 4, Tasks: tasks})
+	if err != nil {
+		panic(err)
+	}
+	s.RunTo(4)
+	if err := s.Initiate("T", repro.NewRat(1, 2)); err != nil {
+		panic(err)
+	}
+	s.RunTo(12)
+	m, _ := s.Metrics("T")
+	fmt.Println("drift:", m.Drift)
+	// Output:
+	// drift: 12/5
+}

@@ -1,0 +1,57 @@
+// Adaptive: the same weight-change request handled by the paper's
+// fine-grained rules (PD²-OI) and by the leave/join baseline (PD²-LJ),
+// side by side — the essence of Figs. 6 and 8.
+//
+// A task T of weight 1/10 shares four processors with 35 identical
+// background tasks and asks to grow to 1/2 at time 4 (it suddenly has five
+// times the work — think of a tracked object becoming occluded). PD²-OI
+// enacts the change within about a quantum; PD²-LJ must wait for the end of
+// T's old window (rule L), accumulating 24/10 quanta of drift.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func run(policy repro.PolicyKind) *repro.Scheduler {
+	tasks := repro.Replicate(35, repro.Spec{Name: "A", Weight: repro.NewRat(1, 10), Group: "A"})
+	tasks = append(tasks, repro.Spec{Name: "T", Weight: repro.NewRat(1, 10), Group: "T"})
+	s, err := repro.NewScheduler(repro.Config{
+		M: 4, Policy: policy, Police: true,
+		RecordSchedule: true, RecordDriftEvents: true,
+	}, repro.System{M: 4, Tasks: tasks})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.RunTo(4)
+	if err := s.Initiate("T", repro.NewRat(1, 2)); err != nil {
+		log.Fatal(err)
+	}
+	s.RunTo(24)
+	return s
+}
+
+func main() {
+	group := func(task string) string {
+		if task[0] == 'A' {
+			return "A(35x1/10)"
+		}
+		return task
+	}
+	for _, policy := range []repro.PolicyKind{repro.PolicyOI, repro.PolicyLJ} {
+		s := run(policy)
+		fmt.Printf("=== %s: T requests 1/10 -> 1/2 at t=4 ===\n", policy)
+		fmt.Print(repro.GanttGrouped(s, group, 0, 24))
+		m, _ := s.Metrics("T")
+		fmt.Printf("T: scheduled=%d quanta  drift=%s  misses=%d\n", m.Scheduled, m.Drift, m.Misses)
+		for _, ev := range s.DriftEvents("T") {
+			fmt.Printf("   drift event at t=%-3d -> %s\n", ev.At, ev.Value)
+		}
+		fmt.Println()
+	}
+	fmt.Println("PD²-OI reacts within ~a quantum (constant drift, Theorem 5); PD²-LJ")
+	fmt.Println("waits out the old window and drifts by 24/10 (Theorem 3: unbounded).")
+}

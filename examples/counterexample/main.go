@@ -1,0 +1,78 @@
+// Counterexample: the paper's two negative results, demonstrated.
+//
+// Theorem 3 — PD²-LJ is not fine-grained: lowering a task's initial weight
+// makes the drift of a single weight-change event grow without bound.
+//
+// Theorem 4 — every EPDF scheme whose deadlines track the true ideal
+// allocations can be forced to miss a deadline (Fig. 9), which is why
+// PD²-OI keeps fixed per-subtask deadlines and accepts constant drift
+// instead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("Theorem 3: PD²-LJ per-event drift is unbounded.")
+	fmt.Println("A task with initial weight 1/(2k) requests weight 1/2 at t=1:")
+	for k := int64(2); k <= 32; k *= 2 {
+		w := repro.NewRat(1, 2*k)
+		s, err := repro.NewScheduler(repro.Config{M: 1, Policy: repro.PolicyLJ, Police: true},
+			repro.System{M: 1, Tasks: []repro.Spec{{Name: "T", Weight: w}}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.RunTo(1)
+		if err := s.Initiate("T", repro.NewRat(1, 2)); err != nil {
+			log.Fatal(err)
+		}
+		s.RunTo(2*k + 2)
+		m, _ := s.Metrics("T")
+		fmt.Printf("  initial weight %-5s -> drift %s (%.3f quanta)\n", w, m.Drift, m.Drift.Float64())
+	}
+	fmt.Println("Under PD²-OI the same requests incur at most 2 quanta each (Theorem 5).")
+	fmt.Println()
+
+	fmt.Println("Theorem 4 (Fig. 9): EPDF with projected I_PS deadlines on 2 CPUs.")
+	fmt.Println("Five tasks of weight 1/21 reweight to 1/3 at t=7; their projected")
+	fmt.Println("deadlines jump from 21 to 9, and only 4 quanta fit in [7,9):")
+	e := repro.NewEPDFPS(2)
+	e.RunTo(12, func(now repro.Time, e *repro.EPDFPS) {
+		switch now {
+		case 0:
+			for i := 0; i < 10; i++ {
+				must(e.Join(fmt.Sprintf("A#%d", i), repro.NewRat(1, 7)))
+			}
+			must(e.Join("B#0", repro.NewRat(1, 6)))
+			must(e.Join("B#1", repro.NewRat(1, 6)))
+			for i := 0; i < 5; i++ {
+				must(e.Join(fmt.Sprintf("D#%d", i), repro.NewRat(1, 21)))
+			}
+		case 6:
+			must(e.Leave("B#0"))
+			must(e.Leave("B#1"))
+			must(e.Join("C#0", repro.NewRat(1, 14)))
+			must(e.Join("C#1", repro.NewRat(1, 14)))
+		case 7:
+			for i := 0; i < 10; i++ {
+				must(e.Leave(fmt.Sprintf("A#%d", i)))
+			}
+			for i := 0; i < 5; i++ {
+				must(e.SetWeight(fmt.Sprintf("D#%d", i), repro.NewRat(1, 3)))
+			}
+		}
+	})
+	for _, m := range e.Misses() {
+		fmt.Printf("  deadline miss: task %s, quantum %d, deadline t=%d\n", m.Task, m.Subtask, m.Deadline)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+// Schemes: the trade-off matrix of the paper's concluding remarks — the
+// same adaptive Whisper workload under four approaches:
+//
+//   - PD²-OI: fine-grained Pfair reweighting (the paper's contribution):
+//     best accuracy, no misses, but frequent migrations;
+//   - PD²-LJ: leave/join Pfair reweighting: correct but coarse-grained;
+//   - global EDF: reacts quickly and migrates rarely, but fine-grained
+//     reweighting is only possible because deadline misses (tardiness) are
+//     permissible;
+//   - partitioned EDF: no migrations at all, but weight increases that do
+//     not fit on a processor must repartition or be rejected — fine-grained
+//     reweighting under partitioning is provably impossible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	p := repro.DefaultWhisperParams()
+	p.Speed = 2.9
+	table, err := repro.SchemeComparison(p, repro.Options{Runs: 10, BaseSeed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table.Title)
+	fmt.Println()
+	fmt.Printf("%-8s %12s %10s %10s %8s %8s %9s\n",
+		"scheme", "% of ideal", "worst task", "max dev", "moves", "tardy", "misses")
+	for _, r := range table.Rows {
+		fmt.Printf("%-8s %11.2f%% %9.2f%% %10.2f %8.1f %8.1f %9d\n",
+			r.Scheme.String(), r.PctIdeal.Mean*100, r.MinPct*100, r.MaxDev.Mean,
+			r.Moves.Mean, r.TardyJobs.Mean, r.Misses)
+	}
+	fmt.Println()
+	fmt.Println("moves = migrations (global schemes) or repartitioning moves (PEDF);")
+	fmt.Println("tardy = jobs completing after their deadline (EDF only; Pfair never misses).")
+}

@@ -1,0 +1,50 @@
+// Whisper: one full run of the paper's evaluation application — three
+// speakers orbiting an occluding pole in a 1m x 1m room with microphones in
+// the corners, one task per speaker/microphone pair on four processors —
+// under both reweighting policies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	p := repro.DefaultWhisperParams()
+	p.Speed = 2.9   // m/s, typical fast human motion
+	p.Radius = 0.25 // m from the pole
+	p.Seed = 7
+
+	sim, err := repro.NewWhisper(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Whisper scenario: %d tasks, initial total weight %s on 4 CPUs, %d quanta\n\n",
+		len(sim.TaskSpecs()), sim.TotalInitialWeight(), p.Horizon)
+
+	for _, kind := range []repro.PolicyKind{repro.PolicyOI, repro.PolicyLJ} {
+		res, err := repro.RunWhisper(p, kind, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", kind)
+		fmt.Printf("  weight-change requests : %d (enacted %d)\n", res.Initiations, res.Enactments)
+		fmt.Printf("  max |drift| at t=%d  : %.3f quanta\n", p.Horizon, res.MaxAbsDrift)
+		fmt.Printf("  %% of ideal allocation  : mean %.2f%%, worst task %.2f%%\n",
+			res.PctIdeal*100, res.MinPctIdeal*100)
+		fmt.Printf("  deadline misses        : %d\n\n", res.Misses)
+	}
+
+	// The hybrid knob: use the (more costly) rules O/I only for large
+	// changes, leave/join for small ones.
+	res, err := repro.RunWhisper(p, repro.PolicyHybrid, repro.ThresholdChooser(0.05))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Hybrid (rules O/I only for |Δw| >= 0.05; %.0f%% of events):\n",
+		float64(res.OIEvents)/float64(res.Initiations)*100)
+	fmt.Printf("  max |drift| %.3f, %% of ideal %.2f%%, misses %d\n",
+		res.MaxAbsDrift, res.PctIdeal*100, res.Misses)
+}

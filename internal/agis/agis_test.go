@@ -1,0 +1,166 @@
+package agis
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// buildPair runs the same system twice — once untouched and once with the
+// given subtask marked absent — and returns both schedulers.
+func buildPair(t *testing.T, sys model.System, removed SubtaskID, horizon model.Time) (orig, mod *core.Scheduler) {
+	t.Helper()
+	mk := func(mark bool) *core.Scheduler {
+		s, err := core.New(core.Config{
+			M: sys.M, Policy: core.PolicyOI, Police: true,
+			RecordSchedule: true, CheckInvariants: true,
+		}, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mark {
+			if err := s.MarkAbsent(removed.Task, removed.Index); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.RunTo(horizon)
+		if len(s.Misses()) != 0 {
+			t.Fatalf("misses: %v", s.Misses())
+		}
+		return s
+	}
+	return mk(false), mk(true)
+}
+
+// TestFig14Displacements mirrors the paper's Fig. 14 set-up: four tasks of
+// weight 3/7 and one of weight 1/7 on two processors; removing the light
+// task's first subtask causes a chain of forward displacements.
+func TestFig14Displacements(t *testing.T) {
+	tasks := model.Replicate(4, model.Spec{Name: "T", Weight: frac.New(3, 7)})
+	tasks = append(tasks, model.Spec{Name: "U", Weight: frac.New(1, 7)})
+	sys := model.System{M: 2, Tasks: tasks}
+	removed := SubtaskID{"U", 1}
+	orig, mod := buildPair(t, sys, removed, 21)
+
+	a, err := Analyze(orig, mod, 2, removed, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckLemma1(); err != nil {
+		t.Error(err)
+	}
+	if err := a.CheckLemma2(); err != nil {
+		t.Error(err)
+	}
+	if err := a.CheckLemma3(); err != nil {
+		t.Error(err)
+	}
+	// Utilization is 4*3/7 + 1/7 = 13/7 < 2, so holes exist and the chain
+	// is finite; the removal must not lengthen the schedule.
+	if len(a.Links) == 0 {
+		t.Log("removal absorbed immediately by a hole (legal)")
+	}
+}
+
+// TestRandomizedDisplacementLemmas removes random subtasks from random
+// feasible systems and checks Lemmas 1-3 on every resulting chain.
+func TestRandomizedDisplacementLemmas(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	horizon := model.Time(80)
+	checked := 0
+	for trial := 0; trial < 80; trial++ {
+		m := int(r.Int63n(3)) + 1
+		var tasks []model.Spec
+		total := frac.Zero
+		for i := 0; i < 12; i++ {
+			den := r.Int63n(18) + 2
+			num := r.Int63n(den/2) + 1
+			w := frac.New(num, den)
+			if frac.FromInt(int64(m)).Less(total.Add(w)) {
+				continue
+			}
+			total = total.Add(w)
+			tasks = append(tasks, model.Spec{Name: fmt.Sprintf("T%d", i), Weight: w})
+		}
+		if len(tasks) < 2 {
+			continue
+		}
+		sys := model.System{M: m, Tasks: tasks}
+		// Pick a random task and subtask index that will be scheduled well
+		// inside the horizon.
+		victim := tasks[r.Intn(len(tasks))]
+		idx := r.Int63n(3) + 1
+		if model.Deadline(victim.Weight, 0, idx) > horizon-10 {
+			continue
+		}
+		removed := SubtaskID{victim.Name, idx}
+		orig, mod := buildPair(t, sys, removed, horizon)
+		a, err := Analyze(orig, mod, m, removed, horizon)
+		if err != nil {
+			t.Fatalf("trial %d (%v, M=%d): %v", trial, removed, m, err)
+		}
+		if err := a.CheckLemma1(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := a.CheckLemma2(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := a.CheckLemma3(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checked++
+	}
+	if checked < 30 {
+		t.Fatalf("only %d chains analyzed; generator too restrictive", checked)
+	}
+}
+
+// TestFullUtilizationChains: at total utilization exactly M there are no
+// holes before the removal, so chains run long; the lemmas still hold.
+func TestFullUtilizationChains(t *testing.T) {
+	tasks := model.Replicate(4, model.Spec{Name: "H", Weight: frac.Half})
+	sys := model.System{M: 2, Tasks: tasks}
+	for idx := int64(1); idx <= 4; idx++ {
+		removed := SubtaskID{"H#0", idx}
+		orig, mod := buildPair(t, sys, removed, 60)
+		a, err := Analyze(orig, mod, 2, removed, 60)
+		if err != nil {
+			t.Fatalf("idx %d: %v", idx, err)
+		}
+		for _, check := range []func() error{a.CheckLemma1, a.CheckLemma2, a.CheckLemma3} {
+			if err := check(); err != nil {
+				t.Errorf("idx %d: %v", idx, err)
+			}
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	tasks := model.Replicate(2, model.Spec{Name: "A", Weight: frac.New(1, 4)})
+	sys := model.System{M: 1, Tasks: tasks}
+	orig, mod := buildPair(t, sys, SubtaskID{"A#0", 2}, 30)
+	// Removed subtask that was never scheduled in the original.
+	if _, err := Analyze(orig, mod, 1, SubtaskID{"A#0", 99}, 30); err == nil {
+		t.Error("unscheduled removal accepted")
+	}
+	// Comparing a schedule against itself: the removed subtask is still
+	// scheduled, which must be rejected.
+	if _, err := Analyze(orig, orig, 1, SubtaskID{"A#0", 2}, 30); err == nil {
+		t.Error("identical schedules accepted")
+	}
+}
+
+func TestSubtaskIDString(t *testing.T) {
+	id := SubtaskID{"T", 3}
+	if id.String() != "T_3" {
+		t.Errorf("String = %s", id)
+	}
+	d := Displacement{From: id, FromSlot: 1, To: SubtaskID{"T", 4}, ToSlot: 5}
+	if d.String() != "<T_3,1,T_4,5>" {
+		t.Errorf("String = %s", d)
+	}
+}

@@ -1,0 +1,41 @@
+// Package core implements the paper's primary contribution: PD² Pfair
+// scheduling of adaptable intra-sporadic (AIS) task systems with
+// fine-grained task reweighting.
+//
+// The engine simulates an M-processor system slot by slot. Each task is a
+// stream of unit-quantum subtasks whose releases, deadlines and b-bits are
+// computed from the task's scheduling weight via Eqns (2)-(4) of the paper.
+// Scheduling is earliest-pseudo-deadline-first with the PD² b-bit tie-break
+// (valid for the paper's scope of task weights <= 1/2), followed by a
+// configurable arbitrary tie-break.
+//
+// Alongside the actual schedule S, the engine maintains three ideal
+// schedules online:
+//
+//   - I_SW: allocates per the scheduling weight, following the Fig. 5
+//     pseudo-code. Its completion times D(I_SW, T_j) drive the reweighting
+//     rules.
+//   - I_CSW: the clairvoyant variant that allocates nothing to subtasks that
+//     halt; used for lag and drift accounting.
+//   - I_PS: instantaneous processor sharing at the task's actual weight;
+//     the yardstick that defines drift.
+//
+// Reweighting is pluggable:
+//
+//   - PolicyOI — the paper's rules O and I ("PD²-OI", fine-grained:
+//     per-event drift is bounded by a constant).
+//   - PolicyLJ — reweighting by leaving and rejoining per rules L and J
+//     ("PD²-LJ", coarse-grained: drift per event is unbounded, Theorem 3).
+//   - PolicyHybrid — chooses OI or LJ per event via a user predicate; this
+//     is the efficiency-versus-accuracy knob of the companion paper.
+//
+// A separate, intentionally small scheduler, EPDFPS, implements EPDF with
+// projected I_PS deadlines and exists only to exhibit the Theorem 4
+// counterexample (every EPDF algorithm can incur drift or miss deadlines).
+//
+// Drift (Eqn (5)) is tracked per task: at the release of each epoch-starting
+// subtask (the first subtask released after an enactment), the difference
+// A(I_PS, T, 0, u) - A(I_CSW, T, 0, u) is recorded. Under PD²-OI the
+// absolute per-event change is at most two quanta (Theorem 5); under PD²-LJ
+// it is unbounded.
+package core

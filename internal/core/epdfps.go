@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// EPDFPS is an earliest-pseudo-deadline-first scheduler whose subtask
+// deadlines are *projections* of the ideal processor-sharing schedule: the
+// deadline of a task's k-th quantum is the earliest integral time by which
+// the task's cumulative I_PS allocation reaches k, given its current weight.
+// When a task reweights, the projection — and hence the deadline — changes
+// instantly.
+//
+// This scheduler exists to exhibit Theorem 4 of the paper: *any* EPDF
+// algorithm that tracks true ideal allocations without prior knowledge of
+// weight changes can be forced to miss a deadline (Fig. 9), so every EPDF
+// reweighting scheme must shift its lag bounds and thereby incur drift.
+// PD²-OI deliberately does not use I_PS projections as deadlines for exactly
+// this reason.
+type EPDFPS struct {
+	m      int
+	now    model.Time
+	tasks  []*epTask
+	byName map[string]*epTask
+	misses []MissEvent
+}
+
+type epTask struct {
+	id     int
+	name   string
+	w      frac.Rat
+	joined bool
+	left   bool
+	psCum  frac.Rat // cumulative I_PS allocation at the start of the slot
+	done   int64    // quanta completed
+	missed int64    // highest quantum index already counted as missed
+}
+
+// NewEPDFPS returns an empty EPDF-PS scheduler on m processors.
+func NewEPDFPS(m int) *EPDFPS {
+	if m < 1 {
+		panic("core: EPDFPS needs at least one processor")
+	}
+	return &EPDFPS{m: m, byName: make(map[string]*epTask)}
+}
+
+// Now returns the current time.
+func (e *EPDFPS) Now() model.Time { return e.now }
+
+// Misses returns the deadline misses recorded so far.
+func (e *EPDFPS) Misses() []MissEvent { return e.misses }
+
+// Join adds a task with the given weight at the current time.
+func (e *EPDFPS) Join(name string, w frac.Rat) error {
+	if err := model.CheckWeight(w); err != nil {
+		return err
+	}
+	if _, dup := e.byName[name]; dup {
+		return fmt.Errorf("core: EPDFPS: duplicate task %q", name)
+	}
+	t := &epTask{id: len(e.tasks), name: name, w: w, joined: true}
+	e.tasks = append(e.tasks, t)
+	e.byName[name] = t
+	return nil
+}
+
+// Leave removes a task at the current time.
+func (e *EPDFPS) Leave(name string) error {
+	t, ok := e.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTask, name)
+	}
+	t.left = true
+	return nil
+}
+
+// SetWeight changes a task's weight instantaneously (EPDF-PS has no
+// enactment delay — that is precisely why it can miss deadlines).
+func (e *EPDFPS) SetWeight(name string, w frac.Rat) error {
+	t, ok := e.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTask, name)
+	}
+	if err := model.CheckWeight(w); err != nil {
+		return err
+	}
+	t.w = w
+	return nil
+}
+
+// Scheduled returns how many quanta the named task has completed.
+func (e *EPDFPS) Scheduled(name string) int64 {
+	if t, ok := e.byName[name]; ok {
+		return t.done
+	}
+	return 0
+}
+
+// deadline returns the projected deadline of task t's next quantum at the
+// current time: now + ceil((k - psCum)/w).
+func (e *EPDFPS) deadline(t *epTask) model.Time {
+	k := frac.FromInt(t.done + 1)
+	remaining := k.Sub(t.psCum)
+	if remaining.Sign() <= 0 {
+		return e.now // already overdue in the projection
+	}
+	return e.now + remaining.Div(t.w).Ceil()
+}
+
+// eligible reports whether task t has a released quantum at the current
+// slot: the PS schedule will have made progress on quantum k by the end of
+// this slot.
+func (e *EPDFPS) eligible(t *epTask) bool {
+	if !t.joined || t.left {
+		return false
+	}
+	return frac.FromInt(t.done).Less(t.psCum.Add(t.w))
+}
+
+// Step simulates one slot.
+func (e *EPDFPS) Step() {
+	type cand struct {
+		t *epTask
+		d model.Time
+	}
+	var cands []cand
+	for _, t := range e.tasks {
+		if !e.eligible(t) {
+			continue
+		}
+		d := e.deadline(t)
+		// Miss detection: the projected deadline has passed.
+		if d <= e.now && t.missed < t.done+1 {
+			t.missed = t.done + 1
+			e.misses = append(e.misses, MissEvent{Task: t.name, Subtask: t.done + 1, Deadline: d})
+		}
+		cands = append(cands, cand{t, d})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].t.id < cands[j].t.id
+	})
+	n := len(cands)
+	if n > e.m {
+		n = e.m
+	}
+	for i := 0; i < n; i++ {
+		cands[i].t.done++
+	}
+	for _, t := range e.tasks {
+		if t.joined && !t.left {
+			t.psCum = t.psCum.Add(t.w)
+		}
+	}
+	e.now++
+}
+
+// RunTo advances to the horizon, invoking hook (if non-nil) at the start of
+// each slot.
+func (e *EPDFPS) RunTo(horizon model.Time, hook func(t model.Time, e *EPDFPS)) {
+	for e.now < horizon {
+		if hook != nil {
+			hook(e.now, e)
+		}
+		e.Step()
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// TestERfairRunsAheadOfWindows: with early releases enabled, a lone light
+// task executes work-conservingly — far ahead of its Pfair windows — while
+// deadlines are untouched.
+func TestERfairRunsAheadOfWindows(t *testing.T) {
+	sys := model.System{M: 1, Tasks: []model.Spec{{Name: "T", Weight: frac.New(1, 10)}}}
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true, EarlyRelease: true}, sys)
+	s.RunTo(20)
+	m := mustMetrics(t, s, "T")
+	// Pfair would give 2 quanta by t=20; ERfair gives ~one per slot (each
+	// successor becomes eligible the slot after its predecessor runs).
+	if m.Scheduled < 10 {
+		t.Errorf("ERfair scheduled only %d quanta by t=20", m.Scheduled)
+	}
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+	// Plain Pfair for comparison.
+	p := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true}, sys)
+	p.RunTo(20)
+	if mp := mustMetrics(t, p, "T"); mp.Scheduled != 2 {
+		t.Errorf("Pfair scheduled %d quanta, want 2", mp.Scheduled)
+	}
+}
+
+// TestERfairReducesHoles: on an underloaded system, early releases strictly
+// reduce idle processor-slots while keeping the schedule correct.
+func TestERfairReducesHoles(t *testing.T) {
+	tasks := []model.Spec{
+		{Name: "A", Weight: frac.New(1, 3)},
+		{Name: "B", Weight: frac.New(1, 4)},
+		{Name: "C", Weight: frac.New(1, 5)},
+	}
+	sys := model.System{M: 2, Tasks: tasks}
+	plain := mustNew(t, Config{M: 2, Policy: PolicyOI, Police: true}, sys)
+	plain.RunTo(120)
+	er := mustNew(t, Config{M: 2, Policy: PolicyOI, Police: true, EarlyRelease: true}, sys)
+	er.RunTo(120)
+	if er.Holes() >= plain.Holes() {
+		t.Errorf("ERfair holes %d not below Pfair holes %d", er.Holes(), plain.Holes())
+	}
+	if len(er.Misses()) != 0 {
+		t.Errorf("misses: %v", er.Misses())
+	}
+}
+
+// TestERfairNoMissesUnderReweighting: early releases compose with the
+// reweighting rules without breaking Theorem 2, including at full
+// utilization.
+func TestERfairNoMissesUnderReweighting(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		var tasks []model.Spec
+		for i := 0; i < 7; i++ {
+			tasks = append(tasks, model.Spec{Name: fmt.Sprintf("T%d", i), Weight: randomLightWeight(r, 20)})
+		}
+		s := mustNew(t, Config{M: 4, Policy: PolicyOI, Police: true, EarlyRelease: true, CheckInvariants: true},
+			model.System{M: 4, Tasks: tasks})
+		s.Run(200, func(now model.Time, sch *Scheduler) {
+			for i := 0; i < 7; i++ {
+				if r.Intn(15) == 0 {
+					if err := sch.Initiate(fmt.Sprintf("T%d", i), randomLightWeight(r, 20)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		})
+		if len(s.Misses()) != 0 {
+			t.Fatalf("trial %d: misses %v", trial, s.Misses())
+		}
+		if v := s.Violations(); len(v) != 0 {
+			t.Fatalf("trial %d: violations %v", trial, v)
+		}
+		// The upper lag bound still holds (the lower bound is deliberately
+		// given up by ERfair: tasks may run ahead of the ideal).
+		for _, m := range s.AllMetrics() {
+			if frac.One.Less(m.Lag) {
+				t.Fatalf("trial %d: task %s lag %s above 1", trial, m.Name, m.Lag)
+			}
+		}
+	}
+}
+
+// TestERfairRespectsISSeparations: a DelayNext gap is real absence of work;
+// early release must not fill it.
+func TestERfairRespectsISSeparations(t *testing.T) {
+	sys := model.System{M: 1, Tasks: []model.Spec{{Name: "T", Weight: frac.New(5, 16)}}}
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true, EarlyRelease: true, RecordSchedule: true}, sys)
+	s.RunTo(1) // T_1 scheduled in slot 0
+	if err := s.DelayNext("T", 4); err != nil {
+		t.Fatal(err)
+	}
+	// T_2 nominally releases at 3; delayed to 7. ERfair must not run it
+	// before 7.
+	s.RunTo(7)
+	if m := mustMetrics(t, s, "T"); m.Scheduled != 1 {
+		t.Errorf("scheduled %d quanta before the delayed release, want 1", m.Scheduled)
+	}
+	s.RunTo(12)
+	if m := mustMetrics(t, s, "T"); m.Scheduled < 2 {
+		t.Errorf("delayed subtask never ran: %d", m.Scheduled)
+	}
+}
+
+// TestERfairDoesNotLeakAcrossReweights: an in-flight reweighting event
+// suppresses early instantiation (the successor's parameters are not known
+// until the event resolves).
+func TestERfairDoesNotLeakAcrossReweights(t *testing.T) {
+	s := mustNew(t, Config{M: 4, Policy: PolicyOI, Police: true, EarlyRelease: true,
+		TieBreak: FavorGroup("T"), CheckInvariants: true}, fig6System(rat("2/5")))
+	s.RunTo(1)
+	if err := s.Initiate("T", rat("3/20")); err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(10)
+	// The Fig. 6(d) outcome is unchanged by ERfair: enactment at 4 with
+	// drift -3/20.
+	if got := mustMetrics(t, s, "T").Drift; !got.Eq(rat("-3/20")) {
+		t.Errorf("drift = %s, want -3/20 under ERfair", got)
+	}
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+}

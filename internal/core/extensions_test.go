@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// TestDelayNextISSeparation: delaying a release by sep slots reproduces the
+// IS model of Fig. 1(b) — the windows shift, the task stays correct, and
+// I_PS allocates nothing during the inactive gap.
+func TestDelayNextISSeparation(t *testing.T) {
+	sys := model.System{M: 1, Tasks: []model.Spec{{Name: "T", Weight: frac.New(5, 16)}}}
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true, CheckInvariants: true}, sys)
+	// T_1 has window [0,4) and b=1, so T_2 normally releases at 3. Delay it
+	// by 2: release at 5, window [5,9) — exactly Fig. 1(b).
+	s.RunTo(1)
+	if err := s.DelayNext("T", 2); err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(12)
+	ts := s.byName["T"]
+	var t2 *subtask
+	for sub := ts.lastReleased; sub != nil; sub = sub.prev {
+		if sub.abs == 2 {
+			t2 = sub
+		}
+	}
+	if t2 == nil {
+		// T_2 may no longer be linked; re-run and inspect at the right time.
+		s2 := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true}, sys)
+		s2.RunTo(1)
+		if err := s2.DelayNext("T", 2); err != nil {
+			t.Fatal(err)
+		}
+		s2.RunTo(6)
+		t2 = s2.byName["T"].lastReleased
+	}
+	if t2.abs != 2 || t2.release != 5 || t2.deadline != 9 {
+		t.Fatalf("T_2 = abs %d %v, want abs 2 [5,9)", t2.abs, t2.window())
+	}
+	// The task was inactive in slot 4 (between d(T_1)=4 and r(T_2)=5), so
+	// I_PS skipped it: cumPS(12) = 12*w - 1*w.
+	m := mustMetrics(t, s, "T")
+	want := frac.New(5, 16).MulInt(11)
+	if !m.CumPS.Eq(want) {
+		t.Errorf("A(I_PS,T,0,12) = %s, want %s (one inactive slot unpaid)", m.CumPS, want)
+	}
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+}
+
+func TestDelayNextValidation(t *testing.T) {
+	sys := model.System{M: 1, Tasks: []model.Spec{{Name: "T", Weight: frac.New(2, 5)}}}
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true}, sys)
+	s.RunTo(1)
+	if err := s.DelayNext("nope", 1); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if err := s.DelayNext("T", -1); err == nil {
+		t.Error("negative separation accepted")
+	}
+	if err := s.DelayNext("T", 0); err != nil {
+		t.Errorf("zero separation rejected: %v", err)
+	}
+	if err := s.Initiate("T", frac.New(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DelayNext("T", 1); err == nil {
+		t.Error("delay during in-flight reweight accepted")
+	}
+}
+
+// TestDelayedSystemStaysCorrect: random IS separations on a fully loaded
+// system never cause misses, and lag bounds hold.
+func TestDelayedSystemStaysCorrect(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		var tasks []model.Spec
+		total := frac.Zero
+		for i := 0; total.Less(frac.FromInt(2)) && i < 20; i++ {
+			w := randomLightWeight(r, 16)
+			if frac.FromInt(2).Less(total.Add(w)) {
+				break
+			}
+			total = total.Add(w)
+			tasks = append(tasks, model.Spec{Name: fmt.Sprintf("T%d", i), Weight: w})
+		}
+		if len(tasks) == 0 {
+			continue
+		}
+		s := mustNew(t, Config{M: 2, Policy: PolicyOI, Police: true, CheckInvariants: true},
+			model.System{M: 2, Tasks: tasks})
+		s.Run(150, func(now model.Time, sch *Scheduler) {
+			for _, name := range sch.TaskNames() {
+				if r.Intn(25) == 0 {
+					_ = sch.DelayNext(name, r.Int63n(4)+1) // may legitimately fail mid-reweight
+				}
+			}
+		})
+		if len(s.Misses()) != 0 {
+			t.Fatalf("trial %d: misses %v", trial, s.Misses())
+		}
+		if v := s.Violations(); len(v) != 0 {
+			t.Fatalf("trial %d: violations %v", trial, v)
+		}
+		for _, m := range s.AllMetrics() {
+			if frac.One.Less(m.Lag.Abs()) {
+				t.Fatalf("trial %d: task %s lag %s out of bounds", trial, m.Name, m.Lag)
+			}
+		}
+	}
+}
+
+// TestMarkAbsentSubtask: an absent subtask keeps its window, is never
+// scheduled, takes no ideal allocation, and its successor pairs against a
+// zero final-slot allocation (Fig. 12 semantics).
+func TestMarkAbsentSubtask(t *testing.T) {
+	sys := model.System{M: 1, Tasks: []model.Spec{{Name: "V", Weight: frac.New(5, 16)}}}
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true, RecordSchedule: true}, sys)
+	if err := s.MarkAbsent("V", 3); err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(20)
+	ts := s.byName["V"]
+	m := mustMetrics(t, s, "V")
+	// By t=20, subtasks 1..7 have been released (V_7 at 19); all but the
+	// absent V_3 run, so 6 quanta execute.
+	if m.Scheduled != 6 {
+		t.Errorf("V scheduled %d quanta, want 6 (subtasks 1,2,4,5,6,7)", m.Scheduled)
+	}
+	for _, row := range [][]string{s.ScheduleRow(6), s.ScheduleRow(7), s.ScheduleRow(8), s.ScheduleRow(9)} {
+		for _, e := range row {
+			_ = e // V may legitimately run in [6,10) for V_4 released at 9
+		}
+	}
+	// No miss is charged to the absent subtask.
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+	// I_SW gave V_3 nothing: cumulative ideal = scheduled count exactly at
+	// each subtask boundary; at t=20, subtasks 1,2,4,5 are fully allocated
+	// and V_6 partially. cumSW = 4 + alloc(V_6 in [16,20)).
+	if ts.lastReleased.abs < 6 {
+		t.Fatalf("expected V_6 released by t=20, got %d", ts.lastReleased.abs)
+	}
+	// V_4's first slot got the full weight (its predecessor is absent).
+	var v4 *subtask
+	for sub := ts.lastReleased; sub != nil; sub = sub.prev {
+		if sub.abs == 4 {
+			v4 = sub
+		}
+	}
+	if v4 != nil && v4.epochStart {
+		t.Error("V_4 wrongly marked epoch start")
+	}
+	if got := m.CumSW.Sub(m.CumCSW); !got.IsZero() {
+		t.Errorf("I_SW and I_CSW diverge by %s without halts", got)
+	}
+}
+
+func TestMarkAbsentValidation(t *testing.T) {
+	sys := model.System{M: 1, Tasks: []model.Spec{{Name: "V", Weight: frac.New(1, 4)}}}
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true}, sys)
+	s.RunTo(2)
+	if err := s.MarkAbsent("nope", 5); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if err := s.MarkAbsent("V", 1); err == nil {
+		t.Error("already-released subtask accepted")
+	}
+	if err := s.MarkAbsent("V", 3); err != nil {
+		t.Errorf("valid mark rejected: %v", err)
+	}
+}
+
+// TestAbsentPreservesCorrectness: removing random subtasks from a feasible
+// system never causes misses (removal only frees capacity — the basis of
+// the appendix's displacement argument).
+func TestAbsentPreservesCorrectness(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		tasks := background(4, "H", frac.Half, "")
+		s := mustNew(t, Config{M: 2, Policy: PolicyOI, Police: true, CheckInvariants: true},
+			model.System{M: 2, Tasks: tasks})
+		for _, name := range s.TaskNames() {
+			for k := 0; k < 5; k++ {
+				idx := r.Int63n(50) + 2
+				_ = s.MarkAbsent(name, idx)
+			}
+		}
+		s.RunTo(120)
+		if len(s.Misses()) != 0 {
+			t.Fatalf("trial %d: misses %v", trial, s.Misses())
+		}
+		if v := s.Violations(); len(v) != 0 {
+			t.Fatalf("trial %d: violations %v", trial, v)
+		}
+	}
+}
+
+// TestProcessorAssignment: every scheduled quantum gets a distinct CPU, and
+// affinity keeps a solo task on one processor (zero migrations).
+func TestProcessorAssignment(t *testing.T) {
+	sys := model.System{M: 2, Tasks: []model.Spec{
+		{Name: "A", Weight: frac.Half},
+		{Name: "B", Weight: frac.Half},
+		{Name: "C", Weight: frac.Half},
+	}}
+	s := mustNew(t, Config{M: 2, Policy: PolicyOI, Police: true, RecordSchedule: true}, sys)
+	s.RunTo(60)
+	for tt := model.Time(0); tt < 60; tt++ {
+		seen := map[int]bool{}
+		for _, e := range s.ScheduleEntries(tt) {
+			if e.CPU < 0 || e.CPU >= 2 {
+				t.Fatalf("t=%d: bad CPU %d", tt, e.CPU)
+			}
+			if seen[e.CPU] {
+				t.Fatalf("t=%d: CPU %d double-booked", tt, e.CPU)
+			}
+			seen[e.CPU] = true
+		}
+	}
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+
+	solo := mustNew(t, Config{M: 4, Policy: PolicyOI, Police: true},
+		model.System{M: 4, Tasks: []model.Spec{{Name: "X", Weight: frac.New(1, 3)}}})
+	solo.RunTo(100)
+	if m := mustMetrics(t, solo, "X"); m.Migrations != 0 {
+		t.Errorf("solo task migrated %d times, want 0 (affinity)", m.Migrations)
+	}
+}
+
+// TestMigrationAccountingUnderLoad: on a loaded system migrations occur and
+// are counted consistently with the recorded schedule.
+func TestMigrationAccountingUnderLoad(t *testing.T) {
+	tasks := append(background(3, "H", frac.Half, ""), background(5, "L", rat("1/10"), "")...)
+	s := mustNew(t, Config{M: 2, Policy: PolicyOI, Police: true, RecordSchedule: true},
+		model.System{M: 2, Tasks: tasks})
+	s.RunTo(200)
+	// Recount migrations from the schedule record and compare.
+	lastCPU := map[string]int{}
+	recount := map[string]int64{}
+	for tt := model.Time(0); tt < 200; tt++ {
+		for _, e := range s.ScheduleEntries(tt) {
+			if prev, ok := lastCPU[e.Task]; ok && prev != e.CPU {
+				recount[e.Task]++
+			}
+			lastCPU[e.Task] = e.CPU
+		}
+	}
+	for _, m := range s.AllMetrics() {
+		if m.Migrations != recount[m.Name] {
+			t.Errorf("task %s: counted %d migrations, schedule says %d", m.Name, m.Migrations, recount[m.Name])
+		}
+	}
+}
+
+// TestPreemptionAccounting: a task that ran and still has eligible work but
+// loses the processor is counted as preempted.
+func TestPreemptionAccounting(t *testing.T) {
+	// One CPU, two half-weight tasks: they alternate, and with windows of
+	// length two each handoff preempts nobody (each subtask completes).
+	sys := model.System{M: 1, Tasks: []model.Spec{
+		{Name: "A", Weight: frac.Half},
+		{Name: "B", Weight: frac.Half},
+	}}
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true}, sys)
+	s.RunTo(40)
+	totalPre := int64(0)
+	for _, m := range s.AllMetrics() {
+		totalPre += m.Preemptions
+	}
+	// A and B strictly alternate A,B,A,B..., and the one not scheduled
+	// always has eligible work, so preemptions accumulate.
+	if totalPre == 0 {
+		t.Error("expected preemptions on a contended processor")
+	}
+}
+
+// TestMarkAbsentFirstSubtask: even the task's very first subtask can be
+// absent; the successor starts with the full weight and drift accounting
+// is unperturbed.
+func TestMarkAbsentFirstSubtask(t *testing.T) {
+	sys := model.System{M: 1, Tasks: []model.Spec{{Name: "V", Weight: frac.New(5, 16)}}}
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true, RecordSubtasks: true}, sys)
+	if err := s.MarkAbsent("V", 1); err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(20)
+	m := mustMetrics(t, s, "V")
+	// Subtasks 2..7 run (V_7 releases at 19), V_1 does not.
+	if m.Scheduled != 6 {
+		t.Errorf("scheduled %d quanta, want 6", m.Scheduled)
+	}
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+	subs := s.SubtaskHistory("V")
+	if !subs[0].Absent || subs[0].SWDoneTime != 0 {
+		t.Errorf("V_1 record wrong: %+v", subs[0])
+	}
+	// V_2's first-slot ideal allocation is the full weight (absent
+	// predecessor), per the AGIS semantics.
+	swt := ExpandWeights(s.SwtHistory("V"), s.Now())
+	allocs := ReplayIdealAllocations(subs, swt)
+	if len(allocs[1]) == 0 || !allocs[1][0].Eq(frac.New(5, 16)) {
+		t.Errorf("V_2 first-slot allocation = %v, want 5/16", allocs[1])
+	}
+}

@@ -1,0 +1,447 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+func rat(s string) frac.Rat { return frac.MustParse(s) }
+
+// background returns n identical tasks named base#i in the given group.
+func background(n int, base string, w frac.Rat, group string) []model.Spec {
+	return model.Replicate(n, model.Spec{Name: base, Weight: w, Group: group})
+}
+
+func mustNew(t *testing.T, cfg Config, sys model.System) *Scheduler {
+	t.Helper()
+	s, err := New(cfg, sys)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func mustMetrics(t *testing.T, s *Scheduler, name string) TaskMetrics {
+	t.Helper()
+	m, ok := s.Metrics(name)
+	if !ok {
+		t.Fatalf("unknown task %s", name)
+	}
+	return m
+}
+
+// TestFig4OneProcessorHalt reproduces Fig. 4: one processor, T with weight
+// 2/5 and U with weight 2/5 that increases to 1/2 at time 3 by halting U_2.
+func TestFig4OneProcessorHalt(t *testing.T) {
+	sys := model.System{M: 1, Tasks: []model.Spec{
+		{Name: "T", Weight: rat("2/5"), Group: "T"},
+		{Name: "U", Weight: rat("2/5"), Group: "U"},
+	}}
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, TieBreak: FavorGroup("T"), Police: true, RecordSchedule: true}, sys)
+
+	s.RunTo(3)
+	// "T_1 completes at time 1 because it is scheduled in slot 0, whereas
+	// U_1 does not complete until time 2."
+	if got := s.ScheduleRow(0); len(got) != 1 || got[0] != "T" {
+		t.Errorf("slot 0 = %v, want [T]", got)
+	}
+	if got := s.ScheduleRow(1); len(got) != 1 || got[0] != "U" {
+		t.Errorf("slot 1 = %v, want [U]", got)
+	}
+	if got := s.ScheduleRow(2); len(got) != 1 || got[0] != "T" {
+		t.Errorf("slot 2 = %v, want [T]", got)
+	}
+
+	u2 := s.byName["U"].lastReleased
+	if u2.abs != 2 || u2.scheduled {
+		t.Fatalf("U_2 state before reweight: abs=%d scheduled=%v", u2.abs, u2.scheduled)
+	}
+	if err := s.Initiate("U", frac.Half); err != nil {
+		t.Fatal(err)
+	}
+	// "Since U_2 is halted at time 3, it is complete at time 3 even though
+	// it is never scheduled."
+	if !u2.halted || u2.haltTime != 3 {
+		t.Errorf("U_2 halted=%v at %d, want halted at 3", u2.halted, u2.haltTime)
+	}
+	if !u2.completeInS(3) {
+		t.Error("U_2 not complete at 3")
+	}
+
+	s.RunTo(10)
+	if u2.scheduled {
+		t.Error("halted U_2 was scheduled")
+	}
+	// Rule O: enactment at max(3, D(I_SW, U_1) + b(U_1)) = max(3, 3+1) = 4;
+	// the new subtask is released then with the new weight.
+	nu := s.byName["U"].lastReleased
+	for nu.abs > 3 && nu.prev != nil {
+		nu = nu.prev
+	}
+	if got := mustMetrics(t, s, "U"); got.SchedWeight.Cmp(frac.Half) != 0 {
+		t.Errorf("U scheduling weight = %s, want 1/2", got.SchedWeight)
+	}
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+}
+
+// fig6System builds the Fig. 6 base system: M=4, a set C of 19 tasks of
+// weight 3/20 each, plus task T with the given initial weight.
+func fig6System(tWeight frac.Rat) model.System {
+	tasks := background(19, "C", rat("3/20"), "C")
+	tasks = append(tasks, model.Spec{Name: "T", Weight: tWeight, Group: "T"})
+	return model.System{M: 4, Tasks: tasks}
+}
+
+// TestFig6bRuleO reproduces Fig. 6(b): T (3/20) reweights to 1/2 via rule O
+// at time 10 (ties favor C, so T_2 is unscheduled and halts). The paper
+// gives drift(T, 10+) = 1/2, with A(I_CSW,T,0,10) = 1 and A(I_PS,T,0,10) = 3/2.
+func TestFig6bRuleO(t *testing.T) {
+	s := mustNew(t, Config{M: 4, Policy: PolicyOI, TieBreak: FavorGroup("C"), Police: true}, fig6System(rat("3/20")))
+	s.RunTo(10)
+
+	ts := s.byName["T"]
+	t2 := ts.lastReleased
+	if t2.abs != 2 || t2.scheduled {
+		t.Fatalf("T_2 before reweight: abs=%d scheduled=%v (want unscheduled abs=2)", t2.abs, t2.scheduled)
+	}
+	if t2.release != 6 || t2.deadline != 14 {
+		t.Fatalf("T_2 window = %v, want [6,14)", t2.window())
+	}
+	if err := s.Initiate("T", frac.Half); err != nil {
+		t.Fatal(err)
+	}
+	if !t2.halted || t2.haltTime != 10 {
+		t.Fatalf("T_2 not halted at 10: halted=%v at %d", t2.halted, t2.haltTime)
+	}
+
+	// Ideal allocations at the enactment instant.
+	m := mustMetrics(t, s, "T")
+	if !m.CumCSW.Eq(frac.One) {
+		t.Errorf("A(I_CSW,T,0,10) = %s, want 1", m.CumCSW)
+	}
+	if !m.CumPS.Eq(rat("3/2")) {
+		t.Errorf("A(I_PS,T,0,10) = %s, want 3/2", m.CumPS)
+	}
+
+	s.Step() // slot 10: enact + release the new epoch's first subtask
+	nt := ts.lastReleased
+	if nt.abs != 3 || !nt.epochStart || nt.release != 10 {
+		t.Fatalf("new subtask abs=%d epochStart=%v release=%d, want 3/true/10", nt.abs, nt.epochStart, nt.release)
+	}
+	if nt.deadline != 12 || nt.bbit != 0 {
+		t.Errorf("new subtask window %v b=%d, want [10,12) b=0", nt.window(), nt.bbit)
+	}
+	if got := mustMetrics(t, s, "T").Drift; !got.Eq(frac.Half) {
+		t.Errorf("drift = %s, want 1/2", got)
+	}
+
+	s.RunTo(40)
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+}
+
+// TestFig6cRuleIIncrease reproduces Fig. 6(c): ties favor T, so T_2 is
+// scheduled and T is ideal-changeable at time 10. The weight change to 1/2
+// is enacted immediately; D(I_SW, T_2) = 11, so the next subtask is released
+// at 12 — two slots before T_2's deadline of 14 — and drift is 1/2.
+func TestFig6cRuleIIncrease(t *testing.T) {
+	s := mustNew(t, Config{M: 4, Policy: PolicyOI, TieBreak: FavorGroup("T"), Police: true}, fig6System(rat("3/20")))
+	s.RunTo(10)
+
+	ts := s.byName["T"]
+	t2 := ts.lastReleased
+	if t2.abs != 2 || !t2.scheduled {
+		t.Fatalf("T_2 before reweight: abs=%d scheduled=%v (want scheduled abs=2)", t2.abs, t2.scheduled)
+	}
+	if err := s.Initiate("T", frac.Half); err != nil {
+		t.Fatal(err)
+	}
+	s.Step() // slot 10: immediate enactment, boosted I_SW rate
+	if got := mustMetrics(t, s, "T").SchedWeight; !got.Eq(frac.Half) {
+		t.Errorf("swt after slot 10 = %s, want 1/2 (rule I enacts increases immediately)", got)
+	}
+	s.RunTo(13)
+	if !t2.swDone || t2.swDoneTime != 11 {
+		t.Errorf("D(I_SW, T_2) = %d (done=%v), want 11", t2.swDoneTime, t2.swDone)
+	}
+	nt := ts.lastReleased
+	if nt.abs != 3 || nt.release != 12 || !nt.epochStart {
+		t.Fatalf("new subtask abs=%d release=%d epochStart=%v, want 3/12/true", nt.abs, nt.release, nt.epochStart)
+	}
+	if got := mustMetrics(t, s, "T").Drift; !got.Eq(frac.Half) {
+		t.Errorf("drift = %s, want 1/2", got)
+	}
+	s.RunTo(40)
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+}
+
+// TestFig6dRuleIDecrease reproduces Fig. 6(d): T with weight 2/5 decreases
+// to 3/20 at time 1. Rule I defers the enactment to D(I_SW,T_1)+b(T_1) = 4,
+// and the resulting drift is -3/20.
+func TestFig6dRuleIDecrease(t *testing.T) {
+	s := mustNew(t, Config{M: 4, Policy: PolicyOI, TieBreak: FavorGroup("T"), Police: true}, fig6System(rat("2/5")))
+	s.RunTo(1)
+
+	ts := s.byName["T"]
+	t1 := ts.lastReleased
+	if t1.abs != 1 || !t1.scheduled || t1.schedSlot != 0 {
+		t.Fatalf("T_1: abs=%d scheduled=%v slot=%d, want scheduled in slot 0", t1.abs, t1.scheduled, t1.schedSlot)
+	}
+	if err := s.Initiate("T", rat("3/20")); err != nil {
+		t.Fatal(err)
+	}
+	// The decrease is not enacted yet: swt stays 2/5 while wt drops.
+	if got := mustMetrics(t, s, "T"); !got.SchedWeight.Eq(rat("2/5")) || !got.Weight.Eq(rat("3/20")) {
+		t.Errorf("after initiate: swt=%s wt=%s, want 2/5 and 3/20", got.SchedWeight, got.Weight)
+	}
+	s.RunTo(5)
+	if !t1.swDone || t1.swDoneTime != 3 {
+		t.Errorf("D(I_SW, T_1) = %d, want 3", t1.swDoneTime)
+	}
+	nt := ts.lastReleased
+	if nt.abs != 2 || nt.release != 4 || !nt.epochStart {
+		t.Fatalf("new subtask abs=%d release=%d epochStart=%v, want 2/4/true", nt.abs, nt.release, nt.epochStart)
+	}
+	if got := mustMetrics(t, s, "T").Drift; !got.Eq(rat("-3/20")) {
+		t.Errorf("drift = %s, want -3/20", got)
+	}
+	s.RunTo(40)
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+}
+
+// TestFig6aLeaveJoin reproduces Fig. 6(a): T of weight 3/20 leaves at time 8
+// (the earliest rule L allows: d(T_1)+b(T_1) = 8) and U of weight 1/2 joins
+// at time 10.
+func TestFig6aLeaveJoin(t *testing.T) {
+	s := mustNew(t, Config{M: 4, Policy: PolicyOI, TieBreak: FavorGroup("C"), Police: true}, fig6System(rat("3/20")))
+
+	s.RunTo(7)
+	if err := s.Leave("T"); err == nil {
+		t.Error("Leave at 7 should violate rule L (needs t >= 8)")
+	}
+	s.RunTo(8)
+	if err := s.Leave("T"); err != nil {
+		t.Fatalf("Leave at 8: %v", err)
+	}
+	s.RunTo(10)
+	if err := s.Join(model.Spec{Name: "U", Weight: frac.Half, Group: "U"}); err != nil {
+		t.Fatalf("Join at 10: %v", err)
+	}
+	s.RunTo(40)
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+	if got := mustMetrics(t, s, "U"); got.Scheduled == 0 {
+		t.Error("U never scheduled after joining")
+	}
+	if got := mustMetrics(t, s, "T"); got.Scheduled != 1 {
+		t.Errorf("T scheduled %d quanta, want exactly 1 (only T_1 before leaving)", got.Scheduled)
+	}
+}
+
+// TestFig3bFig7RuleIAllocations reproduces the allocation tables of
+// Figs. 3(b) and 7: a task X with initial weight 3/19 that enacts an
+// increase to 2/5 at time 8 via rule I. Running X alone on one processor
+// makes it ideal-changeable.
+func TestFig3bFig7RuleIAllocations(t *testing.T) {
+	sys := model.System{M: 1, Tasks: []model.Spec{{Name: "X", Weight: rat("3/19")}}}
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true}, sys)
+	s.RunTo(8)
+
+	ts := s.byName["X"]
+	x2 := ts.lastReleased
+	if x2.abs != 2 || !x2.scheduled || x2.release != 6 || x2.deadline != 13 {
+		t.Fatalf("X_2 = %v scheduled=%v, want [6,13) scheduled", x2.window(), x2.scheduled)
+	}
+	if err := s.Initiate("X", rat("2/5")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot the ideal allocations as time passes.
+	type snap struct{ cumSW, cumCSW, cumPS string }
+	want := map[model.Time]snap{
+		9:  {cumSW: "158/95", cumCSW: "158/95", cumPS: "158/95"}, // 1 + 5/19 + 2/5 ; 8*3/19 + 2/5
+		10: {cumSW: "2", cumCSW: "2", cumPS: "196/95"},           // X_2 complete: A(I_SW,X_2,0,10)=1
+		11: {cumSW: "2", cumCSW: "2", cumPS: "234/95"},           // gap slot: no I_SW allocation
+	}
+	s.Run(12, func(now model.Time, sch *Scheduler) {
+		if w, ok := want[now]; ok {
+			m := mustMetrics(t, sch, "X")
+			if !m.CumSW.Eq(rat(w.cumSW)) {
+				t.Errorf("A(I_SW,X,0,%d) = %s, want %s", now, m.CumSW, w.cumSW)
+			}
+			if !m.CumCSW.Eq(rat(w.cumCSW)) {
+				t.Errorf("A(I_CSW,X,0,%d) = %s, want %s", now, m.CumCSW, w.cumCSW)
+			}
+			if !m.CumPS.Eq(rat(w.cumPS)) {
+				t.Errorf("A(I_PS,X,0,%d) = %s, want %s", now, m.CumPS, w.cumPS)
+			}
+		}
+	})
+	if !x2.swDone || x2.swDoneTime != 10 {
+		t.Errorf("D(I_SW, X_2) = %d, want 10 (the boosted rate completes X_2 early)", x2.swDoneTime)
+	}
+	// X_3 is the new epoch's first subtask, released at D + b = 11.
+	x3 := ts.lastReleased
+	if x3.abs != 3 || x3.release != 11 || !x3.epochStart {
+		t.Fatalf("X_3 abs=%d release=%d epochStart=%v, want 3/11/true", x3.abs, x3.release, x3.epochStart)
+	}
+	if got := mustMetrics(t, s, "X").Drift; !got.Eq(rat("44/95")) {
+		t.Errorf("drift = %s, want 44/95", got)
+	}
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+}
+
+// TestFig8Theorem3LJDrift reproduces Fig. 8: under PD²-LJ on four
+// processors, a set A of 35 tasks with weight 1/10 plus a task T whose
+// weight increases from 1/10 to 1/2 at time 4. Rule L forbids T from
+// leaving before time 10, so T's drift reaches 24/10.
+func TestFig8Theorem3LJDrift(t *testing.T) {
+	tasks := background(35, "A", rat("1/10"), "A")
+	tasks = append(tasks, model.Spec{Name: "T", Weight: rat("1/10"), Group: "T"})
+	sys := model.System{M: 4, Tasks: tasks}
+	s := mustNew(t, Config{M: 4, Policy: PolicyLJ, Police: true}, sys)
+
+	s.RunTo(4)
+	if err := s.Initiate("T", frac.Half); err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(11)
+	ts := s.byName["T"]
+	nt := ts.lastReleased
+	if nt.release != 10 || !nt.epochStart {
+		t.Fatalf("rejoin subtask release=%d epochStart=%v, want 10/true", nt.release, nt.epochStart)
+	}
+	if got := mustMetrics(t, s, "T").Drift; !got.Eq(rat("24/10")) {
+		t.Errorf("drift = %s, want 24/10", got)
+	}
+	s.RunTo(40)
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+}
+
+// TestTheorem3Unbounded checks the generalization after Fig. 8: lowering
+// T's initial weight makes PD²-LJ's per-event drift grow without bound
+// (drift = w + k - 3/2 for initial weight w = 1/(2k), initiation at time 1,
+// target 1/2), so PD²-LJ is not fine-grained.
+func TestTheorem3Unbounded(t *testing.T) {
+	prev := frac.Zero
+	for k := int64(2); k <= 8; k++ {
+		w := frac.New(1, 2*k)
+		sys := model.System{M: 1, Tasks: []model.Spec{{Name: "T", Weight: w}}}
+		s := mustNew(t, Config{M: 1, Policy: PolicyLJ, Police: true}, sys)
+		s.RunTo(1)
+		if err := s.Initiate("T", frac.Half); err != nil {
+			t.Fatal(err)
+		}
+		s.RunTo(2*k + 2)
+		got := mustMetrics(t, s, "T").Drift
+		want := w.Add(frac.FromInt(k)).Sub(rat("3/2"))
+		if !got.Eq(want) {
+			t.Errorf("k=%d: drift = %s, want %s", k, got, want)
+		}
+		if !prev.Less(got) {
+			t.Errorf("k=%d: drift %s did not grow past %s", k, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestFig9Theorem4EPDFMiss reproduces Fig. 9: under any EPDF scheme whose
+// deadlines track true I_PS allocations, the two-processor system misses a
+// deadline at time 9. Set A (10 x 1/7) leaves at 7, set B (2 x 1/6) leaves
+// at 6, set C (2 x 1/14) joins at 6, and set D (5 x 1/21) increases to 1/3
+// at time 7, pulling the D deadlines from 21 in to 9.
+func TestFig9Theorem4EPDFMiss(t *testing.T) {
+	e := NewEPDFPS(2)
+	e.RunTo(12, func(now model.Time, e *EPDFPS) {
+		switch now {
+		case 0:
+			for i := 0; i < 10; i++ {
+				mustDo(t, e.Join(fmt.Sprintf("A#%d", i), rat("1/7")))
+			}
+			for i := 0; i < 2; i++ {
+				mustDo(t, e.Join(fmt.Sprintf("B#%d", i), rat("1/6")))
+			}
+			for i := 0; i < 5; i++ {
+				mustDo(t, e.Join(fmt.Sprintf("D#%d", i), rat("1/21")))
+			}
+		case 6:
+			mustDo(t, e.Leave("B#0"))
+			mustDo(t, e.Leave("B#1"))
+			mustDo(t, e.Join("C#0", rat("1/14")))
+			mustDo(t, e.Join("C#1", rat("1/14")))
+		case 7:
+			mustDo(t, e.Leave("A#0"))
+			for i := 1; i < 10; i++ {
+				mustDo(t, e.Leave(fmt.Sprintf("A#%d", i)))
+			}
+			for i := 0; i < 5; i++ {
+				mustDo(t, e.SetWeight(fmt.Sprintf("D#%d", i), rat("1/3")))
+			}
+		}
+	})
+	misses := e.Misses()
+	if len(misses) != 1 {
+		t.Fatalf("misses = %v, want exactly one", misses)
+	}
+	if misses[0].Deadline != 9 || misses[0].Task[0] != 'D' {
+		t.Errorf("miss = %+v, want a D task at deadline 9", misses[0])
+	}
+	// Sanity: A and B completed their PS shares before leaving.
+	for i := 0; i < 10; i++ {
+		if got := e.Scheduled(fmt.Sprintf("A#%d", i)); got != 1 {
+			t.Errorf("A#%d completed %d quanta, want 1", i, got)
+		}
+	}
+}
+
+func mustDo(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFig3aRuleOAllocations checks the I_SW/I_CSW treatment of a halted
+// subtask using the Fig. 6(b) construction, which realizes Fig. 3(a): T_2
+// receives partial I_SW allocations until the halt, which I_CSW then erases.
+func TestFig3aRuleOAllocations(t *testing.T) {
+	s := mustNew(t, Config{M: 4, Policy: PolicyOI, TieBreak: FavorGroup("C"), Police: true}, fig6System(rat("3/20")))
+	s.RunTo(10)
+	ts := s.byName["T"]
+	t2 := ts.lastReleased
+	// By time 10, I_SW has given T_2 its first-slot pairing allocation of
+	// 1/20 (slot 6) plus 3/20 in slots 7-9: total 10/20 = 1/2.
+	if !t2.swCum.Eq(frac.Half) {
+		t.Fatalf("A(I_SW, T_2, 0, 10) = %s, want 1/2", t2.swCum)
+	}
+	preSW := mustMetrics(t, s, "T").CumSW
+	if err := s.Initiate("T", frac.Half); err != nil {
+		t.Fatal(err)
+	}
+	m := mustMetrics(t, s, "T")
+	// I_SW keeps the partial allocation; I_CSW removes it retroactively.
+	if !m.CumSW.Eq(preSW) {
+		t.Errorf("halt changed I_SW cumulative: %s -> %s", preSW, m.CumSW)
+	}
+	if !m.CumCSW.Eq(frac.One) {
+		t.Errorf("A(I_CSW,T,0,10) = %s, want 1 (halted T_2 zeroed)", m.CumCSW)
+	}
+	if !m.CumSW.Sub(m.CumCSW).Eq(frac.Half) {
+		t.Errorf("I_SW - I_CSW = %s, want 1/2 (the lost half quantum)", m.CumSW.Sub(m.CumCSW))
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// TestGroupDeadline811 checks the group-deadline formula against the
+// classic weight-8/11 example from the PD² literature: the cascades from
+// T_1 and T_2 resolve at time 4 (inside T_3's length-3 window), and the
+// cascade from T_3 resolves at 8.
+func TestGroupDeadline811(t *testing.T) {
+	w := frac.New(8, 11)
+	releases := []model.Time{0, 1, 2, 4, 5, 6, 8, 9}
+	want := []model.Time{4, 4, 8, 8, 8, 11, 11, 11}
+	for i, wd := range want {
+		n := int64(i + 1)
+		if got := model.GroupDeadline(w, releases[i], n); got != wd {
+			t.Errorf("D(T_%d) = %d, want %d", n, got, wd)
+		}
+	}
+	// Light tasks have no group deadline.
+	if got := model.GroupDeadline(frac.Half, 0, 1); got != 0 {
+		t.Errorf("D(light) = %d, want 0", got)
+	}
+	// Weight-1 tasks have an unbounded one.
+	if got := model.GroupDeadline(frac.One, 0, 1); got != model.Infinity {
+		t.Errorf("D(weight 1) = %d, want Infinity", got)
+	}
+}
+
+// TestHeavyRejectedWithoutAllowHeavy: the default configuration keeps the
+// paper's scope.
+func TestHeavyRejectedWithoutAllowHeavy(t *testing.T) {
+	sys := model.System{M: 1, Tasks: []model.Spec{{Name: "H", Weight: frac.New(2, 3)}}}
+	if _, err := New(Config{M: 1, Policy: PolicyOI, Police: true}, sys); err == nil {
+		t.Fatal("heavy task accepted without AllowHeavy")
+	}
+	if _, err := New(Config{M: 1, Policy: PolicyOI, Police: true, AllowHeavy: true}, sys); err != nil {
+		t.Fatalf("heavy task rejected with AllowHeavy: %v", err)
+	}
+}
+
+// TestHeavyFullUtilization pins hard static heavy cases at total weight
+// exactly M, where the group-deadline tie-break is load-bearing: plain EPDF
+// (even with b-bits) can miss on such systems.
+func TestHeavyFullUtilization(t *testing.T) {
+	cases := []model.System{
+		// Seven tasks of weight 5/7 on five processors (utilization 5).
+		{M: 5, Tasks: background(7, "A", rat("5/7"), "")},
+		// The classic 8/11 pair plus filler: 2*(8/11) + 6/11 = 2.
+		{M: 2, Tasks: append(background(2, "H", rat("8/11"), ""),
+			background(3, "L", rat("2/11"), "")...)},
+		// Mixed heavy/light at M=3: 3/4 + 3/4 + 2/3 + 1/2 + 1/3 = 3.
+		{M: 3, Tasks: []model.Spec{
+			{Name: "A", Weight: rat("3/4")},
+			{Name: "B", Weight: rat("3/4")},
+			{Name: "C", Weight: rat("2/3")},
+			{Name: "D", Weight: rat("1/2")},
+			{Name: "E", Weight: rat("1/3")},
+		}},
+		// Weight-1 task occupies a processor outright.
+		{M: 2, Tasks: []model.Spec{
+			{Name: "full", Weight: frac.One},
+			{Name: "H", Weight: rat("7/10")},
+			{Name: "L", Weight: rat("3/10")},
+		}},
+	}
+	for i, sys := range cases {
+		s := mustNew(t, Config{M: sys.M, Policy: PolicyOI, Police: true, AllowHeavy: true, CheckInvariants: true}, sys)
+		for s.Now() < 500 {
+			s.Step()
+			for _, m := range s.AllMetrics() {
+				if frac.One.Less(m.Lag.Abs()) {
+					t.Fatalf("case %d t=%d: task %s lag %s out of bounds", i, s.Now(), m.Name, m.Lag)
+				}
+			}
+		}
+		if len(s.Misses()) != 0 {
+			t.Fatalf("case %d: misses %v", i, s.Misses())
+		}
+		if v := s.Violations(); len(v) != 0 {
+			t.Fatalf("case %d: violations %v", i, v)
+		}
+	}
+}
+
+// TestHeavyRandomizedFeasible: random heavy/light mixtures at utilization
+// at most M never miss under full PD².
+func TestHeavyRandomizedFeasible(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		m := int(r.Int63n(3)) + 2
+		var tasks []model.Spec
+		total := frac.Zero
+		for i := 0; i < 14; i++ {
+			den := r.Int63n(14) + 2
+			num := r.Int63n(den) + 1 // anywhere in (0, 1]
+			w := frac.New(num, den)
+			if frac.FromInt(int64(m)).Less(total.Add(w)) {
+				continue
+			}
+			total = total.Add(w)
+			tasks = append(tasks, model.Spec{Name: fmt.Sprintf("T%d", i), Weight: w})
+		}
+		if len(tasks) == 0 {
+			continue
+		}
+		s := mustNew(t, Config{M: m, Policy: PolicyOI, Police: true, AllowHeavy: true, CheckInvariants: true},
+			model.System{M: m, Tasks: tasks})
+		s.RunTo(400)
+		if len(s.Misses()) != 0 {
+			t.Fatalf("trial %d (M=%d, util=%s): misses %v", trial, m, total, s.Misses())
+		}
+		if v := s.Violations(); len(v) != 0 {
+			t.Fatalf("trial %d: violations %v", trial, v)
+		}
+	}
+}
+
+// TestHeavyReweightRejected: the adaptive rules stay within the paper's
+// proven scope — reweighting a heavy task (or to a heavy weight) fails.
+func TestHeavyReweightRejected(t *testing.T) {
+	sys := model.System{M: 2, Tasks: []model.Spec{
+		{Name: "H", Weight: rat("2/3")},
+		{Name: "L", Weight: rat("1/3")},
+	}}
+	s := mustNew(t, Config{M: 2, Policy: PolicyOI, Police: true, AllowHeavy: true}, sys)
+	s.RunTo(5)
+	if err := s.Initiate("H", rat("1/2")); err == nil {
+		t.Error("reweighting a heavy task accepted")
+	}
+	if err := s.Initiate("L", rat("2/3")); err == nil {
+		t.Error("reweighting to a heavy weight accepted")
+	}
+	if err := s.Initiate("L", rat("1/4")); err != nil {
+		t.Errorf("light reweight alongside heavy tasks rejected: %v", err)
+	}
+	s.RunTo(100)
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+}
+
+// TestHeavyLightMixWithAdaptation: light tasks keep reweighting correctly
+// while static heavy tasks occupy most of the system.
+func TestHeavyLightMixWithAdaptation(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	sys := model.System{M: 2, Tasks: []model.Spec{
+		{Name: "H", Weight: rat("8/11")},
+		{Name: "a", Weight: rat("1/5")},
+		{Name: "b", Weight: rat("1/5")},
+		{Name: "c", Weight: rat("1/5")},
+	}}
+	s := mustNew(t, Config{M: 2, Policy: PolicyOI, Police: true, AllowHeavy: true, CheckInvariants: true}, sys)
+	s.Run(300, func(now model.Time, sch *Scheduler) {
+		for _, name := range []string{"a", "b", "c"} {
+			if r.Intn(20) == 0 {
+				_ = sch.Initiate(name, randomLightWeight(r, 12)) // policing may defer
+			}
+		}
+	})
+	if len(s.Misses()) != 0 {
+		t.Fatalf("misses: %v", s.Misses())
+	}
+	if v := s.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}

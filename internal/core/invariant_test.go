@@ -1,0 +1,517 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// lagBoundsOK checks -1 <= lag <= 1 (the paper's Pfair bound is the open
+// interval (-1, 1) for non-adaptive systems; adaptivity keeps |lag| within
+// one quantum).
+func checkLagBounds(t *testing.T, s *Scheduler, label string) {
+	t.Helper()
+	one := frac.One
+	for _, m := range s.AllMetrics() {
+		if one.Less(m.Lag.Abs()) {
+			t.Fatalf("%s: t=%d task %s lag %s outside [-1,1]", label, s.Now(), m.Name, m.Lag)
+		}
+	}
+}
+
+// randomLightWeight returns a weight in (0, 1/2] with denominator <= maxDen.
+func randomLightWeight(r *rand.Rand, maxDen int64) frac.Rat {
+	den := r.Int63n(maxDen-1) + 2
+	num := r.Int63n((den+1)/2) + 1
+	if frac.Half.Less(frac.New(num, den)) {
+		num = den / 2
+	}
+	if num < 1 {
+		num = 1
+	}
+	return frac.New(num, den)
+}
+
+// TestStaticPfairCorrectness schedules randomized fully-static systems and
+// checks Theorem 2's guarantee (no misses) plus the Pfair lag bounds at
+// every slot.
+func TestStaticPfairCorrectness(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		m := int(r.Int63n(4)) + 1
+		var tasks []model.Spec
+		total := frac.Zero
+		for i := 0; total.Less(frac.FromInt(int64(m))) && i < 40; i++ {
+			w := randomLightWeight(r, 24)
+			if frac.FromInt(int64(m)).Less(total.Add(w)) {
+				break
+			}
+			total = total.Add(w)
+			tasks = append(tasks, model.Spec{Name: fmt.Sprintf("T%d", i), Weight: w})
+		}
+		if len(tasks) == 0 {
+			continue
+		}
+		s := mustNew(t, Config{M: m, Policy: PolicyOI, Police: true, CheckInvariants: true},
+			model.System{M: m, Tasks: tasks})
+		for s.Now() < 200 {
+			s.Step()
+			checkLagBounds(t, s, fmt.Sprintf("trial %d", trial))
+		}
+		if len(s.Misses()) != 0 {
+			t.Fatalf("trial %d (M=%d, util=%s): misses %v", trial, m, total, s.Misses())
+		}
+		if v := s.Violations(); len(v) != 0 {
+			t.Fatalf("trial %d: violations %v", trial, v)
+		}
+	}
+}
+
+// TestFullUtilizationStatic pins the hardest static case: total weight
+// exactly M.
+func TestFullUtilizationStatic(t *testing.T) {
+	cases := []model.System{
+		{M: 2, Tasks: background(4, "H", frac.Half, "")},
+		{M: 2, Tasks: append(background(3, "H", frac.Half, ""),
+			background(5, "L", rat("1/10"), "")...)},
+		{M: 3, Tasks: append(background(4, "A", rat("1/2"), ""),
+			append(background(2, "B", rat("1/3"), ""),
+				background(2, "C", rat("1/6"), "")...)...)},
+		{M: 4, Tasks: background(20, "C", rat("3/20"), "")}, // total 3 on 4: Fig. 6 base
+	}
+	for i, sys := range cases {
+		s := mustNew(t, Config{M: sys.M, Policy: PolicyOI, Police: true, CheckInvariants: true}, sys)
+		for s.Now() < 240 {
+			s.Step()
+			checkLagBounds(t, s, fmt.Sprintf("case %d", i))
+		}
+		if len(s.Misses()) != 0 {
+			t.Fatalf("case %d: misses %v", i, s.Misses())
+		}
+	}
+}
+
+// adaptiveTrial runs one randomized adaptive scenario under the given
+// policy and returns the scheduler. Total weight is kept at most M by
+// construction (weights <= 1/2, few tasks), so policing never defers and
+// the pure reweighting rules are exercised.
+func adaptiveTrial(t *testing.T, r *rand.Rand, policy PolicyKind, m, n int, horizon model.Time) *Scheduler {
+	t.Helper()
+	var tasks []model.Spec
+	for i := 0; i < n; i++ {
+		tasks = append(tasks, model.Spec{Name: fmt.Sprintf("T%d", i), Weight: randomLightWeight(r, 20)})
+	}
+	s := mustNew(t, Config{
+		M: m, Policy: policy, Police: true,
+		RecordDriftEvents: true, CheckInvariants: true,
+	}, model.System{M: m, Tasks: tasks})
+	s.Run(horizon, func(now model.Time, sch *Scheduler) {
+		// Each slot, each task reweights with small probability.
+		for i := 0; i < n; i++ {
+			if r.Intn(12) == 0 {
+				name := fmt.Sprintf("T%d", i)
+				if err := sch.Initiate(name, randomLightWeight(r, 20)); err != nil {
+					t.Fatalf("initiate %s: %v", name, err)
+				}
+			}
+		}
+	})
+	return s
+}
+
+// TestTheorem2AdaptiveNoMisses: under PD²-OI with (W) policed, no subtask
+// misses its deadline even under aggressive random reweighting.
+func TestTheorem2AdaptiveNoMisses(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		s := adaptiveTrial(t, r, PolicyOI, 4, 7, 250)
+		if len(s.Misses()) != 0 {
+			t.Fatalf("trial %d: misses %v", trial, s.Misses())
+		}
+		if v := s.Violations(); len(v) != 0 {
+			t.Fatalf("trial %d: violations %v", trial, v)
+		}
+		checkLagBounds(t, s, fmt.Sprintf("trial %d", trial))
+	}
+}
+
+// TestTheorem5PerEventDriftBound: the absolute per-event drift change under
+// PD²-OI is at most two quanta.
+func TestTheorem5PerEventDriftBound(t *testing.T) {
+	two := frac.FromInt(2)
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		s := adaptiveTrial(t, r, PolicyOI, 4, 7, 250)
+		for _, name := range s.TaskNames() {
+			evs := s.DriftEvents(name)
+			prev := frac.Zero
+			for _, ev := range evs {
+				delta := ev.Value.Sub(prev).Abs()
+				if two.Less(delta) {
+					t.Fatalf("trial %d task %s: per-event drift %s at t=%d exceeds 2 (prev %s)",
+						trial, name, delta, ev.At, prev)
+				}
+				prev = ev.Value
+			}
+		}
+	}
+}
+
+// TestLJAdaptiveNoMisses: PD²-LJ is coarse-grained but still correct — no
+// deadline misses.
+func TestLJAdaptiveNoMisses(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		s := adaptiveTrial(t, r, PolicyLJ, 4, 7, 250)
+		if len(s.Misses()) != 0 {
+			t.Fatalf("trial %d: misses %v", trial, s.Misses())
+		}
+		checkLagBounds(t, s, fmt.Sprintf("trial %d", trial))
+	}
+}
+
+// TestHybridExtremes: a hybrid that always chooses OI behaves exactly like
+// PolicyOI, and one that never does behaves exactly like PolicyLJ.
+func TestHybridExtremes(t *testing.T) {
+	run := func(policy PolicyKind, useOI func(string, frac.Rat, frac.Rat) bool) []TaskMetrics {
+		tasks := []model.Spec{
+			{Name: "A", Weight: rat("1/10")},
+			{Name: "B", Weight: rat("1/5")},
+			{Name: "C", Weight: rat("3/20")},
+		}
+		s, err := New(Config{M: 2, Policy: policy, UseOI: useOI, Police: true},
+			model.System{M: 2, Tasks: tasks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		script := map[model.Time][2]string{
+			5:  {"A", "2/5"},
+			9:  {"B", "1/20"},
+			17: {"A", "1/10"},
+			23: {"C", "1/2"},
+			31: {"C", "1/10"},
+		}
+		s.Run(60, func(now model.Time, sch *Scheduler) {
+			if ev, ok := script[now]; ok {
+				if err := sch.Initiate(ev[0], rat(ev[1])); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		return s.AllMetrics()
+	}
+
+	oi := run(PolicyOI, nil)
+	hybridOI := run(PolicyHybrid, func(string, frac.Rat, frac.Rat) bool { return true })
+	lj := run(PolicyLJ, nil)
+	hybridLJ := run(PolicyHybrid, func(string, frac.Rat, frac.Rat) bool { return false })
+
+	for i := range oi {
+		if oi[i].Drift.Cmp(hybridOI[i].Drift) != 0 || oi[i].Scheduled != hybridOI[i].Scheduled {
+			t.Errorf("hybrid(always OI) diverged from OI for %s: drift %s vs %s",
+				oi[i].Name, hybridOI[i].Drift, oi[i].Drift)
+		}
+		if lj[i].Drift.Cmp(hybridLJ[i].Drift) != 0 || lj[i].Scheduled != hybridLJ[i].Scheduled {
+			t.Errorf("hybrid(never OI) diverged from LJ for %s: drift %s vs %s",
+				lj[i].Name, hybridLJ[i].Drift, lj[i].Drift)
+		}
+	}
+}
+
+// TestDeterminism: identical scenarios produce identical metrics.
+func TestDeterminism(t *testing.T) {
+	run := func() []TaskMetrics {
+		r := rand.New(rand.NewSource(99))
+		s := adaptiveTrial(t, r, PolicyOI, 3, 5, 150)
+		return s.AllMetrics()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Scheduled != b[i].Scheduled || !a[i].Drift.Eq(b[i].Drift) || !a[i].CumPS.Eq(b[i].CumPS) {
+			t.Fatalf("nondeterministic metrics for %s", a[i].Name)
+		}
+	}
+}
+
+// TestRapidReInitiation: property (C): initiating again before a pending
+// change is enacted must not delay things or break correctness.
+func TestRapidReInitiation(t *testing.T) {
+	sys := model.System{M: 1, Tasks: []model.Spec{{Name: "X", Weight: rat("3/19")}}}
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true, RecordDriftEvents: true, CheckInvariants: true}, sys)
+	s.RunTo(8)
+	// Ideal-changeable decrease (deferred enactment), then re-initiate an
+	// increase one slot later: the increase is enacted immediately and the
+	// decrease is skipped.
+	if err := s.Initiate("X", rat("1/10")); err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	if err := s.Initiate("X", rat("2/5")); err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	if got := mustMetrics(t, s, "X").SchedWeight; !got.Eq(rat("2/5")) {
+		t.Errorf("swt = %s, want 2/5 enacted immediately (skipping the pending decrease)", got)
+	}
+	s.RunTo(40)
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+	if v := s.Violations(); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+	// Per-event drift still bounded by 2, counting the skipped event.
+	prev := frac.Zero
+	for _, ev := range s.DriftEvents("X") {
+		if frac.FromInt(2).Less(ev.Value.Sub(prev).Abs()) {
+			t.Errorf("per-event drift %s exceeds 2", ev.Value.Sub(prev))
+		}
+		prev = ev.Value
+	}
+}
+
+// TestPolicingDefersOverload: with (W) policing, a weight increase that
+// would push the total scheduling weight over M is deferred (with its new
+// epoch's release coupled to the deferred enactment) until capacity frees
+// up, and no deadlines are missed meanwhile.
+func TestPolicingDefersOverload(t *testing.T) {
+	tasks := []model.Spec{
+		{Name: "A", Weight: rat("2/5")},
+		{Name: "B", Weight: rat("2/5"), Group: "B"},
+		{Name: "C", Weight: rat("1/5")},
+	}
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true, CheckInvariants: true,
+		TieBreak: FavorGroup("B")},
+		model.System{M: 1, Tasks: tasks})
+	s.RunTo(6)
+	// B_3's window is [4,7) and ties favor B, so B_3 is scheduled before 6:
+	// B is ideal-changeable and rule I(i) tries to enact immediately. The
+	// total would become 11/10 > M, so the enactment is deferred.
+	b3 := s.byName["B"].lastReleased
+	if b3.abs != 3 || !b3.scheduled {
+		t.Fatalf("B_3 abs=%d scheduled=%v, want scheduled abs=3", b3.abs, b3.scheduled)
+	}
+	if err := s.Initiate("B", frac.Half); err != nil {
+		t.Fatal(err)
+	}
+	left := false
+	sawDeferral := false
+	var epochSub *subtask
+	s.Run(30, func(now model.Time, sch *Scheduler) {
+		if left && epochSub == nil {
+			epochSub = sch.byName["B"].lastReleased
+		}
+		if frac.One.Less(sch.TotalSchedWeight()) {
+			t.Fatalf("t=%d: total scheduling weight %s exceeds M", now, sch.TotalSchedWeight())
+		}
+		m := mustMetrics(t, sch, "B")
+		if !left {
+			if m.SchedWeight.Eq(frac.Half) {
+				t.Fatalf("t=%d: B's increase enacted before capacity existed", now)
+			}
+			sawDeferral = true
+			// While deferred, B must not start its new epoch: no subtask
+			// beyond B_3 may be released.
+			if sch.byName["B"].lastReleased.abs > 3 {
+				t.Fatalf("t=%d: B released subtask %d during deferral", now, sch.byName["B"].lastReleased.abs)
+			}
+		}
+		if now >= 10 && !left {
+			if err := sch.Leave("C"); err == nil {
+				left = true
+			}
+		}
+	})
+	if !sawDeferral || !left {
+		t.Fatalf("scenario did not unfold: deferral=%v left=%v", sawDeferral, left)
+	}
+	m := mustMetrics(t, s, "B")
+	if !m.SchedWeight.Eq(frac.Half) {
+		t.Errorf("B's increase never landed: swt=%s", m.SchedWeight)
+	}
+	if epochSub == nil || !epochSub.epochStart || epochSub.abs != 4 {
+		t.Errorf("B's post-enactment subtask %v, want abs=4 epoch-start", epochSub)
+	}
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+	if v := s.Violations(); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+}
+
+// TestNoPolicingBreaksTheorem2: Theorem 2's no-miss guarantee is
+// conditional on property (W). With policing disabled, an increase that
+// pushes the total scheduling weight past M causes deadline misses —
+// demonstrating that (W) is necessary, not an implementation nicety.
+func TestNoPolicingBreaksTheorem2(t *testing.T) {
+	tasks := []model.Spec{
+		{Name: "A", Weight: frac.Half},
+		{Name: "B", Weight: rat("2/5")},
+		{Name: "C", Weight: rat("1/10")},
+	}
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: false},
+		model.System{M: 1, Tasks: tasks})
+	s.RunTo(10)
+	if err := s.Initiate("B", frac.Half); err != nil { // total becomes 11/10 > 1
+		t.Fatal(err)
+	}
+	s.RunTo(200)
+	if frac.One.Less(s.TotalSchedWeight()) == false {
+		t.Fatalf("overload not established: total %s", s.TotalSchedWeight())
+	}
+	if len(s.Misses()) == 0 {
+		t.Error("no deadline misses despite violating (W); Theorem 2 should not hold here")
+	}
+	// The same scenario with policing stays correct.
+	p := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true},
+		model.System{M: 1, Tasks: tasks})
+	p.RunTo(10)
+	if err := p.Initiate("B", frac.Half); err != nil {
+		t.Fatal(err)
+	}
+	p.RunTo(200)
+	if len(p.Misses()) != 0 {
+		t.Errorf("policed run missed: %v", p.Misses())
+	}
+}
+
+// TestJoinConditionEnforced: joining beyond capacity is rejected (condition J).
+func TestJoinConditionEnforced(t *testing.T) {
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true},
+		model.System{M: 1, Tasks: background(2, "A", frac.Half, "")})
+	if err := s.Join(model.Spec{Name: "B", Weight: rat("1/10")}); err == nil {
+		t.Error("join beyond capacity accepted")
+	}
+}
+
+// TestValidationErrors covers constructor and mutation error paths.
+func TestValidationErrors(t *testing.T) {
+	if _, err := New(Config{M: 1}, model.System{M: 1, Tasks: []model.Spec{{Name: "H", Weight: rat("2/3")}}}); err == nil {
+		t.Error("heavy task accepted")
+	}
+	if _, err := New(Config{M: 2}, model.System{M: 1, Tasks: nil}); err == nil {
+		t.Error("M mismatch accepted")
+	}
+	if _, err := New(Config{}, model.System{M: 1, Tasks: background(3, "A", frac.Half, "")}); err == nil {
+		t.Error("overloaded initial system accepted")
+	}
+	s := mustNew(t, Config{M: 1}, model.System{M: 1, Tasks: []model.Spec{{Name: "A", Weight: rat("1/4")}}})
+	if err := s.Initiate("nope", rat("1/4")); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if err := s.Initiate("A", rat("3/4")); err == nil {
+		t.Error("heavy reweight accepted")
+	}
+	if err := s.Leave("nope"); err == nil {
+		t.Error("unknown leave accepted")
+	}
+	if err := s.Join(model.Spec{Name: "A", Weight: rat("1/4")}); err == nil {
+		t.Error("duplicate join accepted")
+	}
+}
+
+// TestLateJoiners: tasks with a future Join time enter on schedule and are
+// scheduled correctly from then on.
+func TestLateJoiners(t *testing.T) {
+	tasks := []model.Spec{
+		{Name: "A", Weight: frac.Half},
+		{Name: "B", Weight: frac.Half, Join: 10},
+	}
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true}, model.System{M: 1, Tasks: tasks})
+	s.RunTo(10)
+	if m := mustMetrics(t, s, "B"); m.Scheduled != 0 || !m.CumPS.IsZero() {
+		t.Errorf("B active before join: %+v", m)
+	}
+	s.RunTo(50)
+	if m := mustMetrics(t, s, "B"); m.Scheduled != 20 {
+		t.Errorf("B scheduled %d quanta in [10,50), want 20", m.Scheduled)
+	}
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+}
+
+// TestNoOpReweight: requesting the current weight with nothing pending does
+// not perturb the schedule or the drift.
+func TestNoOpReweight(t *testing.T) {
+	sys := model.System{M: 1, Tasks: []model.Spec{{Name: "A", Weight: rat("2/5")}}}
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true, RecordDriftEvents: true}, sys)
+	s.Run(40, func(now model.Time, sch *Scheduler) {
+		if now%5 == 0 && now > 0 {
+			if err := sch.Initiate("A", rat("2/5")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	m := mustMetrics(t, s, "A")
+	if m.Initiations != 0 {
+		t.Errorf("no-op requests counted as initiations: %d", m.Initiations)
+	}
+	if !m.Drift.IsZero() || m.Scheduled != 16 {
+		t.Errorf("no-op reweights perturbed the run: drift=%s scheduled=%d", m.Drift, m.Scheduled)
+	}
+}
+
+// TestSoakAdaptive is a longer randomized soak: many trials, longer
+// horizons, all features mixed (reweighting, delays, joins/leaves, ERfair
+// on half the trials). Skipped with -short.
+func TestSoakAdaptive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	r := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 120; trial++ {
+		m := int(r.Int63n(4)) + 1
+		n := int(r.Int63n(8)) + 2
+		var tasks []model.Spec
+		total := frac.Zero
+		for i := 0; i < n; i++ {
+			w := randomLightWeight(r, 24)
+			if frac.FromInt(int64(m)).Less(total.Add(w)) {
+				continue
+			}
+			total = total.Add(w)
+			tasks = append(tasks, model.Spec{Name: fmt.Sprintf("T%d", i), Weight: w})
+		}
+		if len(tasks) == 0 {
+			continue
+		}
+		n = len(tasks)
+		s := mustNew(t, Config{
+			M: m, Policy: PolicyOI, Police: true, CheckInvariants: true,
+			EarlyRelease: trial%2 == 0,
+		}, model.System{M: m, Tasks: tasks})
+		joined := n
+		s.Run(1500, func(now model.Time, sch *Scheduler) {
+			for i := 0; i < n; i++ {
+				switch r.Intn(40) {
+				case 0:
+					_ = sch.Initiate(fmt.Sprintf("T%d", i), randomLightWeight(r, 24))
+				case 1:
+					_ = sch.DelayNext(fmt.Sprintf("T%d", i), r.Int63n(5)+1)
+				}
+			}
+			if r.Intn(200) == 0 {
+				name := fmt.Sprintf("J%d", joined)
+				if sch.Join(model.Spec{Name: name, Weight: randomLightWeight(r, 40)}) == nil {
+					joined++
+				}
+			}
+		})
+		if len(s.Misses()) != 0 {
+			t.Fatalf("trial %d (M=%d, ER=%v): misses %v", trial, m, trial%2 == 0, s.Misses())
+		}
+		if v := s.Violations(); len(v) != 0 {
+			t.Fatalf("trial %d: violations %v", trial, v)
+		}
+		for _, metric := range s.AllMetrics() {
+			if frac.One.Less(metric.Lag) {
+				t.Fatalf("trial %d: task %s lag %s above 1", trial, metric.Name, metric.Lag)
+			}
+		}
+	}
+}

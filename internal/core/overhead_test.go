@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// TestOverheadChargesSlots: every enacted reweight accrues debt, and each
+// full quantum of debt steals one processor-slot from the schedule.
+func TestOverheadChargesSlots(t *testing.T) {
+	sys := model.System{M: 1, Tasks: []model.Spec{
+		{Name: "A", Weight: frac.Half},
+		{Name: "B", Weight: rat("1/4")},
+	}}
+	s := mustNew(t, Config{
+		M: 1, Policy: PolicyOI, Police: true,
+		OverheadOI: frac.Half, // two enactments = one stolen slot
+	}, sys)
+	weights := []frac.Rat{rat("1/5"), rat("1/4")}
+	for i := 0; i < 4; i++ { // four enactments -> 2 quanta of debt
+		s.RunTo(model.Time(10 * (i + 1)))
+		if err := s.Initiate("B", weights[i%2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunTo(100)
+	if got := s.OverheadSlots(); got != 2 {
+		t.Errorf("overhead slots = %d, want 2", got)
+	}
+	// Utilization 3/4 on one CPU leaves slack, so stealing two slots must
+	// not cause misses here.
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+}
+
+// TestOverheadZeroByDefault: the default configuration charges nothing,
+// matching the paper's simulations.
+func TestOverheadZeroByDefault(t *testing.T) {
+	sys := model.System{M: 1, Tasks: []model.Spec{{Name: "A", Weight: rat("2/5")}}}
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true}, sys)
+	s.RunTo(5)
+	if err := s.Initiate("A", rat("1/5")); err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(50)
+	if s.OverheadSlots() != 0 {
+		t.Errorf("overhead slots = %d, want 0", s.OverheadSlots())
+	}
+}
+
+// TestOverheadPolicySplit: LJ enactments are charged at the LJ rate, OI
+// enactments at the OI rate.
+func TestOverheadPolicySplit(t *testing.T) {
+	run := func(policy PolicyKind) int64 {
+		sys := model.System{M: 2, Tasks: []model.Spec{
+			{Name: "A", Weight: rat("1/5")},
+			{Name: "B", Weight: rat("1/5")},
+		}}
+		s := mustNew(t, Config{
+			M: 2, Policy: policy, Police: true,
+			OverheadOI: frac.One,       // every OI enactment steals a slot
+			OverheadLJ: frac.New(1, 8), // LJ is 8x cheaper
+		}, sys)
+		targets := []frac.Rat{rat("1/4"), rat("1/5")}
+		for i := 0; i < 8; i++ {
+			s.RunTo(model.Time(12 * (i + 1)))
+			if err := s.Initiate("A", targets[i%2]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.RunTo(150)
+		return s.OverheadSlots()
+	}
+	oi := run(PolicyOI)
+	lj := run(PolicyLJ)
+	if oi != 8 {
+		t.Errorf("OI overhead slots = %d, want 8", oi)
+	}
+	if lj != 1 {
+		t.Errorf("LJ overhead slots = %d, want 1 (8 events at 1/8 each)", lj)
+	}
+}

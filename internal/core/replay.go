@@ -1,0 +1,91 @@
+package core
+
+import (
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// WeightChange records a scheduling-weight change: from At onward the
+// task's scheduling weight is W (Config.RecordSubtasks).
+type WeightChange struct {
+	At model.Time
+	W  frac.Rat
+}
+
+// SwtHistory returns the task's scheduling-weight history — its weight at
+// join and at every enactment (Config.RecordSubtasks must be set).
+func (s *Scheduler) SwtHistory(name string) []WeightChange {
+	ts, ok := s.byName[name]
+	if !ok {
+		return nil
+	}
+	return append([]WeightChange(nil), ts.swtHist...)
+}
+
+// ExpandWeights converts a weight-change history into a per-slot series of
+// length horizon. Slots before the first change carry the first weight.
+func ExpandWeights(changes []WeightChange, horizon model.Time) []frac.Rat {
+	out := make([]frac.Rat, horizon)
+	if len(changes) == 0 {
+		return out
+	}
+	idx := 0
+	cur := changes[0].W
+	for t := model.Time(0); t < horizon; t++ {
+		for idx < len(changes) && changes[idx].At <= t {
+			cur = changes[idx].W
+			idx++
+		}
+		out[t] = cur
+	}
+	return out
+}
+
+// ReplayIdealAllocations recomputes each subtask's per-slot I_SW
+// allocations from its recorded parameters and the per-slot scheduling
+// weight, by direct evaluation of the paper's Fig. 5 definition. The
+// result is indexed like subs; entry j holds the allocations of subs[j]
+// starting at its release slot. Halted subtasks stop allocating at their
+// halt time; absent subtasks allocate nothing.
+//
+// This is the same computation the engine performs online; it is exposed
+// so that tools can render the paper's per-slot allocation tables
+// (Figs. 1, 3, 7, 12) for arbitrary recorded runs.
+func ReplayIdealAllocations(subs []SubtaskInfo, swtPerSlot []frac.Rat) [][]frac.Rat {
+	horizon := model.Time(len(swtPerSlot))
+	allocs := make([][]frac.Rat, len(subs))
+	finalAlloc := make([]frac.Rat, len(subs))
+	for j, sub := range subs {
+		if sub.Absent {
+			continue
+		}
+		cum := frac.Zero
+		for t := sub.Release; t < horizon; t++ {
+			if sub.Halted && t >= sub.HaltTime {
+				break
+			}
+			w := swtPerSlot[t]
+			var alloc frac.Rat
+			if t == sub.Release {
+				switch {
+				case sub.EpochStart, j == 0,
+					subs[j-1].Halted && subs[j-1].HaltTime <= sub.Release,
+					subs[j-1].Absent,
+					subs[j-1].BBit == 0:
+					alloc = w
+				default:
+					alloc = w.Sub(finalAlloc[j-1])
+				}
+			} else {
+				alloc = frac.Min(w, frac.One.Sub(cum))
+			}
+			cum = cum.Add(alloc)
+			allocs[j] = append(allocs[j], alloc)
+			if cum.Eq(frac.One) {
+				finalAlloc[j] = alloc
+				break
+			}
+		}
+	}
+	return allocs
+}

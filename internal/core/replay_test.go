@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// replayer recomputes the ideal schedules I_SW and I_CSW of one task
+// directly from the Fig. 5 definition, using only the recorded subtask
+// parameters (releases, b-bits, epoch starts, halts) and the per-slot
+// scheduling-weight series. It shares no state with the engine's online
+// trackers, so agreement between the two is a strong differential check.
+type replayer struct {
+	subs []SubtaskInfo
+	swt  []frac.Rat // scheduling weight in effect during each slot
+
+	finalAlloc []frac.Rat   // allocation in slot D(I_SW, T_j)-1
+	completion []model.Time // D(I_SW, T_j)
+	allocs     [][]frac.Rat // per-subtask per-slot allocations (from release)
+}
+
+func newReplayer(subs []SubtaskInfo, swt []frac.Rat) *replayer {
+	r := &replayer{
+		subs:       subs,
+		swt:        swt,
+		finalAlloc: make([]frac.Rat, len(subs)),
+		completion: make([]model.Time, len(subs)),
+		allocs:     make([][]frac.Rat, len(subs)),
+	}
+	for j := range subs {
+		r.compute(j)
+	}
+	return r
+}
+
+// compute evaluates subtask j's per-slot allocations per Fig. 5: the first
+// slot pairs with the predecessor's final slot unless the subtask starts an
+// epoch; later slots get min(swt(t), 1 - cum); completion is the first
+// integral time the total reaches one, or the halt time.
+func (r *replayer) compute(j int) {
+	sub := r.subs[j]
+	horizon := model.Time(len(r.swt))
+	if sub.Absent {
+		r.completion[j] = sub.Release
+		r.finalAlloc[j] = frac.Zero
+		return
+	}
+	cum := frac.Zero
+	var allocs []frac.Rat
+	t := sub.Release
+	for ; t < horizon; t++ {
+		if sub.Halted && t >= sub.HaltTime {
+			break
+		}
+		var alloc frac.Rat
+		if t == sub.Release {
+			switch {
+			case sub.EpochStart, j == 0,
+				r.subs[j-1].Halted && r.subs[j-1].HaltTime <= sub.Release,
+				r.subs[j-1].BBit == 0:
+				alloc = r.swt[t]
+			default:
+				alloc = r.swt[t].Sub(r.finalAlloc[j-1])
+			}
+		} else {
+			alloc = frac.Min(r.swt[t], frac.One.Sub(cum))
+		}
+		cum = cum.Add(alloc)
+		allocs = append(allocs, alloc)
+		if cum.Eq(frac.One) {
+			t++
+			break
+		}
+	}
+	r.allocs[j] = allocs
+	if sub.Halted {
+		r.completion[j] = sub.HaltTime
+		r.finalAlloc[j] = frac.Zero
+		return
+	}
+	r.completion[j] = t
+	if len(allocs) > 0 && cum.Eq(frac.One) {
+		r.finalAlloc[j] = allocs[len(allocs)-1]
+	}
+}
+
+// cumSW returns A(I_SW, T, 0, t); cumCSW excludes halted subtasks.
+func (r *replayer) cumSW(t model.Time, clairvoyant bool) frac.Rat {
+	total := frac.Zero
+	for j, sub := range r.subs {
+		if clairvoyant && sub.Halted {
+			continue
+		}
+		for i, alloc := range r.allocs[j] {
+			if sub.Release+model.Time(i) >= t {
+				break
+			}
+			total = total.Add(alloc)
+		}
+	}
+	return total
+}
+
+// runWithSampling drives a scenario while sampling per-slot swt and
+// cumulative ideals for every task.
+func runWithSampling(t *testing.T, s *Scheduler, horizon model.Time,
+	hook func(model.Time, *Scheduler)) (swt map[string][]frac.Rat, sw, csw map[string][]frac.Rat) {
+	t.Helper()
+	swt = map[string][]frac.Rat{}
+	sw = map[string][]frac.Rat{}
+	csw = map[string][]frac.Rat{}
+	for s.Now() < horizon {
+		if hook != nil {
+			hook(s.Now(), s)
+		}
+		s.Step()
+		for _, name := range s.TaskNames() {
+			m, _ := s.Metrics(name)
+			swt[name] = append(swt[name], m.SchedWeight)
+			sw[name] = append(sw[name], m.CumSW)
+			csw[name] = append(csw[name], m.CumCSW)
+		}
+	}
+	return swt, sw, csw
+}
+
+func checkReplay(t *testing.T, s *Scheduler, swt, sw, csw map[string][]frac.Rat, label string) {
+	t.Helper()
+	for _, name := range s.TaskNames() {
+		subs := s.SubtaskHistory(name)
+		r := newReplayer(subs, swt[name])
+		// I_SW is causal: the engine's tracker must match the definition at
+		// every slot.
+		for tt := range sw[name] {
+			at := model.Time(tt + 1) // samples taken after Step, i.e. A(·, 0, tt+1)
+			if got, want := r.cumSW(at, false), sw[name][tt]; !got.Eq(want) {
+				t.Fatalf("%s: task %s A(I_SW,0,%d): replay %s, engine %s", label, name, at, got, want)
+			}
+		}
+		// I_CSW is clairvoyant: the engine erases a halted subtask's partial
+		// allocation only when the halt happens, so intermediate samples may
+		// exceed the clairvoyant value; the final values must agree exactly.
+		if n := len(csw[name]); n > 0 {
+			at := model.Time(n)
+			if got, want := r.cumSW(at, true), csw[name][n-1]; !got.Eq(want) {
+				t.Fatalf("%s: task %s A(I_CSW,0,%d): replay %s, engine %s", label, name, at, got, want)
+			}
+		}
+	}
+}
+
+// TestIdealTrackerMatchesDefinition: the engine's online I_SW/I_CSW
+// trackers agree exactly with an independent evaluation of the Fig. 5
+// definition, across randomized adaptive scenarios under both policies.
+func TestIdealTrackerMatchesDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		policy := PolicyOI
+		if trial%3 == 1 {
+			policy = PolicyLJ
+		}
+		var tasks []model.Spec
+		for i := 0; i < 5; i++ {
+			tasks = append(tasks, model.Spec{Name: fmt.Sprintf("T%d", i), Weight: randomLightWeight(r, 16)})
+		}
+		s := mustNew(t, Config{M: 3, Policy: policy, Police: true, RecordSubtasks: true}, model.System{M: 3, Tasks: tasks})
+		swt, sw, csw := runWithSampling(t, s, 150, func(now model.Time, sch *Scheduler) {
+			for i := 0; i < 5; i++ {
+				if r.Intn(14) == 0 {
+					if err := sch.Initiate(fmt.Sprintf("T%d", i), randomLightWeight(r, 16)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		})
+		checkReplay(t, s, swt, sw, csw, fmt.Sprintf("trial %d (%v)", trial, policy))
+	}
+}
+
+// TestIdealTrackerMatchesDefinitionAbsent: the differential check holds
+// with absent subtasks in the mix (Fig. 12 semantics).
+func TestIdealTrackerMatchesDefinitionAbsent(t *testing.T) {
+	sys := model.System{M: 1, Tasks: []model.Spec{{Name: "V", Weight: frac.New(5, 16)}}}
+	s := mustNew(t, Config{M: 1, Policy: PolicyOI, Police: true, RecordSubtasks: true}, sys)
+	if err := s.MarkAbsent("V", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkAbsent("V", 7); err != nil {
+		t.Fatal(err)
+	}
+	swt, sw, csw := runWithSampling(t, s, 50, nil)
+	checkReplay(t, s, swt, sw, csw, "absent")
+}
+
+// TestIdealTrackerMatchesDefinitionFig6: the worked Fig. 6 scenarios pass
+// the differential check too (halting, immediate enactment, deferred
+// enactment).
+func TestIdealTrackerMatchesDefinitionFig6(t *testing.T) {
+	for _, inset := range []string{"b", "c", "d"} {
+		initial, target, at, tie := rat("3/20"), frac.Half, model.Time(10), "C"
+		switch inset {
+		case "c":
+			tie = "T"
+		case "d":
+			initial, target, at, tie = rat("2/5"), rat("3/20"), 1, "T"
+		}
+		s := mustNew(t, Config{M: 4, Policy: PolicyOI, Police: true, RecordSubtasks: true,
+			TieBreak: FavorGroup(tie)}, fig6System(initial))
+		swt, sw, csw := runWithSampling(t, s, 30, func(now model.Time, sch *Scheduler) {
+			if now == at {
+				if err := sch.Initiate("T", target); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		checkReplay(t, s, swt, sw, csw, "fig6"+inset)
+	}
+}

@@ -1,0 +1,1086 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+	"repro/internal/topk"
+)
+
+// PolicyKind selects how weight-change requests are carried out.
+type PolicyKind int
+
+const (
+	// PolicyOI applies the paper's fine-grained rules O and I (PD²-OI).
+	PolicyOI PolicyKind = iota
+	// PolicyLJ reweights by leaving and rejoining per rules L and J
+	// (PD²-LJ), the coarse-grained baseline.
+	PolicyLJ
+	// PolicyHybrid chooses OI or LJ per event via Config.UseOI — the
+	// efficiency-versus-accuracy knob of the companion paper.
+	PolicyHybrid
+)
+
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyOI:
+		return "PD2-OI"
+	case PolicyLJ:
+		return "PD2-LJ"
+	case PolicyHybrid:
+		return "PD2-Hybrid"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(p))
+	}
+}
+
+// TieBreak orders two tasks that are tied on deadline and b-bit. It returns
+// a negative value if task a should be scheduled first, positive if b
+// should, and 0 to fall back to task-id order. The paper's examples fix
+// such tie-breaks ("all ties are broken in favor of tasks from C").
+type TieBreak func(aName, aGroup, bName, bGroup string) int
+
+// FavorGroup returns a TieBreak that prefers tasks in the named group.
+func FavorGroup(group string) TieBreak {
+	return func(_, ag, _, bg string) int {
+		switch {
+		case ag == group && bg != group:
+			return -1
+		case bg == group && ag != group:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+// MissEvent records a deadline miss: subtask Subtask of Task was not
+// complete by Deadline. Under PD²-OI and PD²-LJ with valid weights this
+// never happens (Theorem 2).
+type MissEvent struct {
+	Task     string
+	Subtask  int64 // absolute subtask index
+	Deadline model.Time
+}
+
+// DriftEvent records a drift update: at the release (time At) of an
+// epoch-starting subtask, the task's drift became Value (Eqn (5)).
+type DriftEvent struct {
+	At    model.Time
+	Value frac.Rat
+}
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// M is the number of processors (>= 1).
+	M int
+	// Policy selects the reweighting scheme. Default PolicyOI.
+	Policy PolicyKind
+	// UseOI decides, for PolicyHybrid, whether a particular request is
+	// handled by rules O/I (true) or by leave/join (false). Ignored by the
+	// other policies. Nil means always OI.
+	UseOI func(task string, from, to frac.Rat) bool
+	// TieBreak breaks final priority ties. Nil means task-creation order.
+	TieBreak TieBreak
+	// Police enforces property (W): weight increases are deferred while the
+	// total scheduling weight would exceed M. Strongly recommended; the
+	// deadline guarantee of Theorem 2 requires (W).
+	Police bool
+	// RecordSchedule keeps a per-slot log of which tasks were scheduled,
+	// for tests and Gantt rendering. Costs memory proportional to horizon.
+	RecordSchedule bool
+	// RecordDriftEvents keeps the per-task drift event history (needed for
+	// per-event drift analyses such as the Theorem 5 property test).
+	RecordDriftEvents bool
+	// CheckInvariants enables internal consistency assertions (property (V),
+	// allocation bounds); violations are recorded and retrievable via
+	// Violations. Intended for tests.
+	CheckInvariants bool
+	// EarlyRelease enables the ERfair extension the paper's Sec. 2 footnote
+	// mentions: a subtask becomes eligible as soon as its predecessor is
+	// complete, even before its release time. Deadlines (and hence
+	// priorities) are unchanged, so correctness is preserved while idle
+	// slots shrink.
+	EarlyRelease bool
+	// AllowHeavy admits tasks of weight up to 1, scheduled with the full
+	// PD² priority (group-deadline second tie-break). Reweighting remains
+	// restricted to light tasks — the paper's rules (and their proofs)
+	// cover weights at most 1/2 only.
+	AllowHeavy bool
+
+	// Overhead modeling (the "efficiency" side of the companion paper's
+	// efficiency-versus-accuracy trade-off; Sec. 6 notes that reweighting
+	// N tasks simultaneously requires Ω(max(N, M log N)) time under PD²-OI
+	// versus O(M log N) under PD²-LJ). Each enacted weight change charges
+	// processor time, expressed as a fraction of a quantum; whenever the
+	// accumulated debt reaches a full quantum, one processor-slot is stolen
+	// from the schedule. Zero values (the default) model free reweighting,
+	// matching the paper's simulations, which found measured overheads
+	// (~5µs against a 1ms quantum) negligible.
+	OverheadOI frac.Rat // cost per rules-O/I enactment
+	OverheadLJ frac.Rat // cost per leave/join enactment
+
+	// RecordSubtasks retains every released subtask's parameters for later
+	// inspection (SubtaskHistory). Used by differential tests that replay
+	// the ideal-schedule definitions independently.
+	RecordSubtasks bool
+}
+
+// SubtaskInfo is a read-only record of one released subtask
+// (Config.RecordSubtasks).
+type SubtaskInfo struct {
+	Abs        int64 // absolute index
+	N          int64 // epoch-relative index
+	Release    model.Time
+	Deadline   model.Time
+	BBit       int64
+	EpochStart bool
+	Scheduled  bool
+	SchedSlot  model.Time
+	Halted     bool
+	HaltTime   model.Time
+	Absent     bool
+	SWCum      frac.Rat   // A(I_SW, T_j, 0, now)
+	SWDone     bool       // completed in I_SW
+	SWDoneTime model.Time // D(I_SW, T_j) if complete
+}
+
+// SlotEntry records one scheduled quantum: which subtask ran and on which
+// processor.
+type SlotEntry struct {
+	Task    string
+	Subtask int64 // absolute subtask index
+	CPU     int
+}
+
+// Scheduler is the PD² engine for adaptable (AIS) task systems.
+type Scheduler struct {
+	cfg      Config
+	now      model.Time
+	tasks    []*taskState
+	byName   map[string]*taskState
+	totalSwt frac.Rat
+
+	schedule   [][]SlotEntry // per-slot scheduled quanta (RecordSchedule)
+	misses     []MissEvent
+	drifts     map[string][]DriftEvent
+	violations []string
+
+	eligBuf []*subtask
+	cpuBusy []bool // scratch: per-slot processor occupancy
+	holes   int64  // total idle processor-slots so far
+
+	overheadDebt  frac.Rat // accumulated reweighting cost, in quanta
+	overheadSlots int64    // processor-slots stolen to pay the debt
+}
+
+// New builds a scheduler over the given system. Tasks with Spec.Join == 0
+// join immediately; later joiners enter at their join time. Weights must be
+// at most 1/2 (the paper's scope) and the initial total weight at most M.
+func New(cfg Config, sys model.System) (*Scheduler, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.M == 0 {
+		cfg.M = sys.M
+	}
+	if cfg.M != sys.M {
+		return nil, fmt.Errorf("core: config M=%d disagrees with system M=%d", cfg.M, sys.M)
+	}
+	s := &Scheduler{
+		cfg:    cfg,
+		byName: make(map[string]*taskState, len(sys.Tasks)),
+		drifts: make(map[string][]DriftEvent),
+	}
+	for _, spec := range sys.Tasks {
+		if err := checkAdmissibleWeight(spec.Weight, cfg.AllowHeavy); err != nil {
+			return nil, fmt.Errorf("core: task %s: %w", spec.Name, err)
+		}
+		ts := &taskState{
+			id:    len(s.tasks),
+			name:  spec.Name,
+			group: spec.Group,
+			join:  spec.Join,
+			wt:    spec.Weight,
+			swt:   spec.Weight,
+			nextRel: pendingRelease{
+				at: noTime,
+			},
+			lastCPU:     -1,
+			lastRunSlot: noTime,
+		}
+		s.tasks = append(s.tasks, ts)
+		s.byName[ts.name] = ts
+	}
+	// Capacity check over the time-0 joiners.
+	initial := frac.Zero
+	for _, ts := range s.tasks {
+		if ts.join == 0 {
+			initial = initial.Add(ts.wt)
+		}
+	}
+	if frac.FromInt(int64(cfg.M)).Less(initial) {
+		return nil, fmt.Errorf("core: initial total weight %s exceeds M=%d", initial, cfg.M)
+	}
+	for _, ts := range s.tasks {
+		if ts.join == 0 {
+			s.joinNow(ts)
+		}
+	}
+	return s, nil
+}
+
+// joinNow activates a task at the current time and schedules its first
+// subtask release (a weight "enactment" at join, per Def. 1).
+func (s *Scheduler) joinNow(ts *taskState) {
+	ts.joined = true
+	ts.join = s.now
+	s.totalSwt = s.totalSwt.Add(ts.swt)
+	ts.nextRel = pendingRelease{at: s.now, epochStart: true}
+	if s.cfg.RecordSubtasks {
+		ts.swtHist = append(ts.swtHist, WeightChange{At: s.now, W: ts.swt})
+	}
+}
+
+// Now returns the current time: Step has simulated slots [0, Now).
+func (s *Scheduler) Now() model.Time { return s.now }
+
+// M returns the processor count.
+func (s *Scheduler) M() int { return s.cfg.M }
+
+// TotalSchedWeight returns the current total scheduling weight.
+func (s *Scheduler) TotalSchedWeight() frac.Rat { return s.totalSwt }
+
+// Misses returns all deadline misses recorded so far.
+func (s *Scheduler) Misses() []MissEvent { return s.misses }
+
+// Violations returns internal invariant violations recorded so far
+// (Config.CheckInvariants must be set). A correct engine records none.
+func (s *Scheduler) Violations() []string { return s.violations }
+
+// Holes returns the total number of idle processor-slots so far (slots
+// stolen for reweighting overhead are not counted as holes).
+func (s *Scheduler) Holes() int64 { return s.holes }
+
+// OverheadSlots returns the processor-slots consumed by reweighting
+// overhead so far (Config.OverheadOI/OverheadLJ).
+func (s *Scheduler) OverheadSlots() int64 { return s.overheadSlots }
+
+// DriftEvents returns the recorded drift-update history of a task
+// (Config.RecordDriftEvents must be set).
+func (s *Scheduler) DriftEvents(name string) []DriftEvent { return s.drifts[name] }
+
+// ScheduleRow returns the names of the tasks scheduled in slot t
+// (Config.RecordSchedule must be set).
+func (s *Scheduler) ScheduleRow(t model.Time) []string {
+	entries := s.ScheduleEntries(t)
+	if entries == nil {
+		return nil
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Task
+	}
+	return names
+}
+
+// ScheduleEntries returns the quanta scheduled in slot t with subtask
+// indices and processor assignments (Config.RecordSchedule must be set).
+func (s *Scheduler) ScheduleEntries(t model.Time) []SlotEntry {
+	if t < 0 || int(t) >= len(s.schedule) {
+		return nil
+	}
+	return s.schedule[t]
+}
+
+// TaskNames returns the names of all tasks in creation order.
+func (s *Scheduler) TaskNames() []string {
+	names := make([]string, len(s.tasks))
+	for i, ts := range s.tasks {
+		names[i] = ts.name
+	}
+	return names
+}
+
+// SubtaskHistory returns records of every subtask the task has released
+// (Config.RecordSubtasks must be set). Rolled-back ERfair speculations are
+// excluded.
+func (s *Scheduler) SubtaskHistory(name string) []SubtaskInfo {
+	ts, ok := s.byName[name]
+	if !ok {
+		return nil
+	}
+	out := make([]SubtaskInfo, 0, len(ts.history))
+	for _, sub := range ts.history {
+		if sub.abs > ts.absN { // rolled back
+			continue
+		}
+		out = append(out, SubtaskInfo{
+			Abs: sub.abs, N: sub.n,
+			Release: sub.release, Deadline: sub.deadline, BBit: sub.bbit,
+			EpochStart: sub.epochStart,
+			Scheduled:  sub.scheduled, SchedSlot: sub.schedSlot,
+			Halted: sub.halted, HaltTime: sub.haltTime,
+			Absent: sub.absent,
+			SWCum:  sub.swCum, SWDone: sub.swDone, SWDoneTime: sub.swDoneTime,
+		})
+	}
+	return out
+}
+
+// Metrics returns a snapshot of one task's accounting. The boolean is false
+// if the task is unknown.
+func (s *Scheduler) Metrics(name string) (TaskMetrics, bool) {
+	ts, ok := s.byName[name]
+	if !ok {
+		return TaskMetrics{}, false
+	}
+	return ts.metrics(), true
+}
+
+// AllMetrics returns snapshots for every task, in creation order.
+func (s *Scheduler) AllMetrics() []TaskMetrics {
+	out := make([]TaskMetrics, len(s.tasks))
+	for i, ts := range s.tasks {
+		out[i] = ts.metrics()
+	}
+	return out
+}
+
+// Errors returned by the mutation methods.
+var (
+	ErrUnknownTask = errors.New("core: unknown task")
+	ErrNotActive   = errors.New("core: task is not active")
+)
+
+// Initiate requests a weight change for the named task, effective at the
+// current time (i.e. applied to the next Step). The actual weight wt(T, t)
+// changes immediately — I_PS begins allocating at the new rate — while the
+// scheduling weight changes when the policy enacts the request.
+func (s *Scheduler) Initiate(name string, v frac.Rat) error {
+	ts, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTask, name)
+	}
+	if !ts.joined || ts.left {
+		return fmt.Errorf("%w: %s", ErrNotActive, name)
+	}
+	if err := model.CheckLightWeight(v); err != nil {
+		return fmt.Errorf("core: reweight %s: %w", name, err)
+	}
+	if model.IsHeavy(ts.swt) {
+		return fmt.Errorf("core: reweight %s: task is heavy (weight %s); the paper's rules cover light tasks only", name, ts.swt)
+	}
+	// A request for the current scheduling weight with nothing pending is a
+	// no-op: there is no change to enact.
+	if v.Eq(ts.swt) && ts.enact == nil && !ts.ljLeaving && ts.nextRel.waitD == nil {
+		ts.wt = v
+		return nil
+	}
+	ts.initiations++
+	ts.wt = v // I_PS switches to the new weight at initiation
+	useOI := true
+	switch s.cfg.Policy {
+	case PolicyLJ:
+		useOI = false
+	case PolicyHybrid:
+		if s.cfg.UseOI != nil {
+			useOI = s.cfg.UseOI(name, ts.swt, v)
+		}
+	}
+	// A new initiation skips any previously initiated but unenacted event
+	// (Sec. 3.2), so cancel pending enactments before applying the rules.
+	ts.enact = nil
+	// Under ERfair a successor may have been instantiated speculatively
+	// (nominal release in the future). The reweighting rules reason about
+	// subtasks released at or before t_c, so speculation must be unwound:
+	// an unscheduled speculative subtask is rolled back entirely; one that
+	// already executed keeps its quantum but is retired from the ideal
+	// trackers (its abandoned epoch will never accrue).
+	s.unwindSpeculation(ts)
+	if useOI {
+		s.initiateOI(ts, v)
+	} else {
+		s.initiateLJ(ts, v)
+	}
+	return nil
+}
+
+// unwindSpeculation removes the effects of ERfair early instantiation so
+// the reweighting rules see the state a plain Pfair scheduler would have.
+// An unscheduled speculative subtask (nominal release still in the future)
+// is rolled back entirely; one that already executed keeps its quantum but
+// is retired from the ideal trackers. Rolling back can expose a second
+// speculative subtask underneath, so the unwind iterates.
+func (s *Scheduler) unwindSpeculation(ts *taskState) {
+	for {
+		sub := ts.lastReleased
+		if sub == nil || sub.release <= s.now || sub.halted {
+			return
+		}
+		dropLive(ts, sub)
+		if !sub.scheduled {
+			// Full rollback: the subtask never ran and has accrued nothing.
+			ts.lastReleased = sub.prev
+			ts.epochN = sub.n - 1
+			ts.absN = sub.abs - 1
+			ts.nextRel = pendingRelease{at: sub.release, noEarly: true}
+			if n := len(ts.history); n > 0 && ts.history[n-1] == sub {
+				ts.history = ts.history[:n-1]
+			}
+			continue
+		}
+		// The quantum already executed on spare capacity; retire the
+		// subtask from the ideal side so the abandoned window accrues
+		// nothing.
+		sub.swDone = true
+		sub.swDoneTime = s.now
+		sub.lastSlotAlloc = frac.Zero
+		return
+	}
+}
+
+// dropLive removes sub from the task's I_SW live set.
+func dropLive(ts *taskState, sub *subtask) {
+	live := ts.live[:0]
+	for _, x := range ts.live {
+		if x != sub {
+			live = append(live, x)
+		}
+	}
+	ts.live = live
+}
+
+// initiateOI applies rules O and I at time s.now.
+func (s *Scheduler) initiateOI(ts *taskState, v frac.Rat) {
+	t := s.now
+	tj := ts.lastReleased
+	// No subtask released at or before t_c: enact immediately.
+	if tj == nil || tj.release > t {
+		ts.enact = &pendingEnact{target: v, at: t, releaseWithEnact: true}
+		ts.nextRel = pendingRelease{at: noTime}
+		return
+	}
+	// Last-released subtask's deadline has passed: enact at
+	// max(t_c, d(T_j) + b(T_j)).
+	if tj.deadline <= t {
+		ts.enact = &pendingEnact{
+			target: v, at: maxTime(t, tj.deadline+tj.bbit), releaseWithEnact: true,
+		}
+		ts.nextRel = pendingRelease{at: noTime}
+		return
+	}
+	// r(T_j) <= t_c < d(T_j): ideal- or omission-changeable.
+	if tj.scheduled || (tj.halted && tj.haltTime <= t) {
+		// Ideal-changeable (T_j complete in S before t_c). A halted T_j can
+		// only arise here through event skipping; it behaves like the
+		// omission branch below because the halt already happened.
+		if tj.halted {
+			s.enactAfterHalt(ts, tj, v)
+			return
+		}
+		if ts.swt.Less(v) {
+			// Rule I(i): increase — enact immediately; the next subtask is
+			// released at D(I_SW, T_j) + b(T_j).
+			ts.enact = &pendingEnact{target: v, at: t, releaseWithEnact: false}
+			ts.nextRel = pendingRelease{
+				at: noTime, epochStart: true, waitD: tj, addB: tj.bbit, clamp: t,
+			}
+			s.resolveWaiters(ts)
+			return
+		}
+		// Rule I(ii): decrease (or same weight re-request after a skip) —
+		// enact at D(I_SW, T_j) + b(T_j) and release then.
+		ts.enact = &pendingEnact{
+			target: v, at: noTime, waitD: tj, addB: tj.bbit, clamp: t,
+			releaseWithEnact: true,
+		}
+		ts.nextRel = pendingRelease{at: noTime}
+		s.resolveWaiters(ts)
+		return
+	}
+	// Omission-changeable: halt T_j now.
+	s.halt(tj)
+	s.enactAfterHalt(ts, tj, v)
+}
+
+// enactAfterHalt schedules the rule-O enactment after T_j has been halted:
+// immediately if T_j is the task's very first subtask, otherwise at
+// max(t_c, D(I_SW, T_{j-1}) + b(T_{j-1})).
+func (s *Scheduler) enactAfterHalt(ts *taskState, tj *subtask, v frac.Rat) {
+	t := s.now
+	if tj.abs == 1 || tj.prev == nil {
+		ts.enact = &pendingEnact{target: v, at: t, releaseWithEnact: true}
+		ts.nextRel = pendingRelease{at: noTime}
+		return
+	}
+	prev := tj.prev
+	ts.enact = &pendingEnact{
+		target: v, at: noTime, waitD: prev, addB: prev.bbit, clamp: t,
+		releaseWithEnact: true,
+	}
+	ts.nextRel = pendingRelease{at: noTime}
+	s.resolveWaiters(ts)
+}
+
+// initiateLJ applies the leave/join baseline: stop releasing subtasks, then
+// rejoin with the new weight at max(t_c, d(T_j) + b(T_j)) where T_j is the
+// last released subtask (which, under PD², is the last-scheduled subtask of
+// rule L once it executes).
+func (s *Scheduler) initiateLJ(ts *taskState, v frac.Rat) {
+	t := s.now
+	at := t
+	if tj := ts.lastReleased; tj != nil && !tj.halted {
+		at = maxTime(t, tj.deadline+tj.bbit)
+	}
+	ts.enact = &pendingEnact{target: v, at: at, releaseWithEnact: true, viaLJ: true}
+	ts.nextRel = pendingRelease{at: noTime}
+	ts.ljLeaving = true
+}
+
+// halt marks T_j halted at the current time: it will never be scheduled,
+// I_SW stops allocating to it, and I_CSW retroactively removes its partial
+// allocation (the clairvoyant schedule never allocated to it at all).
+func (s *Scheduler) halt(sub *subtask) {
+	sub.halted = true
+	sub.haltTime = s.now
+	sub.swDone = true
+	sub.swDoneTime = s.now
+	sub.task.cumCSW = sub.task.cumCSW.Sub(sub.swCum)
+	dropLive(sub.task, sub)
+}
+
+// Join adds a new task at the current time. The join condition J (total
+// weight at most M after joining) is enforced.
+func (s *Scheduler) Join(spec model.Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if err := checkAdmissibleWeight(spec.Weight, s.cfg.AllowHeavy); err != nil {
+		return fmt.Errorf("core: join %s: %w", spec.Name, err)
+	}
+	if _, dup := s.byName[spec.Name]; dup {
+		return fmt.Errorf("core: join: duplicate task name %q", spec.Name)
+	}
+	if frac.FromInt(int64(s.cfg.M)).Less(s.totalSwt.Add(spec.Weight)) {
+		return fmt.Errorf("core: join %s would raise total weight to %s > M=%d (condition J)",
+			spec.Name, s.totalSwt.Add(spec.Weight), s.cfg.M)
+	}
+	ts := &taskState{
+		id:          len(s.tasks),
+		name:        spec.Name,
+		group:       spec.Group,
+		wt:          spec.Weight,
+		swt:         spec.Weight,
+		lastCPU:     -1,
+		lastRunSlot: noTime,
+	}
+	s.tasks = append(s.tasks, ts)
+	s.byName[ts.name] = ts
+	s.joinNow(ts)
+	return nil
+}
+
+// DelayNext postpones the task's next (normal, Eqn (4)) subtask release by
+// sep slots — an intra-sporadic separation. While the task is inactive in
+// the resulting gap (beyond the current subtask's deadline), I_PS allocates
+// nothing to it, matching the IS-model semantics of Sec. 4.1. Delaying is
+// not allowed while a reweighting event is in flight.
+func (s *Scheduler) DelayNext(name string, sep int64) error {
+	ts, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTask, name)
+	}
+	if !ts.joined || ts.left {
+		return fmt.Errorf("%w: %s", ErrNotActive, name)
+	}
+	if sep < 0 {
+		return fmt.Errorf("core: negative IS separation %d", sep)
+	}
+	if sep == 0 {
+		return nil
+	}
+	if ts.enact != nil || ts.nextRel.waitD != nil || ts.ljLeaving {
+		return fmt.Errorf("core: cannot delay %s while a reweighting event is in flight", name)
+	}
+	if sub := ts.lastReleased; sub != nil && sub.release > s.now {
+		if sub.scheduled {
+			return fmt.Errorf("core: cannot delay %s: its next subtask already executed early", name)
+		}
+		s.unwindSpeculation(ts)
+	}
+	if ts.nextRel.at == noTime || ts.nextRel.at < s.now {
+		return fmt.Errorf("core: %s has no pending release to delay", name)
+	}
+	ts.nextRel.at += sep
+	ts.nextRel.noEarly = true
+	// The task is inactive — and unpaid by I_PS — from its current
+	// subtask's deadline until the delayed release.
+	pauseFrom := s.now
+	if ts.lastReleased != nil {
+		pauseFrom = ts.lastReleased.deadline
+	}
+	if ts.psPauseUntil <= pauseFrom {
+		ts.psPauseFrom = pauseFrom
+	}
+	if ts.nextRel.at > ts.psPauseUntil {
+		ts.psPauseUntil = ts.nextRel.at
+	}
+	return nil
+}
+
+// MarkAbsent declares that the task's subtask with the given absolute index
+// (which must not have been released yet) will be *absent* in the AGIS
+// sense: it keeps its window but is never scheduled and receives no ideal
+// allocation, being complete at its release in every schedule. Removing a
+// subtask this way is the displacement operation of the paper's appendix.
+func (s *Scheduler) MarkAbsent(name string, absIndex int64) error {
+	ts, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTask, name)
+	}
+	if absIndex <= ts.absN {
+		return fmt.Errorf("core: subtask %s_%d already released", name, absIndex)
+	}
+	if ts.pendingAbsent == nil {
+		ts.pendingAbsent = make(map[int64]bool)
+	}
+	ts.pendingAbsent[absIndex] = true
+	return nil
+}
+
+// Leave removes a task at the current time. The leave condition L requires
+// now >= d(T_i) + b(T_i) for the task's last *scheduled* subtask T_i;
+// calling Leave earlier is an error. A released but unscheduled successor is
+// withdrawn (it becomes absent, exactly like a halted subtask).
+func (s *Scheduler) Leave(name string) error {
+	ts, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTask, name)
+	}
+	if !ts.joined || ts.left {
+		return fmt.Errorf("%w: %s", ErrNotActive, name)
+	}
+	var pending []*subtask // released, unscheduled: withdrawn if the leave succeeds
+	lastSched := ts.lastReleased
+	for lastSched != nil && !lastSched.scheduled {
+		if !lastSched.halted {
+			pending = append(pending, lastSched)
+		}
+		lastSched = lastSched.prev
+	}
+	if lastSched != nil {
+		if s.now < lastSched.deadline+lastSched.bbit {
+			return fmt.Errorf("core: leave %s at %d violates rule L (needs t >= %d)",
+				name, s.now, lastSched.deadline+lastSched.bbit)
+		}
+	}
+	for _, sub := range pending {
+		s.halt(sub)
+	}
+	ts.left = true
+	ts.enact = nil
+	ts.nextRel = pendingRelease{at: noTime}
+	s.totalSwt = s.totalSwt.Sub(ts.swt)
+	return nil
+}
+
+// Step simulates one slot: enactments and releases due now, PD² scheduling,
+// then ideal-schedule accrual. Initiations and joins/leaves for this slot
+// must be issued (via Initiate/Join/Leave) before calling Step.
+func (s *Scheduler) Step() {
+	t := s.now
+
+	// Scheduled joins from the initial system.
+	for _, ts := range s.tasks {
+		if !ts.joined && !ts.left && ts.join == t {
+			// Condition J: defer the join while capacity is lacking.
+			if frac.FromInt(int64(s.cfg.M)).Less(s.totalSwt.Add(ts.swt)) {
+				ts.join = t + 1
+				continue
+			}
+			s.joinNow(ts)
+		}
+	}
+
+	// Enactments due now: non-increases first so that freed capacity can be
+	// claimed by increases policed under (W) in the same slot.
+	for pass := 0; pass < 2; pass++ {
+		for _, ts := range s.tasks {
+			e := ts.enact
+			if e == nil || e.at != t || ts.left {
+				continue
+			}
+			increase := ts.swt.Less(e.target)
+			if (pass == 0) == increase {
+				continue
+			}
+			if s.cfg.Police && increase {
+				newTotal := s.totalSwt.Sub(ts.swt).Add(e.target)
+				if frac.FromInt(int64(s.cfg.M)).Less(newTotal) {
+					// Defer under (W): retry next slot. A rule-I(i) event's
+					// separately-scheduled release is gated below on the
+					// enactment having landed, so the new epoch cannot start
+					// early; it still waits for D(I_SW, T_j) + b(T_j).
+					e.at = t + 1
+					continue
+				}
+			}
+			s.totalSwt = s.totalSwt.Sub(ts.swt).Add(e.target)
+			ts.swt = e.target
+			ts.enactments++
+			ts.ljLeaving = false
+			if s.cfg.RecordSubtasks {
+				ts.swtHist = append(ts.swtHist, WeightChange{At: t, W: ts.swt})
+			}
+			if e.viaLJ {
+				s.overheadDebt = s.overheadDebt.Add(s.cfg.OverheadLJ)
+			} else {
+				s.overheadDebt = s.overheadDebt.Add(s.cfg.OverheadOI)
+			}
+			if e.releaseWithEnact {
+				ts.nextRel = pendingRelease{at: t, epochStart: true}
+			} else {
+				// Rule I(i): the release was scheduled independently (at
+				// D(I_SW, T_j) + b(T_j)); a policing deferral may have pushed
+				// the enactment past it, and the epoch cannot start before
+				// its weight change, so clamp the release to now.
+				if ts.nextRel.waitD != nil {
+					if ts.nextRel.clamp < t {
+						ts.nextRel.clamp = t
+					}
+				} else if ts.nextRel.at != noTime && ts.nextRel.at < t {
+					ts.nextRel.at = t
+				}
+			}
+			ts.enact = nil
+		}
+	}
+
+	// Releases due now. Under ERfair, a normal (Eqn (4)) release may be
+	// instantiated early — with its nominal release time and deadline —
+	// once the predecessor has completed, so it can execute ahead of its
+	// window.
+	for _, ts := range s.tasks {
+		if !ts.joined || ts.left || ts.nextRel.waitD != nil || ts.nextRel.at == noTime {
+			continue
+		}
+		// An epoch-start release may not fire while its weight change is
+		// still pending (policing can defer the enactment past the release
+		// time the D-waiter resolved to).
+		if ts.nextRel.epochStart && ts.enact != nil {
+			continue
+		}
+		switch {
+		case ts.nextRel.at <= t:
+			s.release(ts, maxTime(ts.nextRel.at, t))
+		case s.cfg.EarlyRelease && ts.nextRel.at > t &&
+			!ts.nextRel.epochStart && !ts.nextRel.noEarly &&
+			ts.enact == nil && !ts.ljLeaving &&
+			ts.lastReleased != nil && ts.earliestIncomplete() == nil:
+			s.release(ts, ts.nextRel.at)
+		}
+	}
+
+	// Deadline-miss detection: a subtask incomplete at the start of slot
+	// d(T_j) has missed.
+	for _, ts := range s.tasks {
+		for sub := ts.lastReleased; sub != nil; sub = sub.prev {
+			if sub.scheduled || sub.halted || sub.absent || sub.missed || sub.deadline > t {
+				continue
+			}
+			sub.missed = true
+			ts.misses++
+			s.misses = append(s.misses, MissEvent{Task: ts.name, Subtask: sub.abs, Deadline: sub.deadline})
+		}
+	}
+
+	// PD² scheduling of slot t.
+	elig := s.eligBuf[:0]
+	for _, ts := range s.tasks {
+		if sub := ts.eligible(t, s.cfg.EarlyRelease); sub != nil {
+			elig = append(elig, sub)
+		}
+	}
+	// Pay down accumulated reweighting overhead by stealing processor-slots
+	// (at most one per slot: the scheduling work serializes on the event
+	// queue).
+	avail := s.cfg.M
+	if frac.One.LessEq(s.overheadDebt) && avail > 0 {
+		avail--
+		s.overheadSlots++
+		s.overheadDebt = s.overheadDebt.Sub(frac.One)
+	}
+	n := len(elig)
+	if n > avail {
+		n = avail
+	}
+	// Select the highest-priority subtasks; the PD² order (deadline,
+	// b-bit, group deadline, tie-break, task id) is a strict total order,
+	// so the selected set is unique and the run stays deterministic.
+	topk.Partial(elig, n, s.higherPriority)
+	// Processor assignment with affinity: a task keeps its previous CPU
+	// when it is free, so the migration counts reflect unavoidable moves.
+	if s.cpuBusy == nil {
+		s.cpuBusy = make([]bool, s.cfg.M)
+	}
+	for c := range s.cpuBusy {
+		s.cpuBusy[c] = false
+	}
+	for i := 0; i < n; i++ {
+		ts := elig[i].task
+		if c := ts.lastCPU; c >= 0 && c < s.cfg.M && !s.cpuBusy[c] {
+			s.cpuBusy[c] = true
+			elig[i].schedCPU = c
+		} else {
+			elig[i].schedCPU = -1
+		}
+	}
+	next := 0
+	for i := 0; i < n; i++ {
+		if elig[i].schedCPU >= 0 {
+			continue
+		}
+		for s.cpuBusy[next] {
+			next++
+		}
+		elig[i].schedCPU = next
+		s.cpuBusy[next] = true
+	}
+	var row []SlotEntry
+	for i := 0; i < n; i++ {
+		sub := elig[i]
+		ts := sub.task
+		sub.scheduled = true
+		sub.schedSlot = t
+		ts.scheduledQuanta++
+		if ts.lastCPU >= 0 && ts.lastCPU != sub.schedCPU {
+			ts.migrations++
+		}
+		ts.lastCPU = sub.schedCPU
+		ts.lastRunSlot = t
+		if s.cfg.RecordSchedule {
+			row = append(row, SlotEntry{Task: ts.name, Subtask: sub.abs, CPU: sub.schedCPU})
+		}
+	}
+	// Preemption accounting: a task that ran in slot t-1 and has eligible
+	// work now but was not chosen has been preempted.
+	for i := n; i < len(elig); i++ {
+		if ts := elig[i].task; ts.lastRunSlot == t-1 {
+			ts.preemptions++
+		}
+	}
+	if s.cfg.RecordSchedule {
+		s.schedule = append(s.schedule, row)
+	}
+	s.holes += int64(avail - n)
+	s.eligBuf = elig[:0]
+
+	// Ideal-schedule accrual for slot t, then waiter resolution.
+	for _, ts := range s.tasks {
+		if !ts.joined || ts.left {
+			continue
+		}
+		s.accrue(ts, t)
+		if !(t >= ts.psPauseFrom && t < ts.psPauseUntil && ts.psPauseUntil > 0) {
+			ts.cumPS = ts.cumPS.Add(ts.wt)
+		}
+	}
+	for _, ts := range s.tasks {
+		s.resolveWaiters(ts)
+	}
+
+	s.now = t + 1
+}
+
+// RunTo advances the simulation to time horizon.
+func (s *Scheduler) RunTo(horizon model.Time) {
+	for s.now < horizon {
+		s.Step()
+	}
+}
+
+// Run advances to the horizon, invoking hook (if non-nil) at the start of
+// each slot so callers can issue initiations/joins/leaves for that slot.
+func (s *Scheduler) Run(horizon model.Time, hook func(t model.Time, s *Scheduler)) {
+	for s.now < horizon {
+		if hook != nil {
+			hook(s.now, s)
+		}
+		s.Step()
+	}
+}
+
+// release instantiates the next subtask of ts at time t.
+func (s *Scheduler) release(ts *taskState, t model.Time) {
+	n := ts.epochN + 1
+	epochStart := ts.nextRel.epochStart || ts.lastReleased == nil
+	if epochStart {
+		n = 1
+	}
+	d := model.EpochDeadline(ts.swt, t, n)
+	b := model.EpochBBit(ts.swt, n)
+	sub := &subtask{
+		task:          ts,
+		n:             n,
+		abs:           ts.absN + 1,
+		epochStart:    epochStart,
+		release:       t,
+		deadline:      d,
+		bbit:          b,
+		groupDeadline: model.GroupDeadline(ts.swt, t, n),
+		prev:          ts.lastReleased,
+	}
+	if ts.pendingAbsent[sub.abs] {
+		delete(ts.pendingAbsent, sub.abs)
+		// An absent subtask keeps its window but never runs and receives no
+		// ideal allocation: complete at release, with a zero final-slot
+		// allocation so its successor's first slot gets the full weight.
+		sub.absent = true
+		sub.swDone = true
+		sub.swDoneTime = t
+		sub.lastSlotAlloc = frac.Zero
+	}
+	if ts.lastReleased != nil {
+		ts.lastReleased.prev = nil // keep at most one generation of links
+	}
+	if s.cfg.RecordSubtasks {
+		ts.history = append(ts.history, sub)
+	}
+	if s.cfg.CheckInvariants {
+		// Property (V): if the successor is released before d(T_j)-b(T_j),
+		// T_j must be complete in both S and I_CSW by the release.
+		if p := sub.prev; p != nil && t < p.deadline-p.bbit {
+			if !p.swDone || p.swDoneTime > t {
+				s.violations = append(s.violations,
+					fmt.Sprintf("t=%d: (V) violated for %s: early release but D(I_SW)=%d", t, p, p.swDoneTime))
+			}
+			if !p.completeInS(t + 1) {
+				s.violations = append(s.violations,
+					fmt.Sprintf("t=%d: (V) violated for %s: early release but incomplete in S", t, p))
+			}
+		}
+	}
+	ts.lastReleased = sub
+	ts.epochN = n
+	ts.absN++
+	ts.live = append(ts.live, sub)
+	// Normal successor release per Eqn (4); reweighting events override it.
+	ts.nextRel = pendingRelease{at: model.NextRelease(d, b, 0)}
+	if epochStart {
+		s.recordDrift(ts, t)
+	}
+}
+
+// recordDrift updates drift(T, ·) at the release time of an epoch-starting
+// subtask: drift = A(I_PS, T, 0, u) - A(I_CSW, T, 0, u) (Eqn (5)).
+func (s *Scheduler) recordDrift(ts *taskState, u model.Time) {
+	ts.drift = ts.cumPS.Sub(ts.cumCSW)
+	ts.lastDriftAt = u
+	if ts.maxAbsDrift.Less(ts.drift.Abs()) {
+		ts.maxAbsDrift = ts.drift.Abs()
+	}
+	if s.cfg.RecordDriftEvents {
+		s.drifts[ts.name] = append(s.drifts[ts.name], DriftEvent{At: u, Value: ts.drift})
+	}
+}
+
+// accrue adds slot t's I_SW (and I_CSW) allocations to the task's live
+// subtasks, implementing the Fig. 5 pseudo-code with the current scheduling
+// weight.
+func (s *Scheduler) accrue(ts *taskState, t model.Time) {
+	if len(ts.live) == 0 {
+		return
+	}
+	w := ts.swt
+	live := ts.live[:0]
+	for _, sub := range ts.live {
+		if sub.swDone || sub.halted {
+			continue
+		}
+		if t < sub.release {
+			// Instantiated early (ERfair); ideal allocations start at the
+			// nominal release.
+			live = append(live, sub)
+			continue
+		}
+		var alloc frac.Rat
+		if t == sub.release {
+			if sub.epochStart || sub.prev == nil || sub.prev.halted || sub.prev.bbit == 0 {
+				alloc = w // Fig. 5 lines 4-5
+			} else {
+				// Fig. 5 line 7: pair with the predecessor's final slot.
+				alloc = w.Sub(sub.prev.lastSlotAlloc)
+			}
+		} else {
+			alloc = frac.Min(w, frac.One.Sub(sub.swCum)) // Fig. 5 line 10
+		}
+		if s.cfg.CheckInvariants && (alloc.Sign() < 0 || w.Less(alloc)) {
+			s.violations = append(s.violations,
+				fmt.Sprintf("t=%d: (AF1) violated for %s: per-slot allocation %s outside [0,%s]", t, sub, alloc, w))
+		}
+		sub.swCum = sub.swCum.Add(alloc)
+		ts.cumSW = ts.cumSW.Add(alloc)
+		ts.cumCSW = ts.cumCSW.Add(alloc)
+		if sub.swCum.Eq(frac.One) {
+			sub.swDone = true
+			sub.swDoneTime = t + 1 // D(I_SW, T_j)
+			sub.lastSlotAlloc = alloc
+		} else {
+			live = append(live, sub)
+		}
+	}
+	ts.live = live
+}
+
+// resolveWaiters converts D(I_SW, ·)-dependent enactment and release times
+// into concrete times once the completion they wait on is known.
+func (s *Scheduler) resolveWaiters(ts *taskState) {
+	if e := ts.enact; e != nil && e.waitD != nil && e.waitD.swDone {
+		e.at = maxTime(e.clamp, e.waitD.swDoneTime+e.addB)
+		e.waitD = nil
+	}
+	if r := &ts.nextRel; r.waitD != nil && r.waitD.swDone {
+		r.at = maxTime(r.clamp, r.waitD.swDoneTime+r.addB)
+		r.waitD = nil
+	}
+}
+
+// higherPriority implements the full PD² priority order: earlier deadline
+// first, then b-bit 1 over 0, then (for heavy tasks) the later group
+// deadline, then the configured tie-break, then task id.
+func (s *Scheduler) higherPriority(a, b *subtask) bool {
+	if a.deadline != b.deadline {
+		return a.deadline < b.deadline
+	}
+	if a.bbit != b.bbit {
+		return a.bbit > b.bbit
+	}
+	if a.groupDeadline != b.groupDeadline {
+		return a.groupDeadline > b.groupDeadline
+	}
+	if s.cfg.TieBreak != nil {
+		if c := s.cfg.TieBreak(a.task.name, a.task.group, b.task.name, b.task.group); c != 0 {
+			return c < 0
+		}
+	}
+	return a.task.id < b.task.id
+}
+
+func maxTime(a, b model.Time) model.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// checkAdmissibleWeight validates a task weight against the scheduler's
+// configuration: light only by default, up to 1 with AllowHeavy.
+func checkAdmissibleWeight(w frac.Rat, allowHeavy bool) error {
+	if allowHeavy {
+		return model.CheckWeight(w)
+	}
+	return model.CheckLightWeight(w)
+}

@@ -1,0 +1,357 @@
+// Package edf implements the two non-Pfair baselines the paper's
+// concluding remarks weigh PD²-OI against: global EDF (the companion paper
+// [7]) and partitioned EDF (the companion paper [4]).
+//
+// Tasks are modeled as streams of unit-quantum jobs on the exact Pfair
+// window pattern: within an epoch that starts at time E with weight w, job
+// k is released at E + ⌊(k-1)/w⌋ with deadline E + ⌈k/w⌉ — earliest-
+// deadline-first without the PD² b-bit tie-break. This gives each task
+// exactly its utilization and makes the workload directly comparable to the
+// Pfair subtask streams of internal/core. A weight change takes effect at
+// the next job boundary, starting a new epoch (the natural point for EDF
+// reweighting).
+//
+// The baselines exhibit exactly the trade-offs the paper describes:
+//
+//   - Global EDF reacts quickly to weight changes and migrates rarely, but
+//     it is not Pfair-optimal: under load it misses deadlines, and its
+//     deviation from the ideal processor-sharing schedule is bounded only
+//     through tardiness bounds. Tardiness is tracked per task.
+//   - Partitioned EDF forbids migration entirely; a weight increase that
+//     does not fit on the task's processor forces either a repartitioning
+//     move (a migration) or an outright rejection — fine-grained
+//     reweighting under partitioning is provably impossible, and the
+//     Rejected counter shows it happening.
+package edf
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// job is one unit-quantum job.
+type job struct {
+	release  model.Time
+	deadline model.Time
+	done     bool
+}
+
+// task is a unit-job sporadic task on Pfair-window releases.
+type task struct {
+	id    int
+	name  string
+	w     frac.Rat // current weight (takes effect at job boundaries)
+	nextW frac.Rat // requested weight, applied at the next release
+
+	epoch   model.Time // start of the current weight epoch
+	k       int64      // index of the next job within the epoch (1-based)
+	lastRel model.Time // release of the most recent job
+	cur     *job
+
+	cpu     int // partitioned: assigned processor; global: last processor
+	psCum   frac.Rat
+	done    int64
+	tardy   int64 // max observed tardiness in slots
+	missed  int64 // jobs completed after their deadline
+	moved   int64 // partitioned: repartitioning moves; global: migrations
+	reject  int64 // partitioned: reweight requests that could not be placed
+	pending bool  // a reweight request awaits the next boundary
+}
+
+// nextRelease returns the release time of the task's next job.
+func (tk *task) nextRelease() model.Time {
+	return tk.epoch + frac.FloorDivInt(tk.k-1, tk.w)
+}
+
+// jobDeadline returns the deadline of the task's next job.
+func (tk *task) jobDeadline() model.Time {
+	return tk.epoch + frac.CeilDivInt(tk.k, tk.w)
+}
+
+// Metrics is a per-task snapshot.
+type Metrics struct {
+	Name         string
+	Weight       frac.Rat
+	Done         int64    // quanta completed
+	CumPS        frac.Rat // ideal processor-sharing allocation
+	MaxTardiness int64    // worst completion lateness, in slots
+	TardyJobs    int64    // jobs that completed after their deadline
+	Moves        int64    // migrations (global) / repartitioning moves (partitioned)
+	Rejected     int64    // reweight requests with no feasible placement (partitioned)
+}
+
+// PercentOfIdeal returns Done / CumPS (1 when the ideal is zero).
+func (m Metrics) PercentOfIdeal() float64 {
+	if m.CumPS.IsZero() {
+		return 1
+	}
+	return float64(m.Done) / m.CumPS.Float64()
+}
+
+// Scheduler is a unit-job EDF scheduler, global or partitioned.
+type Scheduler struct {
+	m           int
+	partitioned bool
+	now         model.Time
+	tasks       []*task
+	byName      map[string]*task
+	// partitioned: per-CPU committed utilization.
+	cpuLoad []frac.Rat
+}
+
+// NewGlobal returns a global EDF scheduler on m processors.
+func NewGlobal(m int) *Scheduler { return newScheduler(m, false) }
+
+// NewPartitioned returns a partitioned EDF scheduler on m processors with
+// first-fit placement.
+func NewPartitioned(m int) *Scheduler { return newScheduler(m, true) }
+
+func newScheduler(m int, partitioned bool) *Scheduler {
+	if m < 1 {
+		panic("edf: need at least one processor")
+	}
+	return &Scheduler{
+		m:           m,
+		partitioned: partitioned,
+		byName:      make(map[string]*task),
+		cpuLoad:     make([]frac.Rat, m),
+	}
+}
+
+// Now returns the current time.
+func (s *Scheduler) Now() model.Time { return s.now }
+
+// Join adds a task. Under partitioning it is placed first-fit; joining
+// fails if no processor has room.
+func (s *Scheduler) Join(name string, w frac.Rat) error {
+	if err := model.CheckWeight(w); err != nil {
+		return err
+	}
+	if _, dup := s.byName[name]; dup {
+		return fmt.Errorf("edf: duplicate task %q", name)
+	}
+	t := &task{
+		id: len(s.tasks), name: name,
+		w: w, nextW: w,
+		epoch: s.now, k: 1, cpu: -1,
+	}
+	if s.partitioned {
+		cpu := s.firstFit(w, -1)
+		if cpu < 0 {
+			return fmt.Errorf("edf: no processor can fit %s (weight %s)", name, w)
+		}
+		t.cpu = cpu
+		s.cpuLoad[cpu] = s.cpuLoad[cpu].Add(w)
+	}
+	s.tasks = append(s.tasks, t)
+	s.byName[name] = t
+	return nil
+}
+
+// firstFit returns the lowest-indexed processor that can absorb weight w
+// (excluding `exclude`), or -1.
+func (s *Scheduler) firstFit(w frac.Rat, exclude int) int {
+	for c := 0; c < s.m; c++ {
+		if c == exclude {
+			continue
+		}
+		if s.cpuLoad[c].Add(w).LessEq(frac.One) {
+			return c
+		}
+	}
+	return -1
+}
+
+// Reweight requests a new weight. It takes effect at the task's next job
+// boundary. Under partitioning, if the new weight no longer fits on the
+// task's processor, the scheduler tries to move the task elsewhere (a
+// repartitioning migration); if nothing fits, the request is rejected and
+// the old weight kept — the impossibility the paper proves.
+func (s *Scheduler) Reweight(name string, w frac.Rat) error {
+	t, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("edf: unknown task %s", name)
+	}
+	if err := model.CheckWeight(w); err != nil {
+		return err
+	}
+	if s.partitioned {
+		// Placement is resolved at request time so the capacity is
+		// reserved; a still-pending earlier request holds its reservation,
+		// which this request replaces.
+		reserved := t.w
+		if t.pending {
+			reserved = t.nextW
+		}
+		newLoad := s.cpuLoad[t.cpu].Sub(reserved).Add(w)
+		if frac.One.Less(newLoad) {
+			dst := s.firstFit(w, t.cpu)
+			if dst < 0 {
+				t.reject++
+				return nil // rejected: keep the old weight
+			}
+			s.cpuLoad[t.cpu] = s.cpuLoad[t.cpu].Sub(reserved)
+			s.cpuLoad[dst] = s.cpuLoad[dst].Add(w)
+			t.cpu = dst
+			t.moved++
+		} else {
+			s.cpuLoad[t.cpu] = newLoad
+		}
+	}
+	t.nextW = w
+	t.pending = true
+	return nil
+}
+
+// Metrics returns the snapshot for one task.
+func (s *Scheduler) Metrics(name string) (Metrics, bool) {
+	t, ok := s.byName[name]
+	if !ok {
+		return Metrics{}, false
+	}
+	return Metrics{
+		Name: t.name, Weight: t.w, Done: t.done, CumPS: t.psCum,
+		MaxTardiness: t.tardy, TardyJobs: t.missed, Moves: t.moved, Rejected: t.reject,
+	}, true
+}
+
+// AllMetrics returns snapshots for every task in creation order.
+func (s *Scheduler) AllMetrics() []Metrics {
+	out := make([]Metrics, len(s.tasks))
+	for i, t := range s.tasks {
+		out[i], _ = s.Metrics(t.name)
+	}
+	return out
+}
+
+// Step simulates one slot.
+func (s *Scheduler) Step() {
+	t := s.now
+	// Releases. A pending reweight lands at the current job's completion
+	// (the earliest job boundary) and re-bases the release pattern on the
+	// new weight: the next job comes one new-weight gap after the previous
+	// job's release, but never retroactively (no backlog of "missed" jobs
+	// and no free quantum). EDF can enact changes this quickly precisely
+	// because it has no Pfair window invariants to preserve — the price is
+	// that new demand can exceed capacity and show up as tardiness.
+	for _, tk := range s.tasks {
+		if tk.cur != nil {
+			continue
+		}
+		if tk.pending {
+			tk.w = tk.nextW
+			tk.pending = false
+			gap := frac.FloorDivInt(1, tk.w)
+			next := maxTime(t, tk.lastRel+gap)
+			tk.epoch = next - gap
+			tk.k = 2
+			if tk.lastRel == 0 && tk.done == 0 { // never released a job
+				tk.epoch = t
+				tk.k = 1
+			}
+		}
+		rel := tk.nextRelease()
+		if rel > t {
+			continue
+		}
+		tk.cur = &job{release: rel, deadline: tk.jobDeadline()}
+		tk.lastRel = rel
+		tk.k++
+	}
+	// Pick up to M earliest-deadline jobs.
+	var ready []*task
+	for _, tk := range s.tasks {
+		if tk.cur != nil && !tk.cur.done {
+			ready = append(ready, tk)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool {
+		a, b := ready[i], ready[j]
+		if a.cur.deadline != b.cur.deadline {
+			return a.cur.deadline < b.cur.deadline
+		}
+		return a.id < b.id
+	})
+	if s.partitioned {
+		// One job per processor: the earliest-deadline ready job on each.
+		taken := make([]bool, s.m)
+		for _, tk := range ready {
+			if tk.cpu >= 0 && !taken[tk.cpu] {
+				taken[tk.cpu] = true
+				s.complete(tk, t)
+			}
+		}
+	} else {
+		n := len(ready)
+		if n > s.m {
+			n = s.m
+		}
+		// Affinity-based CPU assignment for migration accounting.
+		busy := make([]bool, s.m)
+		assigned := make([]int, n)
+		for i := 0; i < n; i++ {
+			assigned[i] = -1
+			if c := ready[i].cpu; c >= 0 && !busy[c] {
+				busy[c] = true
+				assigned[i] = c
+			}
+		}
+		next := 0
+		for i := 0; i < n; i++ {
+			if assigned[i] >= 0 {
+				continue
+			}
+			for busy[next] {
+				next++
+			}
+			assigned[i] = next
+			busy[next] = true
+		}
+		for i := 0; i < n; i++ {
+			tk := ready[i]
+			if tk.cpu >= 0 && tk.cpu != assigned[i] {
+				tk.moved++
+			}
+			tk.cpu = assigned[i]
+			s.complete(tk, t)
+		}
+	}
+	// Ideal PS accrual.
+	for _, tk := range s.tasks {
+		tk.psCum = tk.psCum.Add(tk.w)
+	}
+	s.now = t + 1
+}
+
+// complete finishes the task's current job in slot t and records tardiness.
+func (s *Scheduler) complete(tk *task, t model.Time) {
+	tk.cur.done = true
+	tk.done++
+	if late := (t + 1) - tk.cur.deadline; late > 0 {
+		tk.missed++
+		if late > tk.tardy {
+			tk.tardy = late
+		}
+	}
+	tk.cur = nil
+}
+
+// RunTo advances to the horizon, invoking hook (if non-nil) each slot.
+func (s *Scheduler) RunTo(horizon model.Time, hook func(t model.Time, s *Scheduler)) {
+	for s.now < horizon {
+		if hook != nil {
+			hook(s.now, s)
+		}
+		s.Step()
+	}
+}
+
+func maxTime(a, b model.Time) model.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,330 @@
+package edf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+func rat(s string) frac.Rat { return frac.MustParse(s) }
+
+func TestJobWindows(t *testing.T) {
+	// Weight 5/16 releases jobs on the Pfair pattern: 0,3,6,9,12 with
+	// deadlines 4,7,10,13,16.
+	tk := &task{w: rat("5/16"), k: 1}
+	wantRel := []model.Time{0, 3, 6, 9, 12}
+	wantDl := []model.Time{4, 7, 10, 13, 16}
+	for i := range wantRel {
+		if got := tk.nextRelease(); got != wantRel[i] {
+			t.Errorf("release(%d) = %d, want %d", i+1, got, wantRel[i])
+		}
+		if got := tk.jobDeadline(); got != wantDl[i] {
+			t.Errorf("deadline(%d) = %d, want %d", i+1, got, wantDl[i])
+		}
+		tk.k++
+	}
+	// Exactly 5 jobs are released before slot 16: utilization is exact.
+	tk.k = 6
+	if got := tk.nextRelease(); got != 16 {
+		t.Errorf("release(6) = %d, want 16", got)
+	}
+}
+
+func TestGlobalEDFBasics(t *testing.T) {
+	s := NewGlobal(2)
+	if err := s.Join("a", rat("1/2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Join("b", rat("1/4")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Join("a", rat("1/4")); err == nil {
+		t.Error("duplicate join accepted")
+	}
+	if err := s.Join("c", frac.Zero); err == nil {
+		t.Error("zero weight accepted")
+	}
+	s.RunTo(40, nil)
+	ma, _ := s.Metrics("a")
+	mb, _ := s.Metrics("b")
+	if ma.Done != 20 || mb.Done != 10 {
+		t.Errorf("done = %d/%d, want 20/10", ma.Done, mb.Done)
+	}
+	if ma.MaxTardiness != 0 || mb.MaxTardiness != 0 {
+		t.Errorf("tardiness on an underloaded system: %d/%d", ma.MaxTardiness, mb.MaxTardiness)
+	}
+	if ma.PercentOfIdeal() != 1 || mb.PercentOfIdeal() != 1 {
+		t.Errorf("pct = %v/%v", ma.PercentOfIdeal(), mb.PercentOfIdeal())
+	}
+}
+
+func TestGlobalEDFReweightAtCompletion(t *testing.T) {
+	s := NewGlobal(1)
+	if err := s.Join("a", rat("1/10")); err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(3, nil)
+	if err := s.Reweight("a", rat("1/2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reweight("nope", rat("1/2")); err == nil {
+		t.Error("unknown task accepted")
+	}
+	// Job 1 completed in slot 0, so the task is at a job boundary: the new
+	// weight starts a fresh epoch at t=3 and jobs release at 3,5,...,29.
+	s.RunTo(30, nil)
+	m, _ := s.Metrics("a")
+	if m.Done != 15 {
+		t.Errorf("done = %d, want 15 (1 old job + 14 at the new weight)", m.Done)
+	}
+	if !m.Weight.Eq(rat("1/2")) {
+		t.Errorf("weight = %s", m.Weight)
+	}
+}
+
+// TestGlobalEDFTardinessUnderLoad: global EDF is not optimal — a known
+// overload pattern produces tardiness rather than a hard failure.
+func TestGlobalEDFTardinessUnderLoad(t *testing.T) {
+	s := NewGlobal(2)
+	// Three tasks of weight 2/3-ish (period 2... use 1/2+) plus load: total
+	// close to 2 with unit jobs of differing periods creates contention.
+	for i := 0; i < 3; i++ {
+		if err := s.Join(fmt.Sprintf("h%d", i), rat("1/2")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Join(fmt.Sprintf("l%d", i), rat("1/10")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunTo(200, nil)
+	// Total utilization 2.0: global EDF on 2 CPUs with unit jobs generally
+	// keeps up, but every task must at least complete close to its share.
+	for _, m := range s.AllMetrics() {
+		if m.PercentOfIdeal() < 0.85 {
+			t.Errorf("task %s at %.2f%% of ideal", m.Name, m.PercentOfIdeal()*100)
+		}
+	}
+}
+
+func TestPartitionedFirstFit(t *testing.T) {
+	s := NewPartitioned(2)
+	// 1/2 + 1/2 fill CPU0; 1/2 goes to CPU1; another 3/4... 1/2 fits CPU1;
+	// then a fifth 1/2 has no home.
+	for i := 0; i < 4; i++ {
+		if err := s.Join(fmt.Sprintf("t%d", i), rat("1/2")); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	if err := s.Join("t4", rat("1/2")); err == nil {
+		t.Error("overcommitted join accepted")
+	}
+	if s.byName["t0"].cpu != 0 || s.byName["t1"].cpu != 0 || s.byName["t2"].cpu != 1 || s.byName["t3"].cpu != 1 {
+		t.Errorf("first-fit placement wrong: %d %d %d %d",
+			s.byName["t0"].cpu, s.byName["t1"].cpu, s.byName["t2"].cpu, s.byName["t3"].cpu)
+	}
+	s.RunTo(40, nil)
+	for _, m := range s.AllMetrics() {
+		if m.Done != 20 {
+			t.Errorf("%s done = %d, want 20", m.Name, m.Done)
+		}
+		if m.MaxTardiness != 0 {
+			t.Errorf("%s tardy by %d on a feasible partition", m.Name, m.MaxTardiness)
+		}
+	}
+}
+
+// TestPartitionedReweightMovesOrRejects: an increase that no longer fits on
+// the task's processor forces a repartitioning move; when no processor has
+// room it is rejected — partitioning cannot reweight fine-grained.
+func TestPartitionedReweightMovesOrRejects(t *testing.T) {
+	s := NewPartitioned(2)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Join("a", rat("1/2"))) // cpu0
+	must(s.Join("b", rat("2/5"))) // cpu0 (0.9)
+	must(s.Join("c", rat("1/2"))) // cpu1
+	s.RunTo(10, nil)
+
+	// b wants 1/2: cpu0 would be at 1.0 — still fits.
+	must(s.Reweight("b", rat("1/2")))
+	mb, _ := s.Metrics("b")
+	if mb.Moves != 0 || mb.Rejected != 0 {
+		t.Errorf("in-place reweight moved/rejected: %+v", mb)
+	}
+	// a wants... c's cpu1 is at 1/2; a (1/2) requesting 1/2 no-op; instead
+	// join d on cpu1 then force moves.
+	must(s.Join("d", rat("2/5"))) // cpu1 at 9/10
+	// d wants 1/2: cpu1 would be 1.0: fits in place.
+	must(s.Reweight("d", rat("1/2")))
+	// Now both CPUs are fully committed (1.0 each); b wants to grow: no
+	// home anywhere -> rejected, old weight kept.
+	must(s.Reweight("b", rat("1/2"))) // no-op (same weight)
+	s.RunTo(20, nil)
+	must(s.Reweight("a", rat("1/2"))) // same weight: fine
+	// Shrink b to make room on cpu0, then grow c beyond cpu1's capacity: it
+	// must *move* to cpu0.
+	must(s.Reweight("b", rat("1/10")))
+	must(s.Reweight("c", rat("1/2"))) // same weight, no-op placement-wise
+	s.RunTo(30, nil)
+	must(s.Reweight("d", rat("1/2"))) // unchanged
+	// Grow d to... d is 1/2 on cpu1 with c 1/2: cpu1 full. d -> cannot grow
+	// beyond 1/2 (weights capped at 1 for EDF; use 3/5 to force a move).
+	must(s.Reweight("d", rat("3/5"))) // cpu1 at 1.1 -> move to cpu0 (1/2+1/10+3/5=1.2? no)
+	md, _ := s.Metrics("d")
+	if md.Moves == 0 && md.Rejected == 0 {
+		t.Errorf("expected a move or rejection for d: %+v", md)
+	}
+	if len(s.AllMetrics()) != 4 {
+		t.Errorf("task count wrong")
+	}
+}
+
+// TestPartitionedRejectionKeepsOldWeight: a rejected increase leaves the
+// task at its old weight, and the deficit against I_PS (computed at the
+// *requested* weight by the caller) is the drift partitioning cannot avoid.
+func TestPartitionedRejectionKeepsOldWeight(t *testing.T) {
+	s := NewPartitioned(1)
+	if err := s.Join("a", rat("1/2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Join("b", rat("1/2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reweight("b", rat("3/4")); err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := s.Metrics("b")
+	if mb.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", mb.Rejected)
+	}
+	if !mb.Weight.Eq(rat("1/2")) {
+		t.Errorf("weight changed despite rejection: %s", mb.Weight)
+	}
+}
+
+// TestGlobalVsPartitionedMigrations: global EDF migrates; partitioned EDF
+// never does (moves only happen at explicit repartitionings).
+func TestGlobalVsPartitionedMigrations(t *testing.T) {
+	build := func(s *Scheduler) {
+		for i := 0; i < 3; i++ {
+			if err := s.Join(fmt.Sprintf("h%d", i), rat("1/2")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g := NewGlobal(2)
+	build(g)
+	g.RunTo(100, nil)
+	var gm int64
+	for _, m := range g.AllMetrics() {
+		gm += m.Moves
+	}
+
+	p := NewPartitioned(2)
+	build(p)
+	p.RunTo(100, nil)
+	var pm int64
+	for _, m := range p.AllMetrics() {
+		pm += m.Moves
+	}
+	if pm != 0 {
+		t.Errorf("partitioned EDF migrated %d times", pm)
+	}
+	_ = gm // global may or may not migrate under affinity; just ensure it ran
+	for _, m := range g.AllMetrics() {
+		if m.Done == 0 {
+			t.Errorf("global task %s never ran", m.Name)
+		}
+	}
+}
+
+// TestRandomizedEDFSanity: random feasible-by-construction workloads keep
+// both schedulers near their ideal allocations.
+func TestRandomizedEDFSanity(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		g := NewGlobal(2)
+		p := NewPartitioned(2)
+		total := frac.Zero
+		for i := 0; i < 8; i++ {
+			den := r.Int63n(16) + 2
+			num := r.Int63n(den/2) + 1
+			w := frac.New(num, den)
+			if rat("9/5").Less(total.Add(w)) {
+				continue
+			}
+			total = total.Add(w)
+			name := fmt.Sprintf("t%d", i)
+			if err := g.Join(name, w); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Join(name, w); err != nil {
+				// First-fit can fail below capacity; skip this task there.
+				continue
+			}
+		}
+		g.RunTo(150, nil)
+		p.RunTo(150, nil)
+		for _, m := range g.AllMetrics() {
+			if m.PercentOfIdeal() < 0.8 {
+				t.Errorf("trial %d global: %s at %.2f", trial, m.Name, m.PercentOfIdeal())
+			}
+		}
+		for _, m := range p.AllMetrics() {
+			if m.MaxTardiness > 0 {
+				t.Errorf("trial %d partitioned: %s tardy on a feasible partition", trial, m.Name)
+			}
+		}
+	}
+}
+
+var _ = model.Time(0)
+
+// TestPartitionedRepeatedReweightAccounting: replacing a still-pending
+// request must release the previous reservation, not the enacted weight —
+// otherwise capacity accounting drifts and later requests are wrongly
+// rejected or accepted.
+func TestPartitionedRepeatedReweightAccounting(t *testing.T) {
+	s := NewPartitioned(1)
+	if err := s.Join("a", rat("1/4")); err != nil {
+		t.Fatal(err)
+	}
+	// Reserve 3/4, then immediately shrink the request back to 1/4, three
+	// times: accounting must end exactly where it started.
+	for i := 0; i < 3; i++ {
+		if err := s.Reweight("a", rat("3/4")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Reweight("a", rat("1/4")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.cpuLoad[0].Eq(rat("1/4")) {
+		t.Fatalf("cpu load = %s, want 1/4", s.cpuLoad[0])
+	}
+	// A second task of weight 3/4 must still fit.
+	if err := s.Join("b", rat("3/4")); err != nil {
+		t.Fatalf("join b rejected after balanced reweights: %v", err)
+	}
+	// And now a's pending-replacement path under contention: a holds 1/4,
+	// requests 1/2 (doesn't fit: 1/4+3/4 committed), gets rejected.
+	if err := s.Reweight("a", rat("1/2")); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := s.Metrics("a")
+	if m.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", m.Rejected)
+	}
+	if !s.cpuLoad[0].Eq(frac.One) {
+		t.Fatalf("cpu load = %s, want 1", s.cpuLoad[0])
+	}
+}

@@ -1,0 +1,95 @@
+package expr
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// DefaultBurstProbs sweeps the fraction of weight changes that are abrupt
+// jumps rather than one-level steps.
+var DefaultBurstProbs = []float64{0, 0.1, 0.2, 0.4, 0.8}
+
+// BurstyComparison evaluates PD²-OI and PD²-LJ on the abstract bursty
+// workload (internal/workload) as the burstiness grows — checking that the
+// paper's separation is a property of wide, abrupt share changes rather
+// than of the Whisper geometry. Returns a figure with the % of ideal and
+// maximum drift of both policies versus burst probability.
+func BurstyComparison(o Options) (Figure, error) {
+	if o.Runs < 1 {
+		return Figure{}, fmt.Errorf("expr: need at least one run")
+	}
+	base := workload.DefaultParams()
+	fig := Figure{
+		ID: "bursty",
+		Title: fmt.Sprintf("Bursty abstract workload (%d tasks, ladder %s..%s, dwell %.0f slots): OI vs LJ vs burstiness",
+			base.Tasks, base.WMin, base.WMax, base.MeanDwell),
+		XLabel: "burst_prob",
+		YLabel: "mixed",
+	}
+	series := map[string]*Series{
+		"PD2-OI_pct":   {Label: "PD2-OI_pct"},
+		"PD2-LJ_pct":   {Label: "PD2-LJ_pct"},
+		"PD2-OI_drift": {Label: "PD2-OI_drift"},
+		"PD2-LJ_drift": {Label: "PD2-LJ_drift"},
+	}
+	for _, bp := range DefaultBurstProbs {
+		for _, kind := range []core.PolicyKind{core.PolicyOI, core.PolicyLJ} {
+			pcts := make([]float64, o.Runs)
+			drifts := make([]float64, o.Runs)
+			errs := make([]error, o.Runs)
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, o.workers())
+			for i := 0; i < o.Runs; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					p := base
+					p.BurstProb = bp
+					p.Seed = o.BaseSeed + uint64(i)
+					gen, err := workload.New(p)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					res, err := RunWorkload(gen, p.M, p.Horizon, WhisperRunConfig{Kind: kind})
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if res.Misses != 0 {
+						errs[i] = fmt.Errorf("bursty %v run %d: %d misses", kind, i, res.Misses)
+						return
+					}
+					pcts[i] = res.PctIdeal
+					drifts[i] = res.MaxAbsDrift
+				}(i)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return Figure{}, err
+				}
+			}
+			pct := stats.Summarize(pcts)
+			drift := stats.Summarize(drifts)
+			ps := series[kind.String()+"_pct"]
+			ps.X = append(ps.X, bp)
+			ps.Mean = append(ps.Mean, pct.Mean)
+			ps.CI = append(ps.CI, pct.CI98)
+			ds := series[kind.String()+"_drift"]
+			ds.X = append(ds.X, bp)
+			ds.Mean = append(ds.Mean, drift.Mean)
+			ds.CI = append(ds.CI, drift.CI98)
+		}
+	}
+	for _, label := range []string{"PD2-OI_pct", "PD2-LJ_pct", "PD2-OI_drift", "PD2-LJ_drift"} {
+		fig.Series = append(fig.Series, *series[label])
+	}
+	return fig, nil
+}

@@ -1,0 +1,260 @@
+// Package expr contains the experiment harness that regenerates the
+// paper's evaluation figures (Sec. 5, Fig. 11) and the hybrid ablation of
+// the companion "efficiency versus accuracy" paper.
+//
+// Each experiment runs the Whisper scenario under PD²-OI and PD²-LJ (and,
+// for the ablation, hybrids), repeating every configuration over many
+// randomized speaker placements (the paper uses 61 runs) and reporting
+// means with 98% confidence intervals.
+package expr
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/frac"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/whisper"
+)
+
+// RunResult summarizes one simulation run.
+type RunResult struct {
+	// MaxAbsDrift is max over tasks of |drift(T, horizon)| — the paper's
+	// "maximal drift of any task in the system at time 1,000".
+	MaxAbsDrift float64
+	// PeakAbsDrift is max over tasks and reweighting events of |drift|,
+	// i.e. the worst drift seen at any point of the run.
+	PeakAbsDrift float64
+	// PctIdeal is the per-task average of A(S,T,0,h)/A(I_PS,T,0,h) — the
+	// paper's "percent of ideal allocation". Can exceed 1 when the system
+	// is not fully loaded.
+	PctIdeal float64
+	// MinPctIdeal is the worst single task's fraction of its ideal.
+	MinPctIdeal float64
+	// Initiations and Enactments count reweighting activity.
+	Initiations int64
+	Enactments  int64
+	// OIEvents counts events routed to rules O/I (all of them under
+	// PolicyOI, none under PolicyLJ, the chooser's picks under a hybrid).
+	OIEvents int64
+	// Misses counts deadline misses (must be 0 under PD²-OI and PD²-LJ).
+	Misses int
+	// Migrations and Preemptions aggregate the processor-assignment costs
+	// across all tasks (the overheads the paper's Sec. 6 weighs Pfair
+	// against partitioned/global EDF on).
+	Migrations  int64
+	Preemptions int64
+	// OverheadSlots counts processor-slots consumed by reweighting
+	// overhead when overhead modeling is enabled.
+	OverheadSlots int64
+}
+
+// WhisperRunConfig parameterizes one Whisper run beyond the policy choice.
+type WhisperRunConfig struct {
+	Kind   core.PolicyKind
+	Choose Chooser // hybrid chooser; nil means always rules O/I
+	// Per-enactment processor-time costs, in quanta (see core.Config).
+	OverheadOI frac.Rat
+	OverheadLJ frac.Rat
+}
+
+// Chooser decides whether a hybrid handles an event with rules O/I.
+type Chooser func(task string, from, to frac.Rat) bool
+
+// ThresholdChooser routes an event to rules O/I when the absolute weight
+// change is at least threshold. Threshold 0 always uses OI; a threshold
+// above 1/2 never does (pure leave/join).
+func ThresholdChooser(threshold float64) Chooser {
+	return func(_ string, from, to frac.Rat) bool {
+		return to.Sub(from).Abs().Float64() >= threshold
+	}
+}
+
+// Workload is a source of adaptive demand: an initial task set plus a
+// stream of per-slot weight-change requests. internal/whisper and
+// internal/workload both implement it.
+type Workload interface {
+	TaskSpecs() []model.Spec
+	StepRequests(t model.Time) []model.WeightRequest
+}
+
+// RunWhisper simulates one Whisper scenario under the given policy and
+// returns its metrics. A nil chooser with PolicyHybrid means "always OI".
+func RunWhisper(p whisper.Params, kind core.PolicyKind, choose Chooser) (RunResult, error) {
+	return RunWhisperCfg(p, WhisperRunConfig{Kind: kind, Choose: choose})
+}
+
+// RunWhisperCfg is RunWhisper with overhead modeling.
+func RunWhisperCfg(p whisper.Params, rc WhisperRunConfig) (RunResult, error) {
+	sim, err := whisper.NewSimulation(p)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunWorkload(sim, 4, p.Horizon, rc)
+}
+
+// RunWorkload simulates any adaptive workload on m processors under the
+// given policy configuration.
+func RunWorkload(w Workload, m int, horizon model.Time, rc WhisperRunConfig) (RunResult, error) {
+	kind, choose := rc.Kind, rc.Choose
+	var oiEvents int64
+	var useOI func(task string, from, to frac.Rat) bool
+	if kind == core.PolicyHybrid {
+		useOI = func(task string, from, to frac.Rat) bool {
+			ok := choose == nil || choose(task, from, to)
+			if ok {
+				oiEvents++
+			}
+			return ok
+		}
+	}
+	sys := model.System{M: m, Tasks: w.TaskSpecs()}
+	sched, err := core.New(core.Config{
+		M:          m,
+		Policy:     kind,
+		UseOI:      useOI,
+		Police:     true,
+		OverheadOI: rc.OverheadOI,
+		OverheadLJ: rc.OverheadLJ,
+	}, sys)
+	if err != nil {
+		return RunResult{}, err
+	}
+	var initErr error
+	sched.Run(horizon, func(t model.Time, s *core.Scheduler) {
+		for _, req := range w.StepRequests(t) {
+			if err := s.Initiate(req.Task, req.Weight); err != nil && initErr == nil {
+				initErr = fmt.Errorf("t=%d task %s: %w", t, req.Task, err)
+			}
+		}
+	})
+	if initErr != nil {
+		return RunResult{}, initErr
+	}
+
+	var res RunResult
+	res.Misses = len(sched.Misses())
+	first := true
+	var pctSum float64
+	metrics := sched.AllMetrics()
+	for _, m := range metrics {
+		d := m.Drift.Abs().Float64()
+		if d > res.MaxAbsDrift {
+			res.MaxAbsDrift = d
+		}
+		if pk := m.MaxAbsDrift.Float64(); pk > res.PeakAbsDrift {
+			res.PeakAbsDrift = pk
+		}
+		pct := m.PercentOfIdeal()
+		pctSum += pct
+		if first || pct < res.MinPctIdeal {
+			res.MinPctIdeal = pct
+		}
+		first = false
+		res.Initiations += m.Initiations
+		res.Enactments += m.Enactments
+		res.Migrations += m.Migrations
+		res.Preemptions += m.Preemptions
+	}
+	res.PctIdeal = pctSum / float64(len(metrics))
+	res.OverheadSlots = sched.OverheadSlots()
+	if kind == core.PolicyOI {
+		res.OIEvents = res.Initiations
+	} else {
+		res.OIEvents = oiEvents
+	}
+	return res, nil
+}
+
+// Cell aggregates one (configuration, policy) point over repeated runs.
+type Cell struct {
+	MaxDrift      stats.Summary // of MaxAbsDrift
+	PeakDrift     stats.Summary // of PeakAbsDrift
+	PctIdeal      stats.Summary // of PctIdeal
+	MinPct        float64       // worst MinPctIdeal over all runs
+	Misses        int           // total over all runs
+	OIShare       float64       // mean fraction of events routed to rules O/I
+	OverheadSlots stats.Summary // of stolen processor-slots per run
+}
+
+// Options controls repetition and parallelism of the sweeps.
+type Options struct {
+	Runs     int    // randomized runs per point (paper: 61)
+	BaseSeed uint64 // seed for run 0; run i uses BaseSeed + i
+	Workers  int    // parallel workers; <= 0 means GOMAXPROCS
+}
+
+// DefaultOptions returns the paper's 61-run setup.
+func DefaultOptions() Options {
+	return Options{Runs: 61, BaseSeed: 1000}
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunCell evaluates one configuration under one policy across o.Runs
+// randomized placements, in parallel.
+func RunCell(p whisper.Params, kind core.PolicyKind, choose Chooser, o Options) (Cell, error) {
+	return RunCellCfg(p, WhisperRunConfig{Kind: kind, Choose: choose}, o)
+}
+
+// RunCellCfg is RunCell with overhead modeling.
+func RunCellCfg(p whisper.Params, rc WhisperRunConfig, o Options) (Cell, error) {
+	if o.Runs < 1 {
+		return Cell{}, fmt.Errorf("expr: need at least one run")
+	}
+	results := make([]RunResult, o.Runs)
+	errs := make([]error, o.Runs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.workers())
+	for i := 0; i < o.Runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pp := p
+			pp.Seed = o.BaseSeed + uint64(i)
+			results[i], errs[i] = RunWhisperCfg(pp, rc)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Cell{}, err
+		}
+	}
+	var cell Cell
+	maxDrifts := make([]float64, o.Runs)
+	peaks := make([]float64, o.Runs)
+	pcts := make([]float64, o.Runs)
+	overheads := make([]float64, o.Runs)
+	var oiShare float64
+	cell.MinPct = results[0].MinPctIdeal
+	for i, r := range results {
+		maxDrifts[i] = r.MaxAbsDrift
+		peaks[i] = r.PeakAbsDrift
+		pcts[i] = r.PctIdeal
+		overheads[i] = float64(r.OverheadSlots)
+		if r.MinPctIdeal < cell.MinPct {
+			cell.MinPct = r.MinPctIdeal
+		}
+		cell.Misses += r.Misses
+		if r.Initiations > 0 {
+			oiShare += float64(r.OIEvents) / float64(r.Initiations)
+		}
+	}
+	cell.MaxDrift = stats.Summarize(maxDrifts)
+	cell.PeakDrift = stats.Summarize(peaks)
+	cell.PctIdeal = stats.Summarize(pcts)
+	cell.OverheadSlots = stats.Summarize(overheads)
+	cell.OIShare = oiShare / float64(o.Runs)
+	return cell, nil
+}

@@ -1,0 +1,349 @@
+package expr
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frac"
+	"repro/internal/whisper"
+)
+
+// testOptions keeps unit-test sweeps quick; the full 61-run figures are
+// produced by cmd/reprofigs and the benchmarks.
+var testOptions = Options{Runs: 8, BaseSeed: 1000}
+
+func cellAt(t *testing.T, speed, radius float64, kind core.PolicyKind) Cell {
+	t.Helper()
+	p := whisper.DefaultParams()
+	p.Speed = speed
+	p.Radius = radius
+	cell, err := RunCell(p, kind, nil, testOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cell
+}
+
+// TestHeadlineSeparation pins the paper's Sec. 5 headline: "PD²-LJ
+// completes at most 85% of the allocations in I_PS, while PD²-OI is always
+// within 95% of I_PS." (Our substrate is synthetic, so the thresholds carry
+// small margins; the ordering is the claim.)
+func TestHeadlineSeparation(t *testing.T) {
+	oi := cellAt(t, 2.9, 0.25, core.PolicyOI)
+	lj := cellAt(t, 2.9, 0.25, core.PolicyLJ)
+
+	if oi.Misses != 0 || lj.Misses != 0 {
+		t.Fatalf("deadline misses: OI=%d LJ=%d", oi.Misses, lj.Misses)
+	}
+	if oi.PctIdeal.Mean < 0.95 {
+		t.Errorf("PD²-OI mean %% of ideal = %.4f, want >= 0.95", oi.PctIdeal.Mean)
+	}
+	if oi.MinPct < 0.90 {
+		t.Errorf("PD²-OI worst task %% of ideal = %.4f, want >= 0.90", oi.MinPct)
+	}
+	if lj.PctIdeal.Mean > 0.88 {
+		t.Errorf("PD²-LJ mean %% of ideal = %.4f, want <= 0.88 at 2.9 m/s", lj.PctIdeal.Mean)
+	}
+	if oi.MaxDrift.Mean*3 > lj.MaxDrift.Mean {
+		t.Errorf("drift separation too small: OI %.3f vs LJ %.3f", oi.MaxDrift.Mean, lj.MaxDrift.Mean)
+	}
+}
+
+// TestLJDegradesWithSpeed pins the Fig. 11(a,b) trend: PD²-LJ's drift grows
+// and its share of the ideal allocation shrinks as objects move faster,
+// while PD²-OI stays close to ideal throughout.
+func TestLJDegradesWithSpeed(t *testing.T) {
+	slowLJ := cellAt(t, 0.5, 0.25, core.PolicyLJ)
+	fastLJ := cellAt(t, 3.5, 0.25, core.PolicyLJ)
+	if slowLJ.MaxDrift.Mean >= fastLJ.MaxDrift.Mean {
+		t.Errorf("LJ drift did not grow with speed: %.3f -> %.3f", slowLJ.MaxDrift.Mean, fastLJ.MaxDrift.Mean)
+	}
+	if slowLJ.PctIdeal.Mean <= fastLJ.PctIdeal.Mean {
+		t.Errorf("LJ %% of ideal did not shrink with speed: %.4f -> %.4f",
+			slowLJ.PctIdeal.Mean, fastLJ.PctIdeal.Mean)
+	}
+	slowOI := cellAt(t, 0.5, 0.25, core.PolicyOI)
+	fastOI := cellAt(t, 3.5, 0.25, core.PolicyOI)
+	for _, c := range []Cell{slowOI, fastOI} {
+		if c.MaxDrift.Mean > 2.5 {
+			t.Errorf("OI drift %.3f too large (fine-grained reweighting should stay near constant)", c.MaxDrift.Mean)
+		}
+		if c.PctIdeal.Mean < 0.95 {
+			t.Errorf("OI %% of ideal %.4f below 0.95", c.PctIdeal.Mean)
+		}
+	}
+}
+
+// TestHybridInterpolates: the hybrid at threshold 0 equals PD²-OI exactly,
+// above the maximum weight it equals PD²-LJ exactly, and its accuracy
+// degrades monotonically-ish in between (we check the endpoints and that a
+// middle threshold lies between them).
+func TestHybridInterpolates(t *testing.T) {
+	p := whisper.DefaultParams()
+	p.Speed = 2.9
+	oi, err := RunCell(p, core.PolicyOI, nil, testOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lj, err := RunCell(p, core.PolicyLJ, nil, testOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, err := RunCell(p, core.PolicyHybrid, ThresholdChooser(0), testOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := RunCell(p, core.PolicyHybrid, ThresholdChooser(1), testOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0.MaxDrift.Mean != oi.MaxDrift.Mean || h0.PctIdeal.Mean != oi.PctIdeal.Mean {
+		t.Errorf("hybrid(0) != OI: drift %.4f vs %.4f", h0.MaxDrift.Mean, oi.MaxDrift.Mean)
+	}
+	if h1.MaxDrift.Mean != lj.MaxDrift.Mean || h1.PctIdeal.Mean != lj.PctIdeal.Mean {
+		t.Errorf("hybrid(1) != LJ: drift %.4f vs %.4f", h1.MaxDrift.Mean, lj.MaxDrift.Mean)
+	}
+	if h0.OIShare != 1 || h1.OIShare != 0 {
+		t.Errorf("OI shares: h0=%.2f h1=%.2f, want 1 and 0", h0.OIShare, h1.OIShare)
+	}
+	hm, err := RunCell(p, core.PolicyHybrid, ThresholdChooser(0.05), testOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm.OIShare <= 0 || hm.OIShare >= 1 {
+		t.Errorf("middle threshold OI share = %.3f, want strictly between 0 and 1", hm.OIShare)
+	}
+	if hm.MaxDrift.Mean < h0.MaxDrift.Mean || hm.MaxDrift.Mean > h1.MaxDrift.Mean*1.2 {
+		t.Errorf("middle threshold drift %.3f outside [OI=%.3f, ~LJ=%.3f]",
+			hm.MaxDrift.Mean, h0.MaxDrift.Mean, h1.MaxDrift.Mean)
+	}
+}
+
+func TestThresholdChooser(t *testing.T) {
+	c := ThresholdChooser(0.1)
+	if !c("x", frac.New(1, 10), frac.New(3, 10)) {
+		t.Error("large change not routed to OI")
+	}
+	if c("x", frac.New(1, 10), frac.New(15, 100)) {
+		t.Error("small change routed to OI")
+	}
+	if !c("x", frac.New(3, 10), frac.New(1, 10)) {
+		t.Error("large decrease not routed to OI")
+	}
+	if !ThresholdChooser(0)("x", frac.New(1, 10), frac.New(1, 10)) {
+		t.Error("threshold 0 should always use OI")
+	}
+}
+
+// TestRunCellReproducible: identical options produce identical aggregates.
+func TestRunCellReproducible(t *testing.T) {
+	p := whisper.DefaultParams()
+	p.Speed = 1.5
+	a, err := RunCell(p, core.PolicyOI, nil, Options{Runs: 4, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCell(p, core.PolicyOI, nil, Options{Runs: 4, BaseSeed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxDrift.Mean != b.MaxDrift.Mean || a.PctIdeal.Mean != b.PctIdeal.Mean {
+		t.Errorf("parallel and serial aggregates differ: %v vs %v", a.MaxDrift, b.MaxDrift)
+	}
+}
+
+func TestRunCellValidation(t *testing.T) {
+	if _, err := RunCell(whisper.DefaultParams(), core.PolicyOI, nil, Options{Runs: 0}); err == nil {
+		t.Error("Runs=0 accepted")
+	}
+	p := whisper.DefaultParams()
+	p.Radius = 2 // invalid geometry
+	if _, err := RunCell(p, core.PolicyOI, nil, Options{Runs: 1}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// TestFigureGenerationSmall exercises the Fig. 11 and ablation generators
+// end to end with tiny sweeps.
+func TestFigureGenerationSmall(t *testing.T) {
+	oldSpeeds, oldRadii, oldThs := DefaultSpeeds, DefaultRadii, DefaultThresholds
+	DefaultSpeeds = []float64{0.5, 3.0}
+	DefaultRadii = []float64{0.15, 0.40}
+	DefaultThresholds = []float64{0, 1}
+	defer func() { DefaultSpeeds, DefaultRadii, DefaultThresholds = oldSpeeds, oldRadii, oldThs }()
+
+	o := Options{Runs: 3, BaseSeed: 50}
+	a, b, err := Fig11AB(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, d, err := Fig11CD(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := HybridAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []Figure{a, b, c, d, h} {
+		if len(fig.Series) == 0 {
+			t.Fatalf("%s has no series", fig.ID)
+		}
+		tsv := fig.TSV()
+		if !strings.HasPrefix(tsv, "# "+fig.ID) {
+			t.Errorf("%s TSV header wrong:\n%s", fig.ID, tsv)
+		}
+		lines := strings.Split(strings.TrimSpace(tsv), "\n")
+		if len(lines) != 2+len(fig.Series[0].X) {
+			t.Errorf("%s TSV has %d lines, want %d", fig.ID, len(lines), 2+len(fig.Series[0].X))
+		}
+		for _, s := range fig.Series {
+			if len(s.X) != len(s.Mean) || len(s.X) != len(s.CI) {
+				t.Errorf("%s series %s ragged", fig.ID, s.Label)
+			}
+		}
+	}
+	// Fig. 11(a) must order LJ above OI at the fast end.
+	var ljPole, oiPole Series
+	for _, s := range a.Series {
+		switch s.Label {
+		case "PD2-LJ/pole":
+			ljPole = s
+		case "PD2-OI/pole":
+			oiPole = s
+		}
+	}
+	last := len(ljPole.Mean) - 1
+	if ljPole.Mean[last] <= oiPole.Mean[last] {
+		t.Errorf("fig11a: LJ drift %.3f not above OI %.3f at top speed", ljPole.Mean[last], oiPole.Mean[last])
+	}
+}
+
+// TestGammaAblation: the OI-vs-LJ separation is driven by the weight
+// dynamic range — with a flat cost map (gamma 1) leave/join loses little,
+// while at the paper's two-orders-of-magnitude range it collapses.
+func TestGammaAblation(t *testing.T) {
+	old := DefaultGammas
+	DefaultGammas = []float64{1, 3}
+	defer func() { DefaultGammas = old }()
+	fig, err := GammaAblation(Options{Runs: 6, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]Series{}
+	for _, s := range fig.Series {
+		series[s.Label] = s
+	}
+	lj := series["PD2-LJ_pct"]
+	oi := series["PD2-OI_pct"]
+	if len(lj.Mean) != 2 || len(oi.Mean) != 2 {
+		t.Fatalf("unexpected series shape: %+v", fig.Series)
+	}
+	if lj.Mean[1] >= lj.Mean[0] {
+		t.Errorf("LJ %% of ideal should fall as the range widens: %.3f -> %.3f", lj.Mean[0], lj.Mean[1])
+	}
+	if oi.Mean[1] < 0.95 {
+		t.Errorf("OI %% of ideal dropped to %.3f at wide range", oi.Mean[1])
+	}
+	gap0 := oi.Mean[0] - lj.Mean[0]
+	gap1 := oi.Mean[1] - lj.Mean[1]
+	if gap1 <= gap0 {
+		t.Errorf("separation did not widen with dynamic range: %.3f -> %.3f", gap0, gap1)
+	}
+}
+
+// TestOverheadTradeoff: with per-event costs charged, neither pure policy
+// wins outright — the all-OI endpoint pays measurable overhead, the all-LJ
+// endpoint pays none, and intermediate thresholds keep most of OI's
+// accuracy at a fraction of its cost (the companion paper's thesis).
+func TestOverheadTradeoff(t *testing.T) {
+	old := DefaultThresholds
+	DefaultThresholds = []float64{0, 0.05, 1}
+	defer func() { DefaultThresholds = old }()
+	fig, err := OverheadTradeoff(Options{Runs: 6, BaseSeed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]Series{}
+	for _, s := range fig.Series {
+		series[s.Label] = s
+	}
+	cost := series["overhead_slots"]
+	pct := series["pct_ideal"]
+	drift := series["max_drift"]
+	if cost.Mean[0] <= cost.Mean[2] {
+		t.Errorf("all-OI overhead %.1f not above all-LJ %.1f", cost.Mean[0], cost.Mean[2])
+	}
+	if cost.Mean[1] >= cost.Mean[0] {
+		t.Errorf("hybrid overhead %.1f not below all-OI %.1f", cost.Mean[1], cost.Mean[0])
+	}
+	if drift.Mean[0] >= drift.Mean[2] {
+		t.Errorf("all-OI drift %.2f not below all-LJ %.2f", drift.Mean[0], drift.Mean[2])
+	}
+	if pct.Mean[1] <= pct.Mean[2] {
+		t.Errorf("hybrid accuracy %.3f not above all-LJ %.3f", pct.Mean[1], pct.Mean[2])
+	}
+}
+
+// TestBurstyComparison: on the abstract workload the OI/LJ separation
+// appears and widens with burstiness — it is not a Whisper artifact.
+func TestBurstyComparison(t *testing.T) {
+	old := DefaultBurstProbs
+	DefaultBurstProbs = []float64{0, 0.8}
+	defer func() { DefaultBurstProbs = old }()
+	fig, err := BurstyComparison(Options{Runs: 8, BaseSeed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]Series{}
+	for _, s := range fig.Series {
+		series[s.Label] = s
+	}
+	oi := series["PD2-OI_pct"]
+	lj := series["PD2-LJ_pct"]
+	ljd := series["PD2-LJ_drift"]
+	oid := series["PD2-OI_drift"]
+	for i := range oi.Mean {
+		if oi.Mean[i] <= lj.Mean[i] {
+			t.Errorf("burst=%.1f: OI %.3f not above LJ %.3f", oi.X[i], oi.Mean[i], lj.Mean[i])
+		}
+		if oid.Mean[i] >= ljd.Mean[i] {
+			t.Errorf("burst=%.1f: OI drift %.2f not below LJ %.2f", oi.X[i], oid.Mean[i], ljd.Mean[i])
+		}
+	}
+	if lj.Mean[1] >= lj.Mean[0] {
+		t.Errorf("LJ accuracy did not degrade with burstiness: %.3f -> %.3f", lj.Mean[0], lj.Mean[1])
+	}
+}
+
+// TestJSONExport: figures and scheme tables marshal to JSON with their
+// exact numbers intact.
+func TestJSONExport(t *testing.T) {
+	fig := Figure{ID: "x", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{{Label: "s", X: []float64{1}, Mean: []float64{2.5}, CI: []float64{0.1}}}}
+	data, err := fig.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Figure
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != "x" || back.Series[0].Mean[0] != 2.5 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	table := SchemeTable{Title: "tt", Rows: []SchemeRow{{Scheme: SchemePD2OI, MinPct: 0.9}}}
+	data, err = table.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tback SchemeTable
+	if err := json.Unmarshal(data, &tback); err != nil {
+		t.Fatal(err)
+	}
+	if tback.Rows[0].MinPct != 0.9 {
+		t.Errorf("table round trip lost data: %+v", tback)
+	}
+}

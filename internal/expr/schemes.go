@@ -1,0 +1,256 @@
+package expr
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/edf"
+	"repro/internal/frac"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/whisper"
+)
+
+// Scheme identifies one of the four scheduling approaches the paper's
+// concluding remarks compare.
+type Scheme int
+
+const (
+	SchemePD2OI Scheme = iota
+	SchemePD2LJ
+	SchemeGEDF
+	SchemePEDF
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemePD2OI:
+		return "PD2-OI"
+	case SchemePD2LJ:
+		return "PD2-LJ"
+	case SchemeGEDF:
+		return "GEDF"
+	case SchemePEDF:
+		return "PEDF"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// AllSchemes lists the compared schemes in presentation order.
+var AllSchemes = []Scheme{SchemePD2OI, SchemePD2LJ, SchemeGEDF, SchemePEDF}
+
+// EDFResult summarizes one EDF run against the *requested-weight* ideal,
+// so the numbers are directly comparable with the PD² policies.
+type EDFResult struct {
+	PctIdeal     float64
+	MinPctIdeal  float64
+	MaxAbsDev    float64 // max over tasks of |ideal - completed| at the horizon
+	MaxTardiness int64
+	TardyJobs    int64
+	Moves        int64
+	Rejected     int64
+}
+
+// RunWhisperEDF runs the Whisper scenario under global (partitioned=false)
+// or partitioned EDF. The ideal allocation is tracked at the requested
+// weight from the moment of each request — the same I_PS reference the
+// PD² policies are measured against.
+func RunWhisperEDF(p whisper.Params, partitioned bool) (EDFResult, error) {
+	sim, err := whisper.NewSimulation(p)
+	if err != nil {
+		return EDFResult{}, err
+	}
+	var s *edf.Scheduler
+	if partitioned {
+		s = edf.NewPartitioned(4)
+	} else {
+		s = edf.NewGlobal(4)
+	}
+	ideal := make(map[string]frac.Rat)   // requested-weight I_PS cumulative
+	current := make(map[string]frac.Rat) // requested weight right now
+	for _, spec := range sim.TaskSpecs() {
+		if err := s.Join(spec.Name, spec.Weight); err != nil {
+			return EDFResult{}, err
+		}
+		current[spec.Name] = spec.Weight
+		ideal[spec.Name] = frac.Zero
+	}
+	var hookErr error
+	s.RunTo(p.Horizon, func(t model.Time, s *edf.Scheduler) {
+		for _, req := range sim.StepRequests(t) {
+			current[req.Task] = req.Weight
+			if err := s.Reweight(req.Task, req.Weight); err != nil && hookErr == nil {
+				hookErr = err
+			}
+		}
+		for name, w := range current {
+			ideal[name] = ideal[name].Add(w)
+		}
+	})
+	if hookErr != nil {
+		return EDFResult{}, hookErr
+	}
+
+	var res EDFResult
+	first := true
+	var pctSum float64
+	metrics := s.AllMetrics()
+	for _, m := range metrics {
+		id := ideal[m.Name].Float64()
+		pct := 1.0
+		if id > 0 {
+			pct = float64(m.Done) / id
+		}
+		pctSum += pct
+		if first || pct < res.MinPctIdeal {
+			res.MinPctIdeal = pct
+		}
+		first = false
+		if dev := abs(id - float64(m.Done)); dev > res.MaxAbsDev {
+			res.MaxAbsDev = dev
+		}
+		if m.MaxTardiness > res.MaxTardiness {
+			res.MaxTardiness = m.MaxTardiness
+		}
+		res.TardyJobs += m.TardyJobs
+		res.Moves += m.Moves
+		res.Rejected += m.Rejected
+	}
+	res.PctIdeal = pctSum / float64(len(metrics))
+	return res, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// SchemeRow aggregates one scheme over repeated randomized runs.
+type SchemeRow struct {
+	Scheme       Scheme
+	PctIdeal     stats.Summary
+	MinPct       float64 // worst task of any run
+	MaxDev       stats.Summary
+	Moves        stats.Summary // migrations / repartitioning moves per run
+	TardyJobs    stats.Summary // jobs past their deadline per run (EDF only)
+	MaxTardiness int64         // worst over runs
+	Rejected     stats.Summary // rejected reweights per run (PEDF only)
+	Misses       int           // hard deadline misses (PD² policies)
+}
+
+// SchemeTable is the cross-scheme comparison of the paper's Sec. 6.
+type SchemeTable struct {
+	Title string
+	Rows  []SchemeRow
+}
+
+// JSON renders the table as indented JSON.
+func (t SchemeTable) JSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// TSV renders the table.
+func (t SchemeTable) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# schemes: %s\n", t.Title)
+	b.WriteString("scheme\tpct_ideal\tpct_ci98\tworst_pct\tmax_dev\tmoves\ttardy_jobs\tmax_tardiness\trejected\tmisses\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s\t%.5f\t%.5f\t%.5f\t%.3f\t%.1f\t%.1f\t%d\t%.1f\t%d\n",
+			r.Scheme, r.PctIdeal.Mean, r.PctIdeal.CI98, r.MinPct, r.MaxDev.Mean,
+			r.Moves.Mean, r.TardyJobs.Mean, r.MaxTardiness, r.Rejected.Mean, r.Misses)
+	}
+	return b.String()
+}
+
+// SchemeComparison runs the Whisper workload under all four schemes,
+// reproducing the trade-off the paper describes: PD²-OI tracks the ideal
+// with constant drift but migrates freely; PD²-LJ avoids reweighting
+// machinery at the cost of accuracy; global EDF is accurate on average but
+// allows tardiness; partitioned EDF cannot reweight fine-grained at all
+// (rejections) though it never migrates on its own.
+func SchemeComparison(p whisper.Params, o Options) (SchemeTable, error) {
+	if o.Runs < 1 {
+		return SchemeTable{}, fmt.Errorf("expr: need at least one run")
+	}
+	table := SchemeTable{Title: fmt.Sprintf("Whisper at %.1f m/s, radius %.2f m, occlusion=%v, %d runs",
+		p.Speed, p.Radius, p.Occlusion, o.Runs)}
+	for _, scheme := range AllSchemes {
+		pcts := make([]float64, o.Runs)
+		devs := make([]float64, o.Runs)
+		moves := make([]float64, o.Runs)
+		tardy := make([]float64, o.Runs)
+		rejected := make([]float64, o.Runs)
+		errs := make([]error, o.Runs)
+		row := SchemeRow{Scheme: scheme, MinPct: 1e18}
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, o.workers())
+		for i := 0; i < o.Runs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				pp := p
+				pp.Seed = o.BaseSeed + uint64(i)
+				switch scheme {
+				case SchemePD2OI, SchemePD2LJ:
+					kind := core.PolicyOI
+					if scheme == SchemePD2LJ {
+						kind = core.PolicyLJ
+					}
+					r, err := RunWhisper(pp, kind, nil)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					pcts[i], devs[i] = r.PctIdeal, r.MaxAbsDrift
+					moves[i] = float64(r.Migrations)
+					mu.Lock()
+					if r.MinPctIdeal < row.MinPct {
+						row.MinPct = r.MinPctIdeal
+					}
+					row.Misses += r.Misses
+					mu.Unlock()
+				case SchemeGEDF, SchemePEDF:
+					r, err := RunWhisperEDF(pp, scheme == SchemePEDF)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					pcts[i], devs[i] = r.PctIdeal, r.MaxAbsDev
+					moves[i] = float64(r.Moves)
+					tardy[i] = float64(r.TardyJobs)
+					rejected[i] = float64(r.Rejected)
+					mu.Lock()
+					if r.MinPctIdeal < row.MinPct {
+						row.MinPct = r.MinPctIdeal
+					}
+					if r.MaxTardiness > row.MaxTardiness {
+						row.MaxTardiness = r.MaxTardiness
+					}
+					mu.Unlock()
+				}
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return SchemeTable{}, fmt.Errorf("expr: %s: %w", scheme, err)
+			}
+		}
+		row.PctIdeal = stats.Summarize(pcts)
+		row.MaxDev = stats.Summarize(devs)
+		row.Moves = stats.Summarize(moves)
+		row.TardyJobs = stats.Summarize(tardy)
+		row.Rejected = stats.Summarize(rejected)
+		table.Rows = append(table.Rows, row)
+	}
+	return table, nil
+}

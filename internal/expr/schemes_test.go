@@ -1,0 +1,68 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/whisper"
+)
+
+func TestSchemeComparison(t *testing.T) {
+	p := whisper.DefaultParams()
+	p.Speed = 2.9
+	table, err := SchemeComparison(p, Options{Runs: 6, BaseSeed: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	byScheme := map[Scheme]SchemeRow{}
+	for _, r := range table.Rows {
+		byScheme[r.Scheme] = r
+	}
+	oi := byScheme[SchemePD2OI]
+	lj := byScheme[SchemePD2LJ]
+	gedf := byScheme[SchemeGEDF]
+	pedf := byScheme[SchemePEDF]
+
+	// The paper's trade-offs:
+	// PD²-OI is the most accurate and misses nothing.
+	if oi.Misses != 0 || lj.Misses != 0 {
+		t.Errorf("PD² policies missed deadlines: %d/%d", oi.Misses, lj.Misses)
+	}
+	if oi.PctIdeal.Mean < lj.PctIdeal.Mean {
+		t.Errorf("OI (%.3f) should beat LJ (%.3f) on accuracy", oi.PctIdeal.Mean, lj.PctIdeal.Mean)
+	}
+	if oi.MaxDev.Mean >= lj.MaxDev.Mean {
+		t.Errorf("OI deviation (%.3f) should be below LJ (%.3f)", oi.MaxDev.Mean, lj.MaxDev.Mean)
+	}
+	// Pfair migrates more than partitioned EDF repartitions (on this light
+	// load PEDF rarely has to move at all — that is its selling point).
+	if oi.Moves.Mean <= pedf.Moves.Mean {
+		t.Errorf("expected Pfair migrations (%.1f) above PEDF moves (%.1f)", oi.Moves.Mean, pedf.Moves.Mean)
+	}
+	// Partitioned EDF on a feasible partition never goes tardy.
+	if pedf.MaxTardiness != 0 {
+		t.Errorf("PEDF tardy by %d on a feasible partition", pedf.MaxTardiness)
+	}
+	// GEDF stays accurate on share (its weakness is tardiness under
+	// pressure, not average allocation).
+	if gedf.PctIdeal.Mean < 0.9 {
+		t.Errorf("GEDF pct = %.3f unexpectedly low", gedf.PctIdeal.Mean)
+	}
+
+	tsv := table.TSV()
+	if !strings.Contains(tsv, "PD2-OI") || !strings.Contains(tsv, "PEDF") {
+		t.Errorf("TSV malformed:\n%s", tsv)
+	}
+	if len(strings.Split(strings.TrimSpace(tsv), "\n")) != 6 {
+		t.Errorf("TSV line count wrong:\n%s", tsv)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if SchemePD2OI.String() != "PD2-OI" || SchemeGEDF.String() != "GEDF" || SchemePEDF.String() != "PEDF" || SchemePD2LJ.String() != "PD2-LJ" {
+		t.Error("scheme names wrong")
+	}
+}

@@ -1,0 +1,395 @@
+// Package frac implements exact rational arithmetic on checked int64
+// numerators and denominators.
+//
+// Pfair scheduling theory is built on exact fractions: task weights such as
+// 3/19, per-slot ideal allocations such as 32/95, and drift values such as
+// -3/20 must be computed without rounding, because correctness conditions
+// (lag bounds, completion times, drift bounds) are stated as exact
+// comparisons. All values that flow through the scheduler use this package;
+// floating point appears only in the Whisper geometry layer, which quantizes
+// to rationals before handing weights to the scheduler.
+//
+// Values are kept in lowest terms with a non-negative denominator. The zero
+// value of Rat is the rational number 0 and is ready to use. All operations
+// detect int64 overflow; on overflow they panic with ErrOverflow, since the
+// quantities handled by this repository (denominators in the low thousands,
+// time horizons in the low millions) are far from the representable range
+// and an overflow indicates a programming error rather than a recoverable
+// condition.
+package frac
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ErrOverflow is the panic value used when an operation exceeds int64 range
+// even after reduction to lowest terms.
+var ErrOverflow = fmt.Errorf("frac: int64 overflow")
+
+// Rat is an exact rational number num/den, always stored in lowest terms
+// with den > 0. The zero value is 0/1.
+type Rat struct {
+	num int64
+	den int64 // invariant: den >= 1 after normalization; zero value means den==1
+}
+
+// Common constants.
+var (
+	Zero = Rat{0, 1}
+	One  = Rat{1, 1}
+	Half = Rat{1, 2}
+)
+
+// New returns the rational num/den in lowest terms. It panics if den == 0.
+func New(num, den int64) Rat {
+	if den == 0 {
+		panic("frac: zero denominator")
+	}
+	return norm(num, den)
+}
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) Rat {
+	return Rat{n, 1}
+}
+
+// norm reduces num/den to lowest terms with a positive denominator.
+func norm(num, den int64) Rat {
+	if den < 0 {
+		num, den = -num, -den
+	}
+	if num == 0 {
+		return Rat{0, 1}
+	}
+	g := gcd64(abs64(num), den)
+	return Rat{num / g, den / g}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		if x == math.MinInt64 {
+			panic(ErrOverflow)
+		}
+		return -x
+	}
+	return x
+}
+
+// gcd64 returns the greatest common divisor of a and b, both > 0 expected
+// (a may be 0, in which case b is returned).
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// checked arithmetic helpers ------------------------------------------------
+
+func addChecked(a, b int64) int64 {
+	s := a + b
+	if (a > 0 && b > 0 && s <= 0) || (a < 0 && b < 0 && s >= 0) {
+		panic(ErrOverflow)
+	}
+	return s
+}
+
+func mulChecked(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a {
+		panic(ErrOverflow)
+	}
+	return p
+}
+
+// Num returns the numerator (in lowest terms; sign carried here).
+func (r Rat) Num() int64 { return r.num }
+
+// Den returns the denominator (in lowest terms, always >= 1).
+func (r Rat) Den() int64 {
+	if r.den == 0 { // zero value
+		return 1
+	}
+	return r.den
+}
+
+// IsZero reports whether r == 0.
+func (r Rat) IsZero() bool { return r.num == 0 }
+
+// Sign returns -1, 0 or +1 according to the sign of r.
+func (r Rat) Sign() int {
+	switch {
+	case r.num < 0:
+		return -1
+	case r.num > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Neg returns -r.
+func (r Rat) Neg() Rat {
+	return Rat{-r.num, r.Den()}
+}
+
+// Abs returns |r|.
+func (r Rat) Abs() Rat {
+	if r.num < 0 {
+		return r.Neg()
+	}
+	return Rat{r.num, r.Den()}
+}
+
+// Add returns r + s.
+func (r Rat) Add(s Rat) Rat {
+	rd, sd := r.Den(), s.Den()
+	// Use the lcm-style reduction to keep intermediates small.
+	g := gcd64(rd, sd)
+	// r.num*(sd/g) + s.num*(rd/g), over rd*(sd/g)
+	n := addChecked(mulChecked(r.num, sd/g), mulChecked(s.num, rd/g))
+	d := mulChecked(rd, sd/g)
+	return norm(n, d)
+}
+
+// Sub returns r - s.
+func (r Rat) Sub(s Rat) Rat { return r.Add(s.Neg()) }
+
+// Mul returns r * s.
+func (r Rat) Mul(s Rat) Rat {
+	rd, sd := r.Den(), s.Den()
+	// Cross-reduce before multiplying to avoid overflow.
+	g1 := gcd64(abs64(r.num), sd)
+	g2 := gcd64(abs64(s.num), rd)
+	n := mulChecked(r.num/g1, s.num/g2)
+	d := mulChecked(rd/g2, sd/g1)
+	return norm(n, d)
+}
+
+// Div returns r / s. It panics if s == 0.
+func (r Rat) Div(s Rat) Rat {
+	if s.num == 0 {
+		panic("frac: division by zero")
+	}
+	return r.Mul(Rat{s.Den(), abs64(s.num)}.withSign(s.Sign()))
+}
+
+func (r Rat) withSign(sign int) Rat {
+	if sign < 0 {
+		return Rat{-r.num, r.Den()}
+	}
+	return r
+}
+
+// MulInt returns r * n.
+func (r Rat) MulInt(n int64) Rat {
+	g := gcd64(abs64(n), r.Den())
+	return norm(mulChecked(r.num, n/g), r.Den()/g)
+}
+
+// Inv returns 1/r. It panics if r == 0.
+func (r Rat) Inv() Rat {
+	if r.num == 0 {
+		panic("frac: division by zero")
+	}
+	if r.num < 0 {
+		return Rat{-r.Den(), abs64(r.num)}
+	}
+	return Rat{r.Den(), r.num}
+}
+
+// Cmp compares r and s, returning -1 if r < s, 0 if r == s, +1 if r > s.
+func (r Rat) Cmp(s Rat) int {
+	// r.num/rd ? s.num/sd  <=>  r.num*sd ? s.num*rd (denominators positive).
+	rd, sd := r.Den(), s.Den()
+	g := gcd64(rd, sd)
+	a := mulChecked(r.num, sd/g)
+	b := mulChecked(s.num, rd/g)
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Eq reports whether r == s.
+func (r Rat) Eq(s Rat) bool { return r.num == s.num && r.Den() == s.Den() }
+
+// Less reports whether r < s.
+func (r Rat) Less(s Rat) bool { return r.Cmp(s) < 0 }
+
+// LessEq reports whether r <= s.
+func (r Rat) LessEq(s Rat) bool { return r.Cmp(s) <= 0 }
+
+// Min returns the smaller of r and s.
+func Min(r, s Rat) Rat {
+	if r.Cmp(s) <= 0 {
+		return r
+	}
+	return s
+}
+
+// Max returns the larger of r and s.
+func Max(r, s Rat) Rat {
+	if r.Cmp(s) >= 0 {
+		return r
+	}
+	return s
+}
+
+// Floor returns the greatest integer <= r.
+func (r Rat) Floor() int64 {
+	d := r.Den()
+	q := r.num / d
+	if r.num%d != 0 && r.num < 0 {
+		q--
+	}
+	return q
+}
+
+// Ceil returns the least integer >= r.
+func (r Rat) Ceil() int64 {
+	d := r.Den()
+	q := r.num / d
+	if r.num%d != 0 && r.num > 0 {
+		q++
+	}
+	return q
+}
+
+// IsInt reports whether r is an integer.
+func (r Rat) IsInt() bool { return r.Den() == 1 }
+
+// FloorDivInt returns floor(i / r) for r > 0. This is the ⌊i/wt(T)⌋ operation
+// from the Pfair window equations. It panics if r <= 0.
+func FloorDivInt(i int64, r Rat) int64 {
+	if r.Sign() <= 0 {
+		panic("frac: FloorDivInt requires positive divisor")
+	}
+	// i / (num/den) = i*den/num
+	return FromInt(i).Mul(r.Inv()).Floor()
+}
+
+// CeilDivInt returns ceil(i / r) for r > 0. This is the ⌈i/wt(T)⌉ operation
+// from the Pfair window equations. It panics if r <= 0.
+func CeilDivInt(i int64, r Rat) int64 {
+	if r.Sign() <= 0 {
+		panic("frac: CeilDivInt requires positive divisor")
+	}
+	return FromInt(i).Mul(r.Inv()).Ceil()
+}
+
+// Float64 returns the nearest float64 to r. Intended for reporting only.
+func (r Rat) Float64() float64 {
+	return float64(r.num) / float64(r.Den())
+}
+
+// String formats r as "num/den", or just "num" when r is an integer.
+func (r Rat) String() string {
+	if r.Den() == 1 {
+		return strconv.FormatInt(r.num, 10)
+	}
+	return strconv.FormatInt(r.num, 10) + "/" + strconv.FormatInt(r.Den(), 10)
+}
+
+// Parse parses "a/b" or "a" into a Rat.
+func Parse(s string) (Rat, error) {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		num, err := strconv.ParseInt(strings.TrimSpace(s[:i]), 10, 64)
+		if err != nil {
+			return Rat{}, fmt.Errorf("frac: parse %q: %w", s, err)
+		}
+		den, err := strconv.ParseInt(strings.TrimSpace(s[i+1:]), 10, 64)
+		if err != nil {
+			return Rat{}, fmt.Errorf("frac: parse %q: %w", s, err)
+		}
+		if den == 0 {
+			return Rat{}, fmt.Errorf("frac: parse %q: zero denominator", s)
+		}
+		return New(num, den), nil
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return Rat{}, fmt.Errorf("frac: parse %q: %w", s, err)
+	}
+	return FromInt(n), nil
+}
+
+// MustParse is Parse but panics on error. Intended for tests and constants.
+func MustParse(s string) Rat {
+	r, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// MarshalText implements encoding.TextMarshaler using the "num/den" form,
+// so rationals survive JSON round-trips exactly.
+func (r Rat) MarshalText() ([]byte, error) {
+	return []byte(r.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler, accepting "a/b" or "a".
+func (r *Rat) UnmarshalText(text []byte) error {
+	v, err := Parse(string(text))
+	if err != nil {
+		return err
+	}
+	*r = v
+	return nil
+}
+
+// Sum returns the sum of the given rationals.
+func Sum(rs ...Rat) Rat {
+	total := Zero
+	for _, r := range rs {
+		total = total.Add(r)
+	}
+	return total
+}
+
+// Quantize returns the rational nearest to x with the given denominator
+// (round half away from zero), in lowest terms. It is how floating-point
+// weights from the Whisper cost model enter the exact-arithmetic scheduler.
+// It panics if den <= 0 or x is not finite.
+func Quantize(x float64, den int64) Rat {
+	if den <= 0 {
+		panic("frac: Quantize requires positive denominator")
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		panic("frac: Quantize of non-finite value")
+	}
+	scaled := x * float64(den)
+	var n int64
+	if scaled >= 0 {
+		n = int64(math.Floor(scaled + 0.5))
+	} else {
+		n = int64(math.Ceil(scaled - 0.5))
+	}
+	return New(n, den)
+}
+
+// Clamp returns r limited to the inclusive range [lo, hi].
+func Clamp(r, lo, hi Rat) Rat {
+	if r.Less(lo) {
+		return lo
+	}
+	if hi.Less(r) {
+		return hi
+	}
+	return r
+}

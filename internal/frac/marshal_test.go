@@ -1,0 +1,69 @@
+package frac
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, s := range []string{"0", "1/2", "-3/20", "8/11", "1", "24/10"} {
+		r := MustParse(s)
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", s, err)
+		}
+		var back Rat
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !back.Eq(r) {
+			t.Errorf("round trip %s -> %s -> %s", s, data, back)
+		}
+	}
+}
+
+func TestMarshalInStruct(t *testing.T) {
+	type payload struct {
+		W Rat `json:"w"`
+	}
+	var p payload
+	if err := json.Unmarshal([]byte(`{"w": "3/19"}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if !p.W.Eq(New(3, 19)) {
+		t.Errorf("w = %s", p.W)
+	}
+	data, err := json.Marshal(payload{W: New(2, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"w":"1/2"}` {
+		t.Errorf("marshaled %s", data)
+	}
+	if err := json.Unmarshal([]byte(`{"w": "1/0"}`), &p); err == nil {
+		t.Error("zero denominator accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"w": "x"}`), &p); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"1/2", "-3/20", "0", "1", "9223372036854775807", " 5/16", "1/0", "a/b", "1.5", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := Parse(s)
+		if err != nil {
+			return
+		}
+		// Anything that parses must round-trip and be normalized.
+		back, err := Parse(r.String())
+		if err != nil || !back.Eq(r) {
+			t.Fatalf("round trip failed for %q -> %s", s, r)
+		}
+		if r.Den() < 1 {
+			t.Fatalf("denominator %d < 1 for %q", r.Den(), s)
+		}
+	})
+}

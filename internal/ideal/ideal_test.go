@@ -1,0 +1,268 @@
+package ideal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+func rat(s string) frac.Rat { return frac.MustParse(s) }
+
+// TestFig1aPeriodicAllocations reproduces the per-slot ideal allocations of
+// Fig. 1(a): a periodic task of weight 5/16.
+func TestFig1aPeriodicAllocations(t *testing.T) {
+	a := NewAllocator(MustTask(frac.New(5, 16)))
+	// Subtask -> slot -> allocation (sixteenths), from the figure.
+	want := map[int64]map[model.Time]string{
+		1: {0: "5/16", 1: "5/16", 2: "5/16", 3: "1/16"},
+		2: {3: "4/16", 4: "5/16", 5: "5/16", 6: "2/16"},
+		3: {6: "3/16", 7: "5/16", 8: "5/16", 9: "3/16"},
+		4: {9: "2/16", 10: "5/16", 11: "5/16", 12: "4/16"},
+		5: {12: "1/16", 13: "5/16", 14: "5/16", 15: "5/16"},
+	}
+	for i, slots := range want {
+		for slot, alloc := range slots {
+			if got := a.Alloc(i, slot); !got.Eq(rat(alloc)) {
+				t.Errorf("A(T_%d, %d) = %s, want %s", i, slot, got, alloc)
+			}
+		}
+	}
+	// Outside the window the allocation is zero.
+	if !a.Alloc(2, 2).IsZero() || !a.Alloc(2, 7).IsZero() {
+		t.Error("allocation outside window is nonzero")
+	}
+	// The figure's worked example: A(I, T, 6) = 2/16 + 3/16 = 5/16.
+	if got := a.TaskSlot(6); !got.Eq(rat("5/16")) {
+		t.Errorf("A(I,T,6) = %s, want 5/16", got)
+	}
+}
+
+// TestFig1bISAllocations reproduces Fig. 1(b): the same weight-5/16 task
+// with IS separations θ = (0, 2, 3, 3, ...).
+func TestFig1bISAllocations(t *testing.T) {
+	a := NewAllocator(MustTask(frac.New(5, 16), 0, 2, 3, 3, 3))
+	// T_2's window shifts to [5, 9); its first-slot allocation still pairs
+	// with T_1's last-slot allocation (1/16) to make the weight.
+	if got := a.Alloc(2, 5); !got.Eq(rat("4/16")) {
+		t.Errorf("A(T_2, 5) = %s, want 4/16", got)
+	}
+	if got := a.Alloc(2, 8); !got.Eq(rat("2/16")) {
+		t.Errorf("A(T_2, 8) = %s, want 2/16", got)
+	}
+	// Slot 4 is the inactive gap: no allocation at all.
+	if got := a.TaskSlot(4); !got.IsZero() {
+		t.Errorf("A(I,T,4) = %s, want 0", got)
+	}
+	// T_3 window [9,13): first slot pairs with T_2's 2/16.
+	if got := a.Alloc(3, 9); !got.Eq(rat("3/16")) {
+		t.Errorf("A(T_3, 9) = %s, want 3/16", got)
+	}
+	// Every subtask still sums to exactly one quantum.
+	for i := int64(1); i <= 5; i++ {
+		win := a.task.Window(i)
+		sum := frac.Zero
+		for s := win.Release; s < win.Deadline; s++ {
+			sum = sum.Add(a.Alloc(i, s))
+		}
+		if !sum.Eq(frac.One) {
+			t.Errorf("subtask %d total = %s, want 1", i, sum)
+		}
+	}
+}
+
+func TestSubtaskCum(t *testing.T) {
+	a := NewAllocator(MustTask(frac.New(5, 16)))
+	cases := []struct {
+		i    int64
+		t    model.Time
+		want string
+	}{
+		{1, 0, "0"},
+		{1, 1, "5/16"},
+		{1, 3, "15/16"},
+		{1, 4, "1"},
+		{1, 100, "1"},
+		{2, 3, "0"},
+		{2, 4, "4/16"},
+		{2, 6, "14/16"},
+		{2, 7, "1"},
+	}
+	for _, c := range cases {
+		if got := a.SubtaskCum(c.i, c.t); !got.Eq(rat(c.want)) {
+			t.Errorf("SubtaskCum(%d, %d) = %s, want %s", c.i, c.t, got, c.want)
+		}
+	}
+}
+
+// TestPeriodicPerSlotTotalIsWeight checks the defining property of the ideal
+// schedule for periodic tasks: the task receives exactly its weight in every
+// slot, so the cumulative allocation is w*t.
+func TestPeriodicPerSlotTotalIsWeight(t *testing.T) {
+	weights := []frac.Rat{
+		frac.New(5, 16), frac.New(3, 19), frac.New(2, 5), frac.New(1, 2),
+		frac.New(1, 10), frac.New(3, 20), frac.New(1, 21), frac.New(1, 3),
+	}
+	for _, w := range weights {
+		a := NewAllocator(MustTask(w))
+		for slot := model.Time(0); slot < 3*w.Den(); slot++ {
+			if got := a.TaskSlot(slot); !got.Eq(w) {
+				t.Errorf("w=%s: A(I,T,%d) = %s, want %s", w, slot, got, w)
+			}
+		}
+		for _, tt := range []model.Time{0, 1, 7, w.Den(), 2*w.Den() + 3} {
+			if got, want := a.TaskCum(tt), PSCum(w, tt); !got.Eq(want) {
+				t.Errorf("w=%s: TaskCum(%d) = %s, want %s", w, tt, got, want)
+			}
+		}
+	}
+}
+
+// TestAllocationsWithinBounds checks 0 <= A(T_i, t) <= w and per-subtask
+// totals of one for randomized weights and IS offsets.
+func TestAllocationsWithinBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		den := r.Int63n(60) + 2
+		num := r.Int63n(den-1) + 1
+		w := frac.New(num, den)
+		var offsets []model.Time
+		cur := model.Time(0)
+		for i := 0; i < 8; i++ {
+			cur += r.Int63n(3)
+			offsets = append(offsets, cur)
+		}
+		a := NewAllocator(MustTask(w, offsets...))
+		for i := int64(1); i <= 8; i++ {
+			win := a.task.Window(i)
+			sum := frac.Zero
+			for s := win.Release; s < win.Deadline; s++ {
+				al := a.Alloc(i, s)
+				if al.Sign() < 0 || w.Less(al) {
+					t.Fatalf("w=%s θ=%v: A(T_%d,%d) = %s out of [0,%s]", w, offsets, i, s, al, w)
+				}
+				sum = sum.Add(al)
+			}
+			if !sum.Eq(frac.One) {
+				t.Fatalf("w=%s θ=%v: subtask %d total = %s", w, offsets, i, sum)
+			}
+			// Boundary pairing: first(T_i) + last(T_{i-1}) == w when
+			// b(T_{i-1}) == 1.
+			if i > 1 && a.task.BBit(i-1) == 1 {
+				prev := a.task.Window(i - 1)
+				pair := a.Alloc(i, win.Release).Add(a.Alloc(i-1, prev.Deadline-1))
+				if !pair.Eq(w) {
+					t.Fatalf("w=%s θ=%v: boundary pair of T_%d = %s, want %s", w, offsets, i, pair, w)
+				}
+			}
+		}
+	}
+}
+
+// TestTaskSlotAtMostWeight: the per-slot allocation to a whole IS task never
+// exceeds its weight (property (AF1) restricted to static systems).
+func TestTaskSlotAtMostWeight(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		den := r.Int63n(40) + 2
+		num := r.Int63n(den-1) + 1
+		w := frac.New(num, den)
+		var offsets []model.Time
+		cur := model.Time(0)
+		for i := 0; i < 10; i++ {
+			cur += r.Int63n(4)
+			offsets = append(offsets, cur)
+		}
+		a := NewAllocator(MustTask(w, offsets...))
+		horizon := a.task.Window(10).Deadline
+		for s := model.Time(0); s < horizon; s++ {
+			if got := a.TaskSlot(s); w.Less(got) {
+				t.Fatalf("w=%s θ=%v: A(I,T,%d) = %s > w", w, offsets, s, got)
+			}
+		}
+	}
+}
+
+func TestNewTaskValidation(t *testing.T) {
+	if _, err := NewTask(frac.Zero); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewTask(frac.New(1, 3), 0, 2, 1); err == nil {
+		t.Error("decreasing offsets accepted")
+	}
+	if _, err := NewTask(frac.New(1, 3), 0, 0, 5); err != nil {
+		t.Errorf("valid offsets rejected: %v", err)
+	}
+}
+
+func TestThetaExtension(t *testing.T) {
+	task := MustTask(frac.New(1, 4), 0, 2, 3)
+	if task.Theta(1) != 0 || task.Theta(2) != 2 || task.Theta(3) != 3 {
+		t.Error("explicit offsets wrong")
+	}
+	if task.Theta(4) != 3 || task.Theta(100) != 3 {
+		t.Error("offset extension wrong")
+	}
+	none := MustTask(frac.New(1, 4))
+	if none.Theta(5) != 0 {
+		t.Error("empty-offset theta wrong")
+	}
+}
+
+func TestWeightOneTask(t *testing.T) {
+	a := NewAllocator(MustTask(frac.One))
+	for s := model.Time(0); s < 5; s++ {
+		if got := a.Alloc(s+1, s); !got.Eq(frac.One) {
+			t.Errorf("weight-1 A(T_%d,%d) = %s, want 1", s+1, s, got)
+		}
+	}
+	if got := a.TaskCum(5); !got.Eq(frac.FromInt(5)) {
+		t.Errorf("weight-1 cum = %s", got)
+	}
+}
+
+func TestLag(t *testing.T) {
+	w := frac.New(2, 5)
+	// After 5 slots the ideal is 2; an actual allocation of 2 gives lag 0.
+	if got := Lag(w, 5, frac.FromInt(2)); !got.IsZero() {
+		t.Errorf("lag = %s, want 0", got)
+	}
+	if got := Lag(w, 3, frac.One); !got.Eq(rat("1/5")) {
+		t.Errorf("lag = %s, want 1/5", got)
+	}
+}
+
+// TestClosedFormMatchesAllocator: the arithmetic closed form and the Fig. 2
+// pseudo-code allocator agree on every slot of every subtask, for random
+// weights and IS offsets.
+func TestClosedFormMatchesAllocator(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 300; trial++ {
+		den := r.Int63n(40) + 2
+		num := r.Int63n(den) + 1 // any weight in (0, 1]
+		w := frac.New(num, den)
+		var offsets []model.Time
+		cur := model.Time(0)
+		for i := 0; i < 10; i++ {
+			cur += r.Int63n(3)
+			offsets = append(offsets, cur)
+		}
+		task := MustTask(w, offsets...)
+		a := NewAllocator(task)
+		for i := int64(1); i <= 10; i++ {
+			win := task.Window(i)
+			for s := win.Release - 1; s <= win.Deadline; s++ {
+				if s < 0 {
+					continue
+				}
+				got := ClosedForm(task, i, s)
+				want := a.Alloc(i, s)
+				if !got.Eq(want) {
+					t.Fatalf("w=%s θ=%v: ClosedForm(T_%d,%d)=%s, allocator says %s",
+						w, offsets, i, s, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package model defines the task models of the paper — periodic,
+// intra-sporadic (IS) and adaptable intra-sporadic (AIS) — and the exact
+// subtask window arithmetic they share.
+//
+// Under Pfair scheduling, processor time is allocated in unit quanta; slot t
+// is the interval [t, t+1). Each quantum of a task's execution is a subtask
+// T_i (i >= 1). For a task of weight wt = e/p, subtask T_i of an IS task
+// with offset θ(T_i) has
+//
+//	release  r(T_i) = θ(T_i) + ⌊(i-1)/wt⌋
+//	deadline d(T_i) = θ(T_i) + ⌈i/wt⌉
+//	b-bit    b(T_i) = ⌈i/wt⌉ - ⌊i/wt⌋
+//
+// and must be scheduled within its window [r(T_i), d(T_i)).
+//
+// The AIS model (Sec. 3 of the paper) generalizes this by letting the weight
+// be a function of time. Releases and deadlines are then computed from the
+// *scheduling weight* (the last enacted weight) via Eqns (2)-(4), which this
+// package exposes in epoch-relative form: after a weight change is enacted,
+// subtask indices restart from 1 within the new "epoch" (formally, n = j - z
+// where z = Id(T_j) - 1).
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/frac"
+)
+
+// Time is a slot index (an integral number of quanta). Slot t covers the
+// real-time interval [t, t+1).
+type Time = int64
+
+// Infinity is a Time value used for "never" (e.g. the halt time of a subtask
+// that is never halted).
+const Infinity Time = 1<<62 - 1
+
+// Weight-range errors returned by validation helpers.
+var (
+	ErrWeightNonPositive = errors.New("model: weight must be positive")
+	ErrWeightTooLarge    = errors.New("model: weight must be at most 1")
+	ErrWeightHeavy       = errors.New("model: weight must be at most 1/2 (the paper's reweighting rules cover light tasks only)")
+)
+
+// MaxLightWeight is the largest weight the paper's reweighting analysis
+// covers (Sec. 2: "we focus exclusively on tasks with weight at most 1/2").
+var MaxLightWeight = frac.Half
+
+// CheckWeight validates a Pfair weight: 0 < w <= 1.
+func CheckWeight(w frac.Rat) error {
+	if w.Sign() <= 0 {
+		return fmt.Errorf("%w (got %s)", ErrWeightNonPositive, w)
+	}
+	if frac.One.Less(w) {
+		return fmt.Errorf("%w (got %s)", ErrWeightTooLarge, w)
+	}
+	return nil
+}
+
+// CheckLightWeight validates a weight usable with the adaptive (AIS)
+// reweighting rules: 0 < w <= 1/2.
+func CheckLightWeight(w frac.Rat) error {
+	if err := CheckWeight(w); err != nil {
+		return err
+	}
+	if MaxLightWeight.Less(w) {
+		return fmt.Errorf("%w (got %s)", ErrWeightHeavy, w)
+	}
+	return nil
+}
+
+// IsHeavy reports whether w > 1/2.
+func IsHeavy(w frac.Rat) bool { return MaxLightWeight.Less(w) }
+
+// Window is a half-open slot interval [Release, Deadline).
+type Window struct {
+	Release  Time
+	Deadline Time
+}
+
+// Len returns the window length in slots.
+func (w Window) Len() int64 { return w.Deadline - w.Release }
+
+// Contains reports whether slot t lies in the window.
+func (w Window) Contains(t Time) bool { return w.Release <= t && t < w.Deadline }
+
+// Overlap returns the number of slots shared by w and v.
+func (w Window) Overlap(v Window) int64 {
+	lo := max64(w.Release, v.Release)
+	hi := min64(w.Deadline, v.Deadline)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+func (w Window) String() string { return fmt.Sprintf("[%d,%d)", w.Release, w.Deadline) }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// --- Static IS subtask arithmetic (Sec. 2) --------------------------------
+
+// Release returns r(T_i) = θ + ⌊(i-1)/w⌋ for i >= 1. It panics if i < 1 or
+// the weight is invalid.
+func Release(w frac.Rat, theta Time, i int64) Time {
+	mustIndex(i)
+	mustWeight(w)
+	return theta + frac.FloorDivInt(i-1, w)
+}
+
+// Deadline returns d(T_i) = θ + ⌈i/w⌉ for i >= 1.
+func Deadline(w frac.Rat, theta Time, i int64) Time {
+	mustIndex(i)
+	mustWeight(w)
+	return theta + frac.CeilDivInt(i, w)
+}
+
+// BBit returns b(T_i) = ⌈i/w⌉ - ⌊i/w⌋ ∈ {0, 1}. In a periodic system it is 1
+// exactly when T_i's window overlaps T_{i+1}'s.
+func BBit(w frac.Rat, i int64) int64 {
+	mustIndex(i)
+	mustWeight(w)
+	return frac.CeilDivInt(i, w) - frac.FloorDivInt(i, w)
+}
+
+// SubtaskWindow returns the window [r(T_i), d(T_i)) of subtask i of an IS
+// task with weight w and offset θ.
+func SubtaskWindow(w frac.Rat, theta Time, i int64) Window {
+	return Window{Release(w, theta, i), Deadline(w, theta, i)}
+}
+
+func mustIndex(i int64) {
+	if i < 1 {
+		panic(fmt.Sprintf("model: subtask index %d < 1", i))
+	}
+}
+
+func mustWeight(w frac.Rat) {
+	if err := CheckWeight(w); err != nil {
+		panic(err)
+	}
+}
+
+// --- Epoch-relative AIS subtask arithmetic (Eqns (2)-(4)) ------------------
+
+// EpochDeadline returns the deadline of the n-th subtask of an epoch
+// (n = j - z in the paper's notation, n >= 1) that was released at time r
+// under scheduling weight w:
+//
+//	d(T_j) = r(T_j) + ⌈n/w⌉ - ⌊(n-1)/w⌋        (Eqn (2))
+func EpochDeadline(w frac.Rat, release Time, n int64) Time {
+	mustIndex(n)
+	mustWeight(w)
+	return release + frac.CeilDivInt(n, w) - frac.FloorDivInt(n-1, w)
+}
+
+// EpochBBit returns the b-bit of the n-th subtask of an epoch under
+// scheduling weight w:
+//
+//	b(T_j) = ⌈n/w⌉ - ⌊n/w⌋                      (Eqn (3))
+func EpochBBit(w frac.Rat, n int64) int64 { return BBit(w, n) }
+
+// GroupDeadline returns the PD² group deadline of the n-th subtask of an
+// epoch released at the given time under weight w — the second PD²
+// tie-break, needed for tasks of weight greater than 1/2. A heavy task
+// releases chains of length-two overlapping windows; one "wrong" decision
+// forces a cascade of forced decisions that ends only at a window of
+// length three or at a non-overlapping boundary. The group deadline is the
+// time by which such a cascade resolves:
+//
+//	D(T_i) = base + ⌈ ⌈ ⌈n/w⌉·(1-w) ⌉ / (1-w) ⌉
+//
+// where base is the epoch start. For weight 1 there is never slack, so the
+// group deadline is effectively infinite; for light tasks (w <= 1/2) group
+// deadlines play no role and 0 is returned.
+func GroupDeadline(w frac.Rat, release Time, n int64) Time {
+	mustIndex(n)
+	mustWeight(w)
+	if !IsHeavy(w) {
+		return 0
+	}
+	if w.Eq(frac.One) {
+		return Infinity
+	}
+	base := release - frac.FloorDivInt(n-1, w)
+	dRel := frac.CeilDivInt(n, w)
+	oneMinus := frac.One.Sub(w)
+	inner := oneMinus.MulInt(dRel).Ceil()
+	return base + frac.CeilDivInt(inner, oneMinus)
+}
+
+// NextRelease returns the release of the successor subtask per Eqn (4):
+//
+//	r(T_{j+1}) = d(T_j) - b(T_j) + sep
+//
+// where sep = θ(T_{j+1}) - θ(T_j) >= 0 is the IS separation. It panics on a
+// negative separation, which the IS model forbids.
+func NextRelease(deadline Time, bbit int64, sep int64) Time {
+	if sep < 0 {
+		panic("model: negative IS separation")
+	}
+	if bbit != 0 && bbit != 1 {
+		panic(fmt.Sprintf("model: b-bit %d out of range", bbit))
+	}
+	return deadline - bbit + sep
+}
+
+// --- Task specifications ---------------------------------------------------
+
+// Spec describes one task of a (possibly adaptive) system as handed to the
+// scheduler. Weight is the initial weight; for periodic tasks it equals
+// e/p. Join is the time the task enters the system (0 for tasks present from
+// the start).
+type Spec struct {
+	// Name identifies the task in traces and error messages. Names must be
+	// unique within a system.
+	Name string
+	// Weight is the initial weight, 0 < Weight <= 1 (<= 1/2 for tasks that
+	// will be reweighted by the AIS rules).
+	Weight frac.Rat
+	// Join is the time at which the task joins the system.
+	Join Time
+	// Group is an optional label used by configurable tie-breaks (the
+	// paper's figures fix "ties broken in favor of" a named set).
+	Group string
+}
+
+// Validate checks the spec's fields.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return errors.New("model: task spec needs a name")
+	}
+	if err := CheckWeight(s.Weight); err != nil {
+		return fmt.Errorf("model: task %s: %w", s.Name, err)
+	}
+	if s.Join < 0 {
+		return fmt.Errorf("model: task %s: negative join time %d", s.Name, s.Join)
+	}
+	return nil
+}
+
+// Periodic returns the spec of a periodic task with execution cost e and
+// period p (weight e/p), starting at time 0.
+func Periodic(name string, e, p int64) Spec {
+	if e <= 0 || p <= 0 || e > p {
+		panic(fmt.Sprintf("model: invalid periodic task %s: e=%d p=%d", name, e, p))
+	}
+	return Spec{Name: name, Weight: frac.New(e, p)}
+}
+
+// System is a static description of a task set and processor count, used to
+// seed the scheduler and to run feasibility checks.
+type System struct {
+	M     int // number of processors
+	Tasks []Spec
+}
+
+// Validate checks every spec, name uniqueness, and the processor count.
+func (sys System) Validate() error {
+	if sys.M < 1 {
+		return fmt.Errorf("model: need at least one processor, got %d", sys.M)
+	}
+	seen := make(map[string]bool, len(sys.Tasks))
+	for _, s := range sys.Tasks {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("model: duplicate task name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return nil
+}
+
+// TotalWeight returns the sum of all task weights (ignoring join times).
+func (sys System) TotalWeight() frac.Rat {
+	total := frac.Zero
+	for _, s := range sys.Tasks {
+		total = total.Add(s.Weight)
+	}
+	return total
+}
+
+// Feasible reports whether the total weight is at most M (the Pfair
+// feasibility condition, and the paper's join condition J).
+func (sys System) Feasible() bool {
+	return sys.TotalWeight().LessEq(frac.FromInt(int64(sys.M)))
+}
+
+// WeightRequest is a weight-change request emitted by a workload driver:
+// at some slot, the named task asks for a new share.
+type WeightRequest struct {
+	Task   string
+	Weight frac.Rat
+}
+
+// Replicate appends n copies of the given spec with names base#0..base#n-1.
+// It is a convenience for the paper's figure systems ("a set A of 35 tasks
+// of weight 1/10").
+func Replicate(n int, base Spec) []Spec {
+	specs := make([]Spec, n)
+	for i := range specs {
+		s := base
+		s.Name = fmt.Sprintf("%s#%d", base.Name, i)
+		specs[i] = s
+	}
+	return specs
+}

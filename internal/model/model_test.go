@@ -1,0 +1,376 @@
+package model
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/frac"
+)
+
+// TestFig1aPeriodicWindows checks the periodic windows of a weight-5/16 task
+// against Fig. 1(a) of the paper: T_1 [0,4), T_2 [3,7), ..., and
+// r(T_6) = 16.
+func TestFig1aPeriodicWindows(t *testing.T) {
+	w := frac.New(5, 16)
+	want := []Window{
+		{0, 4}, {3, 7}, {6, 10}, {9, 13}, {12, 16},
+	}
+	for i, win := range want {
+		got := SubtaskWindow(w, 0, int64(i+1))
+		if got != win {
+			t.Errorf("window(T_%d) = %v, want %v", i+1, got, win)
+		}
+	}
+	// b-bits: 1 for T_1..T_4, 0 for T_5 (window of T_5 does not overlap T_6).
+	for i := int64(1); i <= 4; i++ {
+		if BBit(w, i) != 1 {
+			t.Errorf("b(T_%d) = %d, want 1", i, BBit(w, i))
+		}
+	}
+	if BBit(w, 5) != 0 {
+		t.Errorf("b(T_5) = %d, want 0", BBit(w, 5))
+	}
+	// In the absence of IS separations, r(T_{i+1}) = d(T_i) - b(T_i):
+	// r(T_2) = 4 - 1 = 3 and r(T_6) = 16 - 0 = 16.
+	if got := NextRelease(Deadline(w, 0, 1), BBit(w, 1), 0); got != 3 {
+		t.Errorf("r(T_2) = %d, want 3", got)
+	}
+	if got := NextRelease(Deadline(w, 0, 5), BBit(w, 5), 0); got != 16 {
+		t.Errorf("r(T_6) = %d, want 16", got)
+	}
+	if got := Release(w, 0, 6); got != 16 {
+		t.Errorf("Release(T_6) = %d, want 16", got)
+	}
+}
+
+// TestFig1bISWindows checks the IS variant from Fig. 1(b): the release of
+// T_2 is delayed by two quanta and T_3 by an additional quantum, so the task
+// is active in every slot except slot 4.
+func TestFig1bISWindows(t *testing.T) {
+	w := frac.New(5, 16)
+	theta := []Time{0, 2, 3, 3, 3}
+	wins := make([]Window, 5)
+	for i := range wins {
+		wins[i] = SubtaskWindow(w, theta[i], int64(i+1))
+	}
+	want := []Window{{0, 4}, {5, 9}, {9, 13}, {12, 16}, {15, 19}}
+	for i := range want {
+		if wins[i] != want[i] {
+			t.Errorf("window(T_%d) = %v, want %v", i+1, wins[i], want[i])
+		}
+	}
+	// Active everywhere in [0, 19) except slot 4.
+	for slot := Time(0); slot < 19; slot++ {
+		active := false
+		for _, win := range wins {
+			if win.Contains(slot) {
+				active = true
+				break
+			}
+		}
+		if slot == 4 && active {
+			t.Errorf("task active at slot 4, want inactive")
+		}
+		if slot != 4 && !active {
+			t.Errorf("task inactive at slot %d, want active", slot)
+		}
+	}
+}
+
+func TestEpochArithmeticMatchesStatic(t *testing.T) {
+	// Within a single epoch starting at time 0 with releases as early as
+	// possible, Eqns (2)-(4) must reproduce the static IS formulas.
+	weights := []frac.Rat{
+		frac.New(5, 16), frac.New(3, 19), frac.New(2, 5),
+		frac.New(1, 10), frac.New(1, 2), frac.New(1, 21), frac.New(3, 20),
+	}
+	for _, w := range weights {
+		release := Time(0)
+		for n := int64(1); n <= 20; n++ {
+			if got, want := release, Release(w, 0, n); got != want {
+				t.Fatalf("w=%s: r(T_%d) = %d, want %d", w, n, got, want)
+			}
+			d := EpochDeadline(w, release, n)
+			if want := Deadline(w, 0, n); d != want {
+				t.Fatalf("w=%s: d(T_%d) = %d, want %d", w, n, d, want)
+			}
+			b := EpochBBit(w, n)
+			if want := BBit(w, n); b != want {
+				t.Fatalf("w=%s: b(T_%d) = %d, want %d", w, n, b, want)
+			}
+			release = NextRelease(d, b, 0)
+		}
+	}
+}
+
+func TestWindowHelpers(t *testing.T) {
+	w := Window{3, 7}
+	if w.Len() != 4 {
+		t.Errorf("Len = %d", w.Len())
+	}
+	if !w.Contains(3) || !w.Contains(6) || w.Contains(7) || w.Contains(2) {
+		t.Error("Contains wrong at boundaries")
+	}
+	if got := w.Overlap(Window{6, 10}); got != 1 {
+		t.Errorf("Overlap = %d, want 1", got)
+	}
+	if got := w.Overlap(Window{7, 10}); got != 0 {
+		t.Errorf("Overlap disjoint = %d, want 0", got)
+	}
+	if got := w.Overlap(Window{0, 100}); got != 4 {
+		t.Errorf("Overlap containing = %d, want 4", got)
+	}
+	if w.String() != "[3,7)" {
+		t.Errorf("String = %s", w.String())
+	}
+}
+
+func TestCheckWeight(t *testing.T) {
+	if err := CheckWeight(frac.New(1, 2)); err != nil {
+		t.Errorf("1/2: %v", err)
+	}
+	if err := CheckWeight(frac.One); err != nil {
+		t.Errorf("1: %v", err)
+	}
+	if err := CheckWeight(frac.Zero); err == nil {
+		t.Error("0 accepted")
+	}
+	if err := CheckWeight(frac.New(-1, 3)); err == nil {
+		t.Error("-1/3 accepted")
+	}
+	if err := CheckWeight(frac.New(3, 2)); err == nil {
+		t.Error("3/2 accepted")
+	}
+	if err := CheckLightWeight(frac.New(2, 3)); err == nil {
+		t.Error("2/3 accepted as light")
+	}
+	if err := CheckLightWeight(frac.Half); err != nil {
+		t.Errorf("1/2 rejected as light: %v", err)
+	}
+	if !IsHeavy(frac.New(2, 3)) || IsHeavy(frac.Half) {
+		t.Error("IsHeavy wrong")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{Name: "T", Weight: frac.New(1, 3)}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+	for _, bad := range []Spec{
+		{Name: "", Weight: frac.New(1, 3)},
+		{Name: "T", Weight: frac.Zero},
+		{Name: "T", Weight: frac.New(1, 3), Join: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("bad spec %+v accepted", bad)
+		}
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	s := Periodic("T", 2, 5)
+	if !s.Weight.Eq(frac.New(2, 5)) {
+		t.Errorf("weight = %s", s.Weight)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Periodic(e>p) did not panic")
+		}
+	}()
+	Periodic("bad", 6, 5)
+}
+
+func TestSystemValidateAndFeasible(t *testing.T) {
+	sys := System{M: 2, Tasks: []Spec{
+		{Name: "A", Weight: frac.New(1, 2)},
+		{Name: "B", Weight: frac.New(1, 2)},
+		{Name: "C", Weight: frac.New(1, 2)},
+		{Name: "D", Weight: frac.New(1, 2)},
+	}}
+	if err := sys.Validate(); err != nil {
+		t.Fatalf("valid system rejected: %v", err)
+	}
+	if !sys.TotalWeight().Eq(frac.FromInt(2)) {
+		t.Errorf("total weight = %s", sys.TotalWeight())
+	}
+	if !sys.Feasible() {
+		t.Error("fully-utilized system reported infeasible")
+	}
+	sys.Tasks = append(sys.Tasks, Spec{Name: "E", Weight: frac.New(1, 10)})
+	if sys.Feasible() {
+		t.Error("overloaded system reported feasible")
+	}
+
+	dup := System{M: 1, Tasks: []Spec{
+		{Name: "A", Weight: frac.New(1, 4)},
+		{Name: "A", Weight: frac.New(1, 4)},
+	}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if err := (System{M: 0}).Validate(); err == nil {
+		t.Error("M=0 accepted")
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	specs := Replicate(3, Spec{Name: "A", Weight: frac.New(1, 10), Group: "bg"})
+	if len(specs) != 3 {
+		t.Fatalf("len = %d", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		names[s.Name] = true
+		if !s.Weight.Eq(frac.New(1, 10)) || s.Group != "bg" {
+			t.Errorf("bad replica %+v", s)
+		}
+	}
+	if len(names) != 3 {
+		t.Errorf("names not unique: %v", names)
+	}
+}
+
+// randWeight yields weights in (0, 1/2] with denominators <= 64, the range
+// the paper's adaptive rules cover.
+func randWeight(r *rand.Rand) frac.Rat {
+	den := r.Int63n(63) + 2
+	num := r.Int63n(den/2) + 1
+	return frac.New(num, den)
+}
+
+func TestWindowPropertiesQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 1500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randWeight(r))
+			vals[1] = reflect.ValueOf(r.Int63n(40) + 1)
+		},
+	}
+
+	t.Run("WindowNonEmpty", func(t *testing.T) {
+		// Every window has length >= ceil(1/w) - 1 >= 1.
+		if err := quick.Check(func(w frac.Rat, i int64) bool {
+			return SubtaskWindow(w, 0, i).Len() >= 1
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("ConsecutiveOverlapIsBBit", func(t *testing.T) {
+		// In a periodic system, consecutive windows overlap by exactly the
+		// b-bit.
+		if err := quick.Check(func(w frac.Rat, i int64) bool {
+			a := SubtaskWindow(w, 0, i)
+			b := SubtaskWindow(w, 0, i+1)
+			return a.Overlap(b) == BBit(w, i)
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("BBitBinary", func(t *testing.T) {
+		if err := quick.Check(func(w frac.Rat, i int64) bool {
+			b := BBit(w, i)
+			return b == 0 || b == 1
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("ReleasesMonotone", func(t *testing.T) {
+		if err := quick.Check(func(w frac.Rat, i int64) bool {
+			return Release(w, 0, i) <= Release(w, 0, i+1) &&
+				Deadline(w, 0, i) <= Deadline(w, 0, i+1)
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("LightWindowAtLeastThree", func(t *testing.T) {
+		// Lemma used throughout the paper's proofs: for weight <= 1/2,
+		// every subtask with a b-bit of 1 has a window length of at least 3.
+		if err := quick.Check(func(w frac.Rat, i int64) bool {
+			if BBit(w, i) != 1 {
+				return true
+			}
+			return SubtaskWindow(w, 0, i).Len() >= 3
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("PeriodBoundary", func(t *testing.T) {
+		// Over one hyperperiod, a task of weight e/p has exactly e subtasks
+		// with deadlines at most p: d(T_e) = p.
+		if err := quick.Check(func(w frac.Rat, _ int64) bool {
+			e, p := w.Num(), w.Den()
+			return Deadline(w, 0, e) == p && Release(w, 0, e+1) >= p-0 &&
+				Release(w, 0, e+1) == p-BBit(w, e)
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// cascadeGroupDeadline computes the group deadline by direct definition: a
+// cascade of forced decisions extends through consecutive length-two
+// windows and resolves either at a non-overlapping boundary (b = 0, at that
+// window's deadline) or inside the first window of length >= 3 (one slot
+// before its deadline).
+func cascadeGroupDeadline(w frac.Rat, i int64) Time {
+	for j := i + 1; ; j++ {
+		if BBit(w, j-1) == 0 {
+			return Deadline(w, 0, j-1)
+		}
+		if SubtaskWindow(w, 0, j).Len() >= 3 {
+			return Deadline(w, 0, j) - 1
+		}
+	}
+}
+
+// TestGroupDeadlineMatchesCascade cross-checks the closed-form group
+// deadline against the cascade-walk definition for random heavy weights.
+func TestGroupDeadlineMatchesCascade(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 400; trial++ {
+		den := r.Int63n(28) + 3
+		num := r.Int63n(den-1) + 1
+		w := frac.New(num, den)
+		if !IsHeavy(w) || w.Eq(frac.One) {
+			continue
+		}
+		for i := int64(1); i <= 12; i++ {
+			got := GroupDeadline(w, Release(w, 0, i), i)
+			want := cascadeGroupDeadline(w, i)
+			if got != want {
+				t.Fatalf("w=%s: D(T_%d) = %d, cascade says %d", w, i, got, want)
+			}
+		}
+	}
+}
+
+// TestGroupDeadlineProperties: monotone non-decreasing in the subtask index
+// and never before the subtask's own deadline minus one.
+func TestGroupDeadlineProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 800,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			den := r.Int63n(30) + 3
+			num := den/2 + 1 + r.Int63n(den-den/2-1) // heavy, < 1
+			if num >= den {
+				num = den - 1
+			}
+			vals[0] = reflect.ValueOf(frac.New(num, den))
+			vals[1] = reflect.ValueOf(r.Int63n(20) + 1)
+		},
+	}
+	if err := quick.Check(func(w frac.Rat, i int64) bool {
+		if !IsHeavy(w) || w.Eq(frac.One) {
+			return true
+		}
+		d := Deadline(w, 0, i)
+		g := GroupDeadline(w, Release(w, 0, i), i)
+		gNext := GroupDeadline(w, Release(w, 0, i+1), i+1)
+		return g >= d-1 && gNext >= g
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

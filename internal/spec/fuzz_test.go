@@ -1,0 +1,25 @@
+package spec
+
+import "testing"
+
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(fig6bJSON))
+	f.Add([]byte(`{"m":1,"horizon":10,"tasks":[{"name":"A","weight":"1/2"}]}`))
+	f.Add([]byte(`{"m":0}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"m":1,"horizon":5,"policy":"hybrid","oiThreshold":0.5,"tasks":[{"name":"A","weight":"1/3","replicate":2}],"events":[{"at":1,"task":"A#0","reweight":"1/4"}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		f, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// A spec that parses must build and validate structurally.
+		sys := f.System()
+		if sys.M != f.M {
+			t.Fatalf("system M mismatch")
+		}
+		if len(sys.Tasks) == 0 {
+			t.Fatalf("validated spec with no tasks")
+		}
+	})
+}

@@ -1,0 +1,244 @@
+// Package spec loads task-system descriptions and event scripts from JSON,
+// so arbitrary adaptive scenarios can be run from the command line without
+// writing Go. A spec file looks like:
+//
+//	{
+//	  "m": 4,
+//	  "policy": "oi",
+//	  "horizon": 40,
+//	  "tiebreakGroup": "C",
+//	  "tasks": [
+//	    {"name": "T",  "weight": "3/20", "group": "T"},
+//	    {"name": "C",  "weight": "3/20", "group": "C", "replicate": 19}
+//	  ],
+//	  "events": [
+//	    {"at": 10, "task": "T", "reweight": "1/2"},
+//	    {"at": 25, "task": "T", "leave": true},
+//	    {"at": 30, "join": {"name": "U", "weight": "1/2"}},
+//	    {"at": 32, "task": "C#0", "delay": 2},
+//	    {"at": 0,  "task": "C#1", "absent": 3}
+//	  ]
+//	}
+//
+// Weights are exact rationals written as "num/den". The policy is one of
+// "oi" (rules O and I), "lj" (leave/join) or "hybrid" with an optional
+// "oiThreshold" (minimum |Δw| routed to rules O/I).
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// TaskSpec is one task (or a replicated family) in the file.
+type TaskSpec struct {
+	Name      string   `json:"name"`
+	Weight    frac.Rat `json:"weight"`
+	Group     string   `json:"group,omitempty"`
+	Join      int64    `json:"join,omitempty"`
+	Replicate int      `json:"replicate,omitempty"` // expand to name#0..name#n-1
+}
+
+// JoinSpec describes a task joining mid-run.
+type JoinSpec struct {
+	Name   string   `json:"name"`
+	Weight frac.Rat `json:"weight"`
+	Group  string   `json:"group,omitempty"`
+}
+
+// Event is one scripted action.
+type Event struct {
+	At       model.Time `json:"at"`
+	Task     string     `json:"task,omitempty"`
+	Reweight *frac.Rat  `json:"reweight,omitempty"`
+	Leave    bool       `json:"leave,omitempty"`
+	Join     *JoinSpec  `json:"join,omitempty"`
+	Delay    int64      `json:"delay,omitempty"`  // IS separation on the next release
+	Absent   int64      `json:"absent,omitempty"` // mark this absolute subtask index absent
+}
+
+// File is a complete scenario description.
+type File struct {
+	M             int        `json:"m"`
+	Policy        string     `json:"policy"`
+	OIThreshold   *float64   `json:"oiThreshold,omitempty"`
+	Horizon       model.Time `json:"horizon"`
+	TiebreakGroup string     `json:"tiebreakGroup,omitempty"`
+	// AllowHeavy admits tasks of weight up to 1 (full PD² priority with
+	// group deadlines); reweighting stays restricted to light tasks.
+	AllowHeavy bool `json:"allowHeavy,omitempty"`
+	// EarlyRelease enables the ERfair extension.
+	EarlyRelease bool       `json:"earlyRelease,omitempty"`
+	Tasks        []TaskSpec `json:"tasks"`
+	Events       []Event    `json:"events,omitempty"`
+}
+
+// Parse decodes and validates a spec file.
+func Parse(data []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Load reads and parses a spec file from disk.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return Parse(data)
+}
+
+func (f *File) validate() error {
+	if f.M < 1 {
+		return fmt.Errorf("spec: m must be at least 1")
+	}
+	if f.Horizon < 1 {
+		return fmt.Errorf("spec: horizon must be at least 1")
+	}
+	switch f.Policy {
+	case "", "oi", "lj", "hybrid":
+	default:
+		return fmt.Errorf("spec: unknown policy %q (want oi, lj or hybrid)", f.Policy)
+	}
+	if len(f.Tasks) == 0 {
+		return fmt.Errorf("spec: no tasks")
+	}
+	for _, e := range f.Events {
+		actions := 0
+		if e.Reweight != nil {
+			actions++
+		}
+		if e.Leave {
+			actions++
+		}
+		if e.Join != nil {
+			actions++
+		}
+		if e.Delay > 0 {
+			actions++
+		}
+		if e.Absent > 0 {
+			actions++
+		}
+		if actions != 1 {
+			return fmt.Errorf("spec: event at t=%d must have exactly one action", e.At)
+		}
+		if e.Join == nil && e.Task == "" {
+			return fmt.Errorf("spec: event at t=%d needs a task", e.At)
+		}
+	}
+	return nil
+}
+
+// PolicyKind returns the core policy selected by the file.
+func (f *File) PolicyKind() core.PolicyKind {
+	switch f.Policy {
+	case "lj":
+		return core.PolicyLJ
+	case "hybrid":
+		return core.PolicyHybrid
+	default:
+		return core.PolicyOI
+	}
+}
+
+// System expands the replicated task specs into a model.System.
+func (f *File) System() model.System {
+	var tasks []model.Spec
+	for _, t := range f.Tasks {
+		base := model.Spec{Name: t.Name, Weight: t.Weight, Group: t.Group, Join: t.Join}
+		if t.Replicate > 1 {
+			tasks = append(tasks, model.Replicate(t.Replicate, base)...)
+		} else {
+			tasks = append(tasks, base)
+		}
+	}
+	return model.System{M: f.M, Tasks: tasks}
+}
+
+// Build constructs the scheduler for the scenario (with schedule and drift
+// recording enabled, since spec runs exist to be inspected).
+func (f *File) Build() (*core.Scheduler, error) {
+	cfg := core.Config{
+		M:                 f.M,
+		Policy:            f.PolicyKind(),
+		Police:            true,
+		RecordSchedule:    true,
+		RecordDriftEvents: true,
+		RecordSubtasks:    true,
+		AllowHeavy:        f.AllowHeavy,
+		EarlyRelease:      f.EarlyRelease,
+	}
+	if f.TiebreakGroup != "" {
+		cfg.TieBreak = core.FavorGroup(f.TiebreakGroup)
+	}
+	if f.Policy == "hybrid" && f.OIThreshold != nil {
+		choose := expr.ThresholdChooser(*f.OIThreshold)
+		cfg.UseOI = func(task string, from, to frac.Rat) bool { return choose(task, from, to) }
+	}
+	return core.New(cfg, f.System())
+}
+
+// Run builds the scheduler, applies time-zero absent marks, and replays the
+// event script to the horizon.
+func (f *File) Run() (*core.Scheduler, error) {
+	s, err := f.Build()
+	if err != nil {
+		return nil, err
+	}
+	events := make([]Event, len(f.Events))
+	copy(events, f.Events)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	// Absent marks apply before anything is released.
+	rest := events[:0]
+	for _, e := range events {
+		if e.Absent > 0 {
+			if err := s.MarkAbsent(e.Task, e.Absent); err != nil {
+				return nil, fmt.Errorf("spec: absent %s_%d: %w", e.Task, e.Absent, err)
+			}
+			continue
+		}
+		rest = append(rest, e)
+	}
+	events = rest
+
+	idx := 0
+	var runErr error
+	s.Run(f.Horizon, func(now model.Time, sch *core.Scheduler) {
+		for idx < len(events) && events[idx].At == now {
+			e := events[idx]
+			idx++
+			var err error
+			switch {
+			case e.Reweight != nil:
+				err = sch.Initiate(e.Task, *e.Reweight)
+			case e.Leave:
+				err = sch.Leave(e.Task)
+			case e.Join != nil:
+				err = sch.Join(model.Spec{Name: e.Join.Name, Weight: e.Join.Weight, Group: e.Join.Group})
+			case e.Delay > 0:
+				err = sch.DelayNext(e.Task, e.Delay)
+			}
+			if err != nil && runErr == nil {
+				runErr = fmt.Errorf("spec: event at t=%d: %w", now, err)
+			}
+		}
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return s, nil
+}

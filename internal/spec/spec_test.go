@@ -1,0 +1,204 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/frac"
+)
+
+const fig6bJSON = `{
+  "m": 4,
+  "policy": "oi",
+  "horizon": 30,
+  "tiebreakGroup": "C",
+  "tasks": [
+    {"name": "C", "weight": "3/20", "group": "C", "replicate": 19},
+    {"name": "T", "weight": "3/20", "group": "T"}
+  ],
+  "events": [
+    {"at": 10, "task": "T", "reweight": "1/2"}
+  ]
+}`
+
+func TestParseAndRunFig6b(t *testing.T) {
+	f, err := Parse([]byte(fig6bJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := f.System()
+	if len(sys.Tasks) != 20 {
+		t.Fatalf("tasks = %d, want 20 (19 replicas + T)", len(sys.Tasks))
+	}
+	s, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := s.Metrics("T")
+	if !ok {
+		t.Fatal("no metrics for T")
+	}
+	// Fig. 6(b): rule O at t=10 gives drift exactly 1/2.
+	if !m.Drift.Eq(frac.Half) {
+		t.Errorf("drift = %s, want 1/2", m.Drift)
+	}
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+}
+
+func TestAllEventKinds(t *testing.T) {
+	j := `{
+	  "m": 2,
+	  "policy": "lj",
+	  "horizon": 40,
+	  "tasks": [
+	    {"name": "A", "weight": "2/5"},
+	    {"name": "B", "weight": "1/5"}
+	  ],
+	  "events": [
+	    {"at": 0,  "task": "B", "absent": 2},
+	    {"at": 5,  "task": "A", "reweight": "1/10"},
+	    {"at": 12, "task": "B", "delay": 3},
+	    {"at": 20, "join": {"name": "Z", "weight": "1/2"}},
+	    {"at": 30, "task": "Z", "leave": true}
+	  ]
+	}`
+	f, err := Parse([]byte(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.PolicyKind().String() != "PD2-LJ" {
+		t.Errorf("policy = %v", f.PolicyKind())
+	}
+	s, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+	if _, ok := s.Metrics("Z"); !ok {
+		t.Error("joined task Z missing")
+	}
+	// The delayed B release left one unpaid slot in I_PS relative to 40*w.
+	m, _ := s.Metrics("B")
+	full := frac.New(1, 5).MulInt(40)
+	if !m.CumPS.Less(full) {
+		t.Errorf("delay did not pause I_PS: %s vs %s", m.CumPS, full)
+	}
+}
+
+func TestHybridThreshold(t *testing.T) {
+	j := `{
+	  "m": 1, "policy": "hybrid", "oiThreshold": 0.2, "horizon": 20,
+	  "tasks": [{"name": "A", "weight": "1/10"}],
+	  "events": [{"at": 3, "task": "A", "reweight": "1/2"}]
+	}`
+	f, err := Parse([]byte(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |Δw| = 0.4 >= 0.2, so the hybrid routes it to rules O/I: the change
+	// is enacted quickly rather than waiting for d(T_1)+b = 10.
+	m, _ := s.Metrics("A")
+	if !m.SchedWeight.Eq(frac.Half) {
+		t.Errorf("swt = %s", m.SchedWeight)
+	}
+	if m.Drift.Float64() > 1 {
+		t.Errorf("drift %s too large for an OI-routed event", m.Drift)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	bad := []string{
+		`{"m":0,"horizon":10,"tasks":[{"name":"A","weight":"1/2"}]}`,
+		`{"m":1,"horizon":0,"tasks":[{"name":"A","weight":"1/2"}]}`,
+		`{"m":1,"horizon":10,"tasks":[]}`,
+		`{"m":1,"horizon":10,"policy":"bogus","tasks":[{"name":"A","weight":"1/2"}]}`,
+		`{"m":1,"horizon":10,"tasks":[{"name":"A","weight":"1/2"}],"events":[{"at":1}]}`,
+		`{"m":1,"horizon":10,"tasks":[{"name":"A","weight":"1/2"}],"events":[{"at":1,"task":"A","leave":true,"delay":2}]}`,
+		`{"m":1,"horizon":10,"tasks":[{"name":"A","weight":"1/2"}],"events":[{"at":1,"reweight":"1/4"}]}`,
+		`{"m":1,"horizon":10,"tasks":[{"name":"A","weight":"not-a-rat"}]}`,
+		`{not json`,
+	}
+	for i, j := range bad {
+		if _, err := Parse([]byte(j)); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestRunReportsEventErrors(t *testing.T) {
+	j := `{
+	  "m": 1, "policy": "oi", "horizon": 10,
+	  "tasks": [{"name": "A", "weight": "1/2"}],
+	  "events": [{"at": 2, "task": "ghost", "reweight": "1/4"}]
+	}`
+	f, err := Parse([]byte(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("event error not surfaced: %v", err)
+	}
+}
+
+func TestLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(path, []byte(fig6bJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.M != 4 {
+		t.Errorf("m = %d", f.M)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestHeavyAndERfairSpecs: spec files can opt into heavy tasks and early
+// releases.
+func TestHeavyAndERfairSpecs(t *testing.T) {
+	j := `{
+	  "m": 2, "policy": "oi", "horizon": 60, "allowHeavy": true, "earlyRelease": true,
+	  "tasks": [
+	    {"name": "H", "weight": "8/11"},
+	    {"name": "L", "weight": "3/11", "replicate": 2}
+	  ]
+	}`
+	f, err := Parse([]byte(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+	m, _ := s.Metrics("H")
+	if m.Scheduled == 0 {
+		t.Error("heavy task never ran")
+	}
+	// Without allowHeavy the same system is rejected.
+	j2 := `{"m": 2, "policy": "oi", "horizon": 10, "tasks": [{"name": "H", "weight": "8/11"}]}`
+	f2, err := Parse([]byte(j2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Run(); err == nil {
+		t.Error("heavy task accepted without allowHeavy")
+	}
+}

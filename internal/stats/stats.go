@@ -1,0 +1,206 @@
+// Package stats provides the small statistical toolkit the experiments
+// need: a deterministic splittable random number generator (so that all 61
+// randomized runs of each Whisper configuration are reproducible), sample
+// summaries, and the 98% Student-t confidence intervals the paper reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RNG is a deterministic splittable pseudo-random generator (SplitMix64).
+// It is intentionally tiny: the experiments only need uniform floats and
+// bounded integers, reproducible across platforms.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// NewStream derives an independent generator for (seed, stream). Runs of an
+// experiment use stream = run index so each run is reproducible in
+// isolation.
+func NewStream(seed, stream uint64) *RNG {
+	r := NewRNG(seed ^ (stream * 0x9e3779b97f4a7c15))
+	// Warm up to decorrelate nearby streams.
+	r.Uint64()
+	r.Uint64()
+	return r
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Angle returns a uniform angle in [0, 2π).
+func (r *RNG) Angle() float64 {
+	return r.Float64() * 2 * math.Pi
+}
+
+// Summary describes a sample: count, mean, sample standard deviation, and
+// the half-width of the two-sided 98% confidence interval on the mean.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+	CI98 float64 // half-width; the interval is Mean ± CI98
+}
+
+// Summarize computes a Summary of the sample.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Summary{N: 1, Mean: mean}
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	std := math.Sqrt(ss / float64(n-1))
+	ci := TCritical98(n-1) * std / math.Sqrt(float64(n))
+	return Summary{N: n, Mean: mean, Std: std, CI98: ci}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4f ±%.4f (n=%d)", s.Mean, s.CI98, s.N)
+}
+
+// tTable98 holds two-sided 98% (per-tail 1%) Student-t critical values by
+// degrees of freedom.
+var tTable98 = map[int]float64{
+	1: 31.821, 2: 6.965, 3: 4.541, 4: 3.747, 5: 3.365,
+	6: 3.143, 7: 2.998, 8: 2.896, 9: 2.821, 10: 2.764,
+	11: 2.718, 12: 2.681, 13: 2.650, 14: 2.624, 15: 2.602,
+	16: 2.583, 17: 2.567, 18: 2.552, 19: 2.539, 20: 2.528,
+	21: 2.518, 22: 2.508, 23: 2.500, 24: 2.492, 25: 2.485,
+	26: 2.479, 27: 2.473, 28: 2.467, 29: 2.462, 30: 2.457,
+	35: 2.438, 40: 2.423, 45: 2.412, 50: 2.403, 55: 2.396,
+	60: 2.390, 70: 2.381, 80: 2.374, 90: 2.368, 100: 2.364,
+}
+
+// TCritical98 returns the two-sided 98% Student-t critical value for the
+// given degrees of freedom (>= 1), interpolating between tabulated rows and
+// converging to the normal value 2.326 for large samples.
+func TCritical98(df int) float64 {
+	if df < 1 {
+		return math.NaN()
+	}
+	if v, ok := tTable98[df]; ok {
+		return v
+	}
+	if df > 100 {
+		return 2.326
+	}
+	// Linear interpolation between the nearest tabulated dfs.
+	lo, hi := df, df
+	for {
+		lo--
+		if _, ok := tTable98[lo]; ok {
+			break
+		}
+	}
+	for {
+		hi++
+		if _, ok := tTable98[hi]; ok {
+			break
+		}
+	}
+	a, b := tTable98[lo], tTable98[hi]
+	frac := float64(df-lo) / float64(hi-lo)
+	return a + frac*(b-a)
+}
+
+// Series accumulates samples grouped by an x-coordinate (one group per
+// parameter-sweep point) and summarizes each group.
+type Series struct {
+	samples map[float64][]float64
+}
+
+// NewSeries returns an empty series.
+func NewSeries() *Series {
+	return &Series{samples: make(map[float64][]float64)}
+}
+
+// Add appends a sample at x.
+func (s *Series) Add(x, value float64) {
+	s.samples[x] = append(s.samples[x], value)
+}
+
+// Point is one summarized sweep point.
+type Point struct {
+	X float64
+	Summary
+}
+
+// Points returns the per-x summaries in ascending x order.
+func (s *Series) Points() []Point {
+	xs := make([]float64, 0, len(s.samples))
+	for x := range s.samples {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	out := make([]Point, len(xs))
+	for i, x := range xs {
+		out[i] = Point{X: x, Summary: Summarize(s.samples[x])}
+	}
+	return out
+}
+
+// MeanOf is a convenience for the plain average.
+func MeanOf(xs []float64) float64 {
+	return Summarize(xs).Mean
+}
+
+// MaxOf returns the maximum of the sample (0 for an empty sample).
+func MaxOf(xs []float64) float64 {
+	var m float64
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// MinOf returns the minimum of the sample (0 for an empty sample).
+func MinOf(xs []float64) float64 {
+	var m float64
+	for i, x := range xs {
+		if i == 0 || x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a, b := NewStream(7, 0), NewStream(7, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams collided %d/100 times", same)
+	}
+	c, d := NewStream(7, 1), NewStream(7, 1)
+	for i := 0; i < 50; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("same stream diverged")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	var sum float64
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / 10000; mean < 0.45 || mean > 0.55 {
+		t.Errorf("Float64 mean = %v, want near 0.5", mean)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := NewRNG(2)
+	counts := make([]int, 5)
+	for i := 0; i < 5000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("Intn bucket %d count %d, want ~1000", i, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestAngle(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		a := r.Angle()
+		if a < 0 || a >= 2*math.Pi {
+			t.Fatalf("Angle out of range: %v", a)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s = Summarize([]float64{5})
+	if s.N != 1 || s.Mean != 5 || s.Std != 0 || s.CI98 != 0 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+	// Known sample: 2, 4, 4, 4, 5, 5, 7, 9 has mean 5, sample std ~2.138.
+	s = Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	if math.Abs(s.Std-2.1381) > 1e-3 {
+		t.Errorf("std = %v, want ~2.138", s.Std)
+	}
+	wantCI := TCritical98(7) * s.Std / math.Sqrt(8)
+	if math.Abs(s.CI98-wantCI) > 1e-12 {
+		t.Errorf("CI = %v, want %v", s.CI98, wantCI)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestTCritical98(t *testing.T) {
+	if v := TCritical98(60); v != 2.390 {
+		t.Errorf("t(60) = %v", v)
+	}
+	if v := TCritical98(1); v != 31.821 {
+		t.Errorf("t(1) = %v", v)
+	}
+	if v := TCritical98(1000); v != 2.326 {
+		t.Errorf("t(1000) = %v", v)
+	}
+	// Interpolated value sits between its neighbours.
+	v := TCritical98(33)
+	if v >= TCritical98(30) || v <= TCritical98(35) {
+		t.Errorf("t(33) = %v not between t(35)=%v and t(30)=%v", v, TCritical98(35), TCritical98(30))
+	}
+	if !math.IsNaN(TCritical98(0)) {
+		t.Error("t(0) should be NaN")
+	}
+	// Monotone decreasing across the table.
+	prev := math.Inf(1)
+	for df := 1; df <= 120; df++ {
+		v := TCritical98(df)
+		if v > prev+1e-9 {
+			t.Errorf("t(%d)=%v > t(%d)=%v", df, v, df-1, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries()
+	s.Add(2.0, 10)
+	s.Add(1.0, 4)
+	s.Add(2.0, 14)
+	s.Add(1.0, 6)
+	pts := s.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].X != 1.0 || pts[0].Mean != 5 {
+		t.Errorf("first point = %+v", pts[0])
+	}
+	if pts[1].X != 2.0 || pts[1].Mean != 12 {
+		t.Errorf("second point = %+v", pts[1])
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if MaxOf(xs) != 7 || MinOf(xs) != -1 || MeanOf(xs) != 2.75 {
+		t.Errorf("MaxOf/MinOf/MeanOf wrong: %v %v %v", MaxOf(xs), MinOf(xs), MeanOf(xs))
+	}
+	if MaxOf(nil) != 0 || MinOf(nil) != 0 {
+		t.Error("empty Max/Min not zero")
+	}
+}

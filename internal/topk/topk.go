@@ -1,0 +1,93 @@
+// Package topk provides partial selection: ordering only the k
+// highest-priority elements of a slice. The PD² engine needs the top M
+// subtasks of the eligible set every slot; selecting them in O(n) expected
+// time (plus an O(M log M) sort of the winners) beats sorting the whole
+// queue when n >> M, which is the common case for Pfair systems with many
+// light tasks on few processors.
+package topk
+
+// Partial reorders items so that the k smallest elements under less (i.e.
+// the highest-priority ones, if less means "higher priority") occupy
+// items[:k] in sorted order. The order of the remaining elements is
+// unspecified. The selected set and its order are fully determined by the
+// total order less induces; if less is only a partial order, ties are
+// broken by original position during the final insertion sort, keeping the
+// result deterministic for a deterministic input.
+func Partial[T any](items []T, k int, less func(a, b T) bool) {
+	if k <= 0 || len(items) == 0 {
+		return
+	}
+	if k > len(items) {
+		k = len(items)
+	}
+	if k < len(items) {
+		quickselect(items, k, less)
+	}
+	insertionSort(items[:k], less)
+}
+
+// quickselect partitions items so that the k smallest elements (under
+// less) are in items[:k], in arbitrary order. Iterative, median-of-three
+// pivoting, falling back to insertion sort on small ranges.
+func quickselect[T any](items []T, k int, less func(a, b T) bool) {
+	lo, hi := 0, len(items) // half-open working range containing index k-1
+	for hi-lo > 12 {
+		p := pivot(items, lo, hi, less)
+		// Three-way partition around the pivot value.
+		lt, gt := partition(items, lo, hi, p, less)
+		switch {
+		case k <= lt:
+			hi = lt
+		case k >= gt:
+			lo = gt
+		default:
+			return // items[lt:gt] all equal the pivot and straddle k
+		}
+	}
+	insertionSort(items[lo:hi], less)
+}
+
+// pivot returns the median-of-three of the range's first, middle and last
+// elements.
+func pivot[T any](items []T, lo, hi int, less func(a, b T) bool) T {
+	a, b, c := items[lo], items[(lo+hi)/2], items[hi-1]
+	if less(b, a) {
+		a, b = b, a
+	}
+	if less(c, b) {
+		b = c
+		if less(b, a) {
+			b = a
+		}
+	}
+	return b
+}
+
+// partition three-way partitions items[lo:hi] around value p, returning
+// (lt, gt) such that items[lo:lt] < p, items[lt:gt] == p, items[gt:hi] > p.
+func partition[T any](items []T, lo, hi int, p T, less func(a, b T) bool) (int, int) {
+	lt, i, gt := lo, lo, hi
+	for i < gt {
+		switch {
+		case less(items[i], p):
+			items[lt], items[i] = items[i], items[lt]
+			lt++
+			i++
+		case less(p, items[i]):
+			gt--
+			items[gt], items[i] = items[i], items[gt]
+		default:
+			i++
+		}
+	}
+	return lt, gt
+}
+
+// insertionSort is a stable in-place sort for small slices.
+func insertionSort[T any](items []T, less func(a, b T) bool) {
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && less(items[j], items[j-1]); j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package topk
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestPartialSmallCases(t *testing.T) {
+	cases := []struct {
+		in   []int
+		k    int
+		want []int
+	}{
+		{nil, 3, nil},
+		{[]int{5}, 1, []int{5}},
+		{[]int{5, 1}, 1, []int{1}},
+		{[]int{5, 1, 4, 2, 3}, 3, []int{1, 2, 3}},
+		{[]int{5, 1, 4, 2, 3}, 0, nil},
+		{[]int{5, 1, 4, 2, 3}, 10, []int{1, 2, 3, 4, 5}},
+		{[]int{2, 2, 2, 1, 1}, 3, []int{1, 1, 2}},
+	}
+	for _, c := range cases {
+		in := append([]int(nil), c.in...)
+		Partial(in, c.k, intLess)
+		k := c.k
+		if k > len(in) {
+			k = len(in)
+		}
+		got := in[:k]
+		if len(c.want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Partial(%v, %d) -> %v, want %v", c.in, c.k, got, c.want)
+		}
+	}
+}
+
+// TestPartialMatchesSortQuick: for random inputs, the top-k prefix equals
+// the prefix of a full sort.
+func TestPartialMatchesSortQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := r.Intn(200)
+			xs := make([]int, n)
+			for i := range xs {
+				xs[i] = r.Intn(50) // plenty of duplicates
+			}
+			vals[0] = reflect.ValueOf(xs)
+			vals[1] = reflect.ValueOf(r.Intn(n + 2))
+		},
+	}
+	if err := quick.Check(func(xs []int, k int) bool {
+		a := append([]int(nil), xs...)
+		b := append([]int(nil), xs...)
+		Partial(a, k, intLess)
+		sort.Ints(b)
+		kk := k
+		if kk > len(a) {
+			kk = len(a)
+		}
+		if !reflect.DeepEqual(a[:kk], b[:kk]) {
+			return false
+		}
+		// The whole slice is still a permutation of the input.
+		rest := append([]int(nil), a...)
+		sort.Ints(rest)
+		return reflect.DeepEqual(rest, b)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPartialDeterministic: same input yields the same output slice state.
+func TestPartialDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		xs := make([]int, 100)
+		for i := range xs {
+			xs[i] = r.Intn(30)
+		}
+		a := append([]int(nil), xs...)
+		b := append([]int(nil), xs...)
+		Partial(a, 7, intLess)
+		Partial(b, 7, intLess)
+		if !reflect.DeepEqual(a[:7], b[:7]) {
+			t.Fatalf("nondeterministic selection: %v vs %v", a[:7], b[:7])
+		}
+	}
+}
+
+// TestPartialStructs exercises the generic path with a composite priority,
+// mirroring the PD² (deadline, b-bit, id) order.
+func TestPartialStructs(t *testing.T) {
+	type sub struct{ d, b, id int }
+	less := func(a, b sub) bool {
+		if a.d != b.d {
+			return a.d < b.d
+		}
+		if a.b != b.b {
+			return a.b > b.b
+		}
+		return a.id < b.id
+	}
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(60) + 1
+		xs := make([]sub, n)
+		for i := range xs {
+			xs[i] = sub{d: r.Intn(10), b: r.Intn(2), id: i}
+		}
+		m := r.Intn(8) + 1
+		a := append([]sub(nil), xs...)
+		b := append([]sub(nil), xs...)
+		Partial(a, m, less)
+		sort.Slice(b, func(i, j int) bool { return less(b[i], b[j]) })
+		if m > n {
+			m = n
+		}
+		if !reflect.DeepEqual(a[:m], b[:m]) {
+			t.Fatalf("trial %d: Partial top-%d = %v, want %v", trial, m, a[:m], b[:m])
+		}
+	}
+}
+
+func BenchmarkPartialVsSort(b *testing.B) {
+	const n, k = 128, 4
+	base := make([]int, n)
+	r := rand.New(rand.NewSource(7))
+	for i := range base {
+		base[i] = r.Intn(1000)
+	}
+	b.Run("Partial", func(b *testing.B) {
+		buf := make([]int, n)
+		for i := 0; i < b.N; i++ {
+			copy(buf, base)
+			Partial(buf, k, intLess)
+		}
+	})
+	b.Run("FullSort", func(b *testing.B) {
+		buf := make([]int, n)
+		for i := 0; i < b.N; i++ {
+			copy(buf, base)
+			sort.Slice(buf, func(x, y int) bool { return buf[x] < buf[y] })
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// AllocTable renders the per-slot ideal (I_SW) allocations of one task in
+// the style of the paper's Figs. 1, 3 and 7: one row per subtask, one
+// column per slot, each cell holding the exact fractional allocation. The
+// scheduler must have been created with Config.RecordSubtasks.
+//
+// Halted subtasks are annotated "halted@t"; absent subtasks "absent"; the
+// completion time D(I_SW, T_j) closes each row.
+func AllocTable(s *core.Scheduler, task string, from, to model.Time) string {
+	subs := s.SubtaskHistory(task)
+	if subs == nil {
+		return fmt.Sprintf("no recorded subtasks for %q (Config.RecordSubtasks required)", task)
+	}
+	swt := core.ExpandWeights(s.SwtHistory(task), s.Now())
+	allocs := core.ReplayIdealAllocations(subs, swt)
+
+	width := int(to - from)
+	cells := make([][]string, len(subs))
+	colw := make([]int, width)
+	for c := range colw {
+		colw[c] = 1
+	}
+	for j, sub := range subs {
+		cells[j] = make([]string, width)
+		for c := range cells[j] {
+			cells[j][c] = "."
+		}
+		for i, a := range allocs[j] {
+			t := sub.Release + model.Time(i)
+			if t < from || t >= to {
+				continue
+			}
+			cell := a.String()
+			if a.IsZero() {
+				cell = "0"
+			}
+			cells[j][t-from] = cell
+			if len(cell) > colw[t-from] {
+				colw[t-from] = len(cell)
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "I_SW per-slot allocations for %s (slots %d..%d)\n", task, from, to-1)
+	// Header row of slot numbers.
+	fmt.Fprintf(&b, "%-6s", "t")
+	for c := 0; c < width; c++ {
+		fmt.Fprintf(&b, " %*d", colw[c], from+model.Time(c))
+	}
+	b.WriteByte('\n')
+	for j, sub := range subs {
+		if sub.Release >= to {
+			break
+		}
+		fmt.Fprintf(&b, "%s_%-4d", task, sub.Abs)
+		for c := 0; c < width; c++ {
+			fmt.Fprintf(&b, " %*s", colw[c], cells[j][c])
+		}
+		note := fmt.Sprintf("  w=[%d,%d) b=%d", sub.Release, sub.Deadline, sub.BBit)
+		switch {
+		case sub.Absent:
+			note += " absent"
+		case sub.Halted:
+			note += fmt.Sprintf(" halted@%d", sub.HaltTime)
+		case sub.SWDone:
+			note += fmt.Sprintf(" D=%d", sub.SWDoneTime)
+		}
+		b.WriteString(note)
+		b.WriteByte('\n')
+	}
+	// Per-slot task totals (equal the scheduling weight in steady state).
+	fmt.Fprintf(&b, "%-6s", "total")
+	for c := 0; c < width; c++ {
+		total := frac.Zero
+		for j := range subs {
+			if cells[j][c] != "." {
+				v, err := frac.Parse(cells[j][c])
+				if err == nil {
+					total = total.Add(v)
+				}
+			}
+		}
+		fmt.Fprintf(&b, " %*s", colw[c], total.String())
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,215 @@
+// Package trace renders schedules and experiment figures for terminals and
+// files: ASCII Gantt charts of PD² schedules (to eyeball the paper's
+// schedule figures), ASCII line charts of experiment series, and TSV file
+// output for the reproduction data.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// Gantt renders slots [from, to) of a recorded schedule as one row per task
+// and one column per slot; '#' marks a scheduled quantum, '.' an idle slot.
+// The scheduler must have been created with Config.RecordSchedule.
+func Gantt(s *core.Scheduler, from, to model.Time) string {
+	names := s.TaskNames()
+	rows := make(map[string][]byte, len(names))
+	width := int(to - from)
+	for _, n := range names {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		rows[n] = row
+	}
+	for t := from; t < to; t++ {
+		for _, n := range s.ScheduleRow(t) {
+			if row, ok := rows[n]; ok {
+				row[t-from] = '#'
+			}
+		}
+	}
+	nameWidth := 0
+	for _, n := range names {
+		if len(n) > nameWidth {
+			nameWidth = len(n)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  ", nameWidth, "slot")
+	for t := from; t < to; t++ {
+		b.WriteByte(byte('0' + t%10))
+	}
+	b.WriteByte('\n')
+	for _, n := range names {
+		fmt.Fprintf(&b, "%*s  %s\n", nameWidth, n, rows[n])
+	}
+	return b.String()
+}
+
+// GanttGrouped is Gantt with identically-grouped tasks folded into one row
+// showing per-slot counts (the paper's figures draw "the number of tasks
+// from each set scheduled in that slot").
+func GanttGrouped(s *core.Scheduler, groupOf func(task string) string, from, to model.Time) string {
+	width := int(to - from)
+	counts := make(map[string][]int)
+	var order []string
+	for _, n := range s.TaskNames() {
+		g := groupOf(n)
+		if _, ok := counts[g]; !ok {
+			counts[g] = make([]int, width)
+			order = append(order, g)
+		}
+	}
+	for t := from; t < to; t++ {
+		for _, n := range s.ScheduleRow(t) {
+			g := groupOf(n)
+			counts[g][t-from]++
+		}
+	}
+	nameWidth := 0
+	for _, g := range order {
+		if len(g) > nameWidth {
+			nameWidth = len(g)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  ", nameWidth, "slot")
+	for t := from; t < to; t++ {
+		b.WriteByte(byte('0' + t%10))
+	}
+	b.WriteByte('\n')
+	for _, g := range order {
+		fmt.Fprintf(&b, "%*s  ", nameWidth, g)
+		for _, c := range counts[g] {
+			switch {
+			case c == 0:
+				b.WriteByte('.')
+			case c < 10:
+				b.WriteByte(byte('0' + c))
+			default:
+				b.WriteByte('+')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Windows renders the windows of the first n subtasks of a task with weight
+// w (offsets optional), in the style of the paper's Fig. 1: one row per
+// subtask with '[' at the release, ')' just past the deadline, '=' inside.
+func Windows(w string, n int64, offsets ...model.Time) string {
+	weight, err := frac.Parse(w)
+	if err != nil {
+		return err.Error()
+	}
+	theta := func(i int64) model.Time {
+		if len(offsets) == 0 {
+			return 0
+		}
+		if int(i) <= len(offsets) {
+			return offsets[i-1]
+		}
+		return offsets[len(offsets)-1]
+	}
+	horizon := model.Deadline(weight, theta(n), n)
+	var b strings.Builder
+	fmt.Fprintf(&b, "weight %s\n", w)
+	for i := int64(1); i <= n; i++ {
+		win := model.SubtaskWindow(weight, theta(i), i)
+		row := make([]byte, horizon)
+		for j := range row {
+			row[j] = ' '
+		}
+		for t := win.Release; t < win.Deadline && int(t) < len(row); t++ {
+			row[t] = '='
+		}
+		row[win.Release] = '['
+		if int(win.Deadline-1) < len(row) {
+			row[win.Deadline-1] = ')'
+		}
+		fmt.Fprintf(&b, "T_%-2d %s  r=%d d=%d b=%d\n", i, row, win.Release, win.Deadline, model.BBit(weight, i))
+	}
+	return b.String()
+}
+
+// Chart renders labeled series as a rough ASCII line chart (height rows),
+// good enough to see the shape of a figure in a terminal.
+func Chart(title string, height int, xs []float64, series map[string][]float64) string {
+	if height < 2 {
+		height = 8
+	}
+	var labels []string
+	for l := range series {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, ys := range series {
+		for _, y := range ys {
+			lo, hi = math.Min(lo, y), math.Max(hi, y)
+		}
+	}
+	if math.IsInf(lo, 1) || lo == hi {
+		hi = lo + 1
+	}
+	width := len(xs)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "ox*+@%&=~"
+	for li, l := range labels {
+		mark := marks[li%len(marks)]
+		for c, y := range series[l] {
+			if c >= width {
+				break
+			}
+			r := int(math.Round((hi - y) / (hi - lo) * float64(height-1)))
+			if grid[r][c] == ' ' {
+				grid[r][c] = mark
+			} else {
+				grid[r][c] = '#' // collision
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, row := range grid {
+		y := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%8.3f |%s|\n", y, row)
+	}
+	fmt.Fprintf(&b, "%8s  x: %.3g..%.3g (%d points)\n", "", xs[0], xs[len(xs)-1], len(xs))
+	for li, l := range labels {
+		fmt.Fprintf(&b, "%8s  %c = %s\n", "", marks[li%len(marks)], l)
+	}
+	return b.String()
+}
+
+// WriteFile writes content to dir/name, creating dir if needed.
+func WriteFile(dir, name, content string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("trace: %w", err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return "", fmt.Errorf("trace: %w", err)
+	}
+	return path, nil
+}
+
+// Fprintln writes a line, ignoring errors — convenience for CLI output.
+func Fprintln(w io.Writer, args ...any) {
+	fmt.Fprintln(w, args...)
+}

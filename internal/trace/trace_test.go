@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+func buildSchedule(t *testing.T) *core.Scheduler {
+	t.Helper()
+	sys := model.System{M: 1, Tasks: []model.Spec{
+		{Name: "T", Weight: frac.New(2, 5), Group: "T"},
+		{Name: "U", Weight: frac.New(2, 5), Group: "U"},
+	}}
+	s, err := core.New(core.Config{M: 1, Policy: core.PolicyOI, Police: true,
+		RecordSchedule: true, TieBreak: core.FavorGroup("T")}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(10)
+	return s
+}
+
+func TestGantt(t *testing.T) {
+	s := buildSchedule(t)
+	g := Gantt(s, 0, 10)
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt lines = %d:\n%s", len(lines), g)
+	}
+	// Slot 0 goes to T (ties favor T), slot 1 to U — Fig. 4's opening.
+	tRow := lines[1]
+	uRow := lines[2]
+	if !strings.Contains(tRow, "T") || !strings.Contains(uRow, "U") {
+		t.Fatalf("rows mislabeled:\n%s", g)
+	}
+	tCells := tRow[len(tRow)-10:]
+	uCells := uRow[len(uRow)-10:]
+	if tCells[0] != '#' || uCells[0] != '.' {
+		t.Errorf("slot 0 wrong: T=%c U=%c", tCells[0], uCells[0])
+	}
+	if uCells[1] != '#' || tCells[1] != '.' {
+		t.Errorf("slot 1 wrong: T=%c U=%c", tCells[1], uCells[1])
+	}
+	// Each task of weight 2/5 runs 4 quanta in 10 slots.
+	if n := strings.Count(tCells, "#"); n != 4 {
+		t.Errorf("T ran %d quanta in [0,10), want 4", n)
+	}
+}
+
+func TestGanttGrouped(t *testing.T) {
+	s := buildSchedule(t)
+	g := GanttGrouped(s, func(task string) string { return "all" }, 0, 10)
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("grouped lines = %d:\n%s", len(lines), g)
+	}
+	row := lines[1]
+	cells := row[len(row)-10:]
+	// One processor: exactly one task per slot except possible holes.
+	ones := strings.Count(cells, "1")
+	if ones < 8 {
+		t.Errorf("expected mostly busy slots, got %q", cells)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	out := Windows("5/16", 5)
+	if !strings.Contains(out, "weight 5/16") {
+		t.Error("missing header")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Fig. 1(a): T_2's window is [3,7).
+	if !strings.Contains(lines[2], "r=3 d=7 b=1") {
+		t.Errorf("T_2 row wrong: %s", lines[2])
+	}
+	if !strings.Contains(lines[5], "r=12 d=16 b=0") {
+		t.Errorf("T_5 row wrong: %s", lines[5])
+	}
+	// IS offsets shift the windows (Fig. 1(b)).
+	out = Windows("5/16", 3, 0, 2, 3)
+	if !strings.Contains(out, "r=5 d=9") {
+		t.Errorf("offset windows wrong:\n%s", out)
+	}
+	if got := Windows("bogus", 3); !strings.Contains(got, "parse") {
+		t.Errorf("bad weight not reported: %q", got)
+	}
+}
+
+func TestChart(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	out := Chart("demo", 6, xs, map[string][]float64{
+		"up":   {1, 2, 3, 4},
+		"down": {4, 3, 2, 1},
+	})
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "o = down") || !strings.Contains(out, "x = up") {
+		t.Errorf("chart missing pieces:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+6+1+2 {
+		t.Errorf("chart lines = %d:\n%s", len(lines), out)
+	}
+	// Flat series does not divide by zero.
+	flat := Chart("flat", 4, xs, map[string][]float64{"f": {2, 2, 2, 2}})
+	if !strings.Contains(flat, "f") {
+		t.Errorf("flat chart broken:\n%s", flat)
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sub")
+	path, err := WriteFile(dir, "x.tsv", "hello\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "hello\n" {
+		t.Fatalf("read back %q, err %v", data, err)
+	}
+}
+
+// TestAllocTableFig3 checks the rendered ideal-allocation table against the
+// exact values of the paper's Figs. 3(b)/7(a).
+func TestAllocTableFig3(t *testing.T) {
+	sys := model.System{M: 1, Tasks: []model.Spec{{Name: "X", Weight: frac.New(3, 19)}}}
+	s, err := core.New(core.Config{M: 1, Policy: core.PolicyOI, Police: true, RecordSubtasks: true}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(8)
+	if err := s.Initiate("X", frac.New(2, 5)); err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(16)
+	out := AllocTable(s, "X", 0, 14)
+	for _, want := range []string{
+		"2/19",              // X_2's paired first-slot allocation
+		"32/95",             // the boosted final-slot allocation (Fig. 7)
+		"w=[6,13) b=1 D=10", // early completion under the new rate
+		"w=[11,14)",         // X_3 released at D + b = 11
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if got := AllocTable(s, "nope", 0, 5); !strings.Contains(got, "no recorded subtasks") {
+		t.Errorf("missing-task message wrong: %q", got)
+	}
+}

@@ -1,0 +1,297 @@
+// Package whisper simulates the workload of the Whisper acoustic tracking
+// system that the paper uses as its evaluation application (Sec. 5).
+//
+// Whisper tracks speakers attached to users via microphones in the corners
+// of a room: each speaker emits a unique white-noise signal, and the
+// time-shift between the transmitted and received signal is found with a
+// correlation computation. The amount of correlation work — and hence the
+// processor share of the task handling a speaker/microphone pair — grows
+// with the distance between the speaker and the microphone, and grows
+// further when the line of sight is occluded by the pole in the middle of
+// the room (an inaccurate prediction forces a larger search).
+//
+// This package reproduces the paper's simulation set-up and its simplifying
+// assumptions: a 1m x 1m room with a microphone in each corner and a 5cm
+// pole in the center; three speakers orbiting the pole at equal radius and
+// constant speed with random initial phases; two-dimensional motion; no
+// ambient noise or speaker interference; one task per speaker/microphone
+// pair (12 tasks); omnidirectional speakers and microphones; and a task
+// weight that changes only when the (occlusion-adjusted) speaker-microphone
+// distance crosses a 5cm boundary.
+//
+// The paper derived its distance-to-weight map by timing the correlation
+// kernel (an accumulate-and-multiply loop) on a 2.7GHz testbed. We use the
+// analytic equivalent: weight proportional to the effective distance
+// (doubled under occlusion, since the search space grows), quantized to a
+// rational with denominator 1000 and clamped to [WMin, WMax] with
+// WMax = 1/3, matching the paper's statement that Whisper needs task
+// weights of at most 1/3. See DESIGN.md for the substitution rationale.
+package whisper
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// Point is a position in the room plane, in meters, with the pole at the
+// origin.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func Dist(a, b Point) float64 {
+	return math.Hypot(a.X-b.X, a.Y-b.Y)
+}
+
+// SegmentIntersectsCircle reports whether the segment a-b passes within
+// radius r of center c — the occlusion test for a speaker-microphone pair
+// against the pole.
+func SegmentIntersectsCircle(a, b, c Point, r float64) bool {
+	// Project c onto the segment and clamp.
+	abx, aby := b.X-a.X, b.Y-a.Y
+	acx, acy := c.X-a.X, c.Y-a.Y
+	len2 := abx*abx + aby*aby
+	t := 0.0
+	if len2 > 0 {
+		t = (acx*abx + acy*aby) / len2
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+	}
+	closest := Point{a.X + t*abx, a.Y + t*aby}
+	return Dist(closest, c) <= r
+}
+
+// Params configures a Whisper scenario.
+type Params struct {
+	Speakers   int     // number of tracked objects (paper: 3)
+	RoomSize   float64 // room edge length in meters (paper: 1.0)
+	PoleRadius float64 // occluding pole radius in meters (paper: 5cm pole)
+	Radius     float64 // speaker orbit radius in meters (paper: 0.10-0.50)
+	Speed      float64 // speaker speed in m/s (paper: 0.1-3.5)
+	Occlusion  bool    // whether the pole occludes (paper compares both)
+	Horizon    int64   // simulation length in quanta (paper: 1000)
+	QuantumSec float64 // quantum length in seconds (paper: 1ms)
+
+	// Cost model: weight = clamp(quantize(Alpha * effectiveDistance^Gamma)),
+	// where effectiveDistance is scaled by OccFactor while the pair is
+	// occluded. Gamma > 1 spreads the weights over the roughly two orders
+	// of magnitude the paper reports for Whisper's correlation costs.
+	Alpha     float64
+	Gamma     float64
+	OccFactor float64
+	WMin      frac.Rat
+	WMax      frac.Rat
+	// Bucket is the effective-distance granularity at which weight changes
+	// are issued (paper: 5cm).
+	Bucket float64
+
+	Seed uint64 // randomizes the speakers' initial phases
+}
+
+// DefaultParams returns the paper's configuration: 3 speakers in a 1m room
+// with a 5cm-diameter pole, 25cm orbit radius, 1ms quantum, 1000 quanta,
+// occlusion enabled, and a cost model calibrated so that task weights span
+// roughly two orders of magnitude up to the paper's 1/3 cap.
+func DefaultParams() Params {
+	return Params{
+		Speakers:   3,
+		RoomSize:   1.0,
+		PoleRadius: 0.025,
+		Radius:     0.25,
+		Speed:      1.0,
+		Occlusion:  true,
+		Horizon:    1000,
+		QuantumSec: 0.001,
+		Alpha:      0.05,
+		Gamma:      3.0,
+		OccFactor:  2.0,
+		WMin:       frac.New(1, 250),
+		WMax:       frac.New(1, 3),
+		Bucket:     0.05,
+		Seed:       1,
+	}
+}
+
+// Validate checks the parameters for consistency.
+func (p Params) Validate() error {
+	switch {
+	case p.Speakers < 1:
+		return fmt.Errorf("whisper: need at least one speaker")
+	case p.RoomSize <= 0 || p.Radius <= 0 || p.Speed < 0:
+		return fmt.Errorf("whisper: non-positive geometry")
+	case p.Radius >= p.RoomSize/2:
+		return fmt.Errorf("whisper: orbit radius %.2f does not fit in the room", p.Radius)
+	case p.Radius <= p.PoleRadius:
+		return fmt.Errorf("whisper: orbit radius %.2f inside the pole", p.Radius)
+	case p.Horizon < 1 || p.QuantumSec <= 0:
+		return fmt.Errorf("whisper: bad horizon/quantum")
+	case p.Alpha <= 0 || p.Gamma < 1 || p.OccFactor < 1 || p.Bucket <= 0:
+		return fmt.Errorf("whisper: bad cost model")
+	case p.WMin.Sign() <= 0 || p.WMax.Less(p.WMin) || model.MaxLightWeight.Less(p.WMax):
+		return fmt.Errorf("whisper: weight bounds must satisfy 0 < WMin <= WMax <= 1/2")
+	}
+	return nil
+}
+
+// Mics returns the microphone positions: one in each corner of the room.
+func (p Params) Mics() []Point {
+	h := p.RoomSize / 2
+	return []Point{{-h, -h}, {-h, h}, {h, -h}, {h, h}}
+}
+
+// Simulation holds the kinematic state of one scenario and translates
+// geometry into weight-change requests.
+type Simulation struct {
+	p      Params
+	mics   []Point
+	phases []float64 // initial angle per speaker
+	omega  float64   // angular velocity, rad/s
+	pairs  []*pair
+}
+
+// pair is one speaker/microphone task.
+type pair struct {
+	name    string
+	speaker int
+	mic     int
+	bucket  int64 // last effective-distance bucket
+	weight  frac.Rat
+}
+
+// NewSimulation builds a scenario, randomizing speaker phases from the
+// seed. Speakers are placed at equal angular spacing plus a common random
+// rotation (the paper places them "randomly around the pole, at an equal
+// distance from the pole").
+func NewSimulation(p Params) (*Simulation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewStream(p.Seed, 0)
+	s := &Simulation{
+		p:     p,
+		mics:  p.Mics(),
+		omega: p.Speed / p.Radius,
+	}
+	for i := 0; i < p.Speakers; i++ {
+		s.phases = append(s.phases, rng.Angle())
+	}
+	for sp := 0; sp < p.Speakers; sp++ {
+		for mi := range s.mics {
+			pr := &pair{
+				name:    fmt.Sprintf("S%dM%d", sp, mi),
+				speaker: sp,
+				mic:     mi,
+			}
+			d := s.effectiveDistance(sp, mi, 0)
+			pr.bucket = s.bucketOf(d)
+			pr.weight = s.WeightFor(d)
+			s.pairs = append(s.pairs, pr)
+		}
+	}
+	return s, nil
+}
+
+// SpeakerPos returns speaker i's position at slot t.
+func (s *Simulation) SpeakerPos(i int, t model.Time) Point {
+	angle := s.phases[i] + s.omega*float64(t)*s.p.QuantumSec
+	return Point{s.p.Radius * math.Cos(angle), s.p.Radius * math.Sin(angle)}
+}
+
+// Occluded reports whether the path from speaker i to microphone m is
+// blocked by the pole at slot t.
+func (s *Simulation) Occluded(i, m int, t model.Time) bool {
+	if !s.p.Occlusion {
+		return false
+	}
+	return SegmentIntersectsCircle(s.SpeakerPos(i, t), s.mics[m], Point{0, 0}, s.p.PoleRadius)
+}
+
+// effectiveDistance is the speaker-microphone distance, scaled by OccFactor
+// while occluded (an occlusion widens the correlation search window).
+func (s *Simulation) effectiveDistance(i, m int, t model.Time) float64 {
+	d := Dist(s.SpeakerPos(i, t), s.mics[m])
+	if s.Occluded(i, m, t) {
+		d *= s.p.OccFactor
+	}
+	return d
+}
+
+func (s *Simulation) bucketOf(d float64) int64 {
+	return int64(math.Floor(d / s.p.Bucket))
+}
+
+// WeightFor maps an effective distance to a task weight: proportional to
+// the (bucket-quantized) distance raised to Gamma, rounded to a rational
+// with denominator 1000 and clamped to [WMin, WMax]. Quantizing on the
+// bucket midpoint makes the weight a pure function of the bucket, so weight
+// changes happen exactly when the bucket changes (the paper's "once per
+// 5cm").
+func (s *Simulation) WeightFor(d float64) frac.Rat {
+	mid := (float64(s.bucketOf(d)) + 0.5) * s.p.Bucket
+	w := frac.Quantize(s.p.Alpha*math.Pow(mid, s.p.Gamma), 1000)
+	return frac.Clamp(w, s.p.WMin, s.p.WMax)
+}
+
+// TaskSpecs returns the initial task set: one task per speaker/microphone
+// pair with its weight at t = 0.
+func (s *Simulation) TaskSpecs() []model.Spec {
+	specs := make([]model.Spec, len(s.pairs))
+	for i, pr := range s.pairs {
+		specs[i] = model.Spec{Name: pr.name, Weight: pr.weight, Group: fmt.Sprintf("S%d", pr.speaker)}
+	}
+	return specs
+}
+
+// Request is one weight-change request produced by the kinematics.
+type Request = model.WeightRequest
+
+// StepRequests advances the geometry to slot t and returns the
+// weight-change requests triggered by effective-distance bucket crossings.
+func (s *Simulation) StepRequests(t model.Time) []Request {
+	var reqs []Request
+	for _, pr := range s.pairs {
+		d := s.effectiveDistance(pr.speaker, pr.mic, t)
+		b := s.bucketOf(d)
+		if b == pr.bucket {
+			continue
+		}
+		pr.bucket = b
+		w := s.WeightFor(d)
+		if w.Eq(pr.weight) {
+			continue
+		}
+		pr.weight = w
+		reqs = append(reqs, Request{Task: pr.name, Weight: w})
+	}
+	return reqs
+}
+
+// Pairs returns the task names in creation order.
+func (s *Simulation) Pairs() []string {
+	names := make([]string, len(s.pairs))
+	for i, pr := range s.pairs {
+		names[i] = pr.name
+	}
+	return names
+}
+
+// TotalInitialWeight returns the sum of initial weights (must be at most M
+// for the scheduler to accept the system).
+func (s *Simulation) TotalInitialWeight() frac.Rat {
+	total := frac.Zero
+	for _, pr := range s.pairs {
+		total = total.Add(pr.weight)
+	}
+	return total
+}
+
+// Params returns the scenario parameters.
+func (s *Simulation) Params() Params { return s.p }

