@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench figures demos check clean
+.PHONY: all build test test-race bench figures demos lint check clean
 
 all: build test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/expr/ ./internal/stats/ .
+	$(GO) test -race ./...
 
 # Per-figure benchmark harness (reduced run counts; see cmd/reprofigs for
 # the full protocol).
@@ -28,7 +28,12 @@ figures:
 demos:
 	$(GO) run ./cmd/pd2trace
 
-check: build
+# Invariant checks: exact arithmetic, determinism, error handling
+# (see docs/LINT.md).
+lint:
+	$(GO) run ./cmd/pd2lint ./...
+
+check: build lint
 	$(GO) vet ./...
 	gofmt -l . | (! grep .) || (echo "gofmt needed" && exit 1)
 	$(GO) test ./...

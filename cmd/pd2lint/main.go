@@ -1,0 +1,156 @@
+// Command pd2lint runs the repository's invariant checks: a stdlib-only
+// static-analysis suite that keeps the PD² simulator on exact rational
+// arithmetic and a deterministic, replayable schedule (see docs/LINT.md
+// for the full rationale and the suppression syntax).
+//
+// Usage:
+//
+//	pd2lint ./...                  # lint the whole module (scoped checks)
+//	pd2lint internal/core          # lint one directory (all checks apply)
+//	pd2lint -checks errdrop ./...  # run a subset of the checks
+//	pd2lint -json ./...            # machine-readable diagnostics
+//	pd2lint -list                  # describe the available checks
+//
+// With the ./... pattern each check is applied to the packages it is
+// scoped to (fracexact to the exact-arithmetic packages, determinism to
+// the simulator, and so on). When explicit directories are named, every
+// selected check runs on them regardless of scope — that is how seeded
+// violations and the testdata fixtures are exercised.
+//
+// Exit status: 0 when clean, 1 when diagnostics were reported, 2 on
+// usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	checkList := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list the available checks and exit")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	checks, err := analysis.ByName(*checkList)
+	if err != nil {
+		fatal(err)
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	dirs, ignoreScope, err := resolvePatterns(loader, args)
+	if err != nil {
+		fatal(err)
+	}
+	var pkgs []*analysis.Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	diags := analysis.RunChecks(pkgs, checks, ignoreScope)
+	for i := range diags {
+		diags[i].File = relPath(loader.ModRoot, diags[i].File)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "pd2lint: %d issue(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// resolvePatterns expands the command-line package patterns. A trailing
+// /... walks the module; explicit directories disable scope filtering
+// so every selected check applies to them.
+func resolvePatterns(loader *analysis.Loader, args []string) (dirs []string, ignoreScope bool, err error) {
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	explicit := false
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." || strings.HasSuffix(arg, "/...") {
+			base := strings.TrimSuffix(strings.TrimSuffix(arg, "..."), "/")
+			if base == "" || base == "." {
+				all, err := loader.ModuleDirs()
+				if err != nil {
+					return nil, false, err
+				}
+				for _, d := range all {
+					add(d)
+				}
+				continue
+			}
+			return nil, false, fmt.Errorf("pd2lint: only ./... and explicit directories are supported, not %q", arg)
+		}
+		explicit = true
+		abs, err := filepath.Abs(arg)
+		if err != nil {
+			return nil, false, err
+		}
+		st, err := os.Stat(abs)
+		if err != nil || !st.IsDir() {
+			return nil, false, fmt.Errorf("pd2lint: %s is not a directory", arg)
+		}
+		add(abs)
+	}
+	return dirs, explicit, nil
+}
+
+// relPath shortens file names to be module-relative when possible.
+func relPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return file
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: pd2lint [-json] [-checks list] [-list] ./... | dir...\n")
+	flag.PrintDefaults()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -21,6 +21,7 @@ package agis
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/model"
@@ -114,6 +115,14 @@ func Analyze(orig, mod Source, m int, removed SubtaskID, horizon model.Time) (*A
 				moved = append(moved, id)
 			}
 		}
+		// Map iteration order is random; keep the chain (and the error
+		// text below) replay-stable.
+		sort.Slice(moved, func(i, j int) bool {
+			if moved[i].Task != moved[j].Task {
+				return moved[i].Task < moved[j].Task
+			}
+			return moved[i].Index < moved[j].Index
+		})
 		if len(moved) == 0 {
 			break // hole absorbed the removal; chain ends
 		}

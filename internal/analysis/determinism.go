@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism flags sources of run-to-run nondeterminism in the
+// simulator packages. The replay harness (internal/core/replay.go)
+// asserts that a schedule re-executed from the same spec is identical
+// slot for slot; that only holds if no scheduling decision consults the
+// wall clock, an unseeded global RNG, the process environment, or the
+// iteration order of a Go map.
+//
+// Four patterns are flagged:
+//
+//  1. time.Now / time.Since / time.Until — simulated time is the only
+//     clock the scheduler may read.
+//  2. package-level math/rand functions (rand.Intn, rand.Shuffle,
+//     rand.Seed, ...) — all randomness must come from an explicitly
+//     seeded source (stats.RNG or a *rand.Rand built via rand.New).
+//  3. os.Getenv / os.LookupEnv / os.Environ — configuration must arrive
+//     through typed parameters recorded in the scenario spec.
+//  4. range over a map that accumulates results (append) or selects a
+//     candidate (compare-and-assign to an outer variable) with no
+//     deterministic sort following the loop in the same block.
+func Determinism() *Analyzer {
+	return &Analyzer{
+		Name:      "determinism",
+		Doc:       "no wall clock, global rand, env reads, or unsorted map-order dependence in simulator packages",
+		AppliesTo: isSimulatorPkg,
+		Run:       runDeterminism,
+	}
+}
+
+// globalRandConstructors are the math/rand package-level functions that
+// are deterministic to call (they only build explicitly seeded
+// sources).
+var globalRandConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2:
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDeterminism(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case selectorFromPkg(info, sel, "time"):
+				switch sel.Sel.Name {
+				case "Now", "Since", "Until":
+					p.report(&diags, "determinism",
+						call, "time.%s in simulator package; use simulated slot time", sel.Sel.Name)
+				}
+			case selectorFromPkg(info, sel, "math/rand"), selectorFromPkg(info, sel, "math/rand/v2"):
+				if !globalRandConstructors[sel.Sel.Name] {
+					p.report(&diags, "determinism",
+						call, "global math/rand.%s in simulator package; use a seeded stats.RNG or rand.New", sel.Sel.Name)
+				}
+			case selectorFromPkg(info, sel, "os"):
+				switch sel.Sel.Name {
+				case "Getenv", "LookupEnv", "Environ":
+					p.report(&diags, "determinism",
+						call, "os.%s in simulator package; pass configuration through the scenario spec", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+		// Map-order dependence needs block context, so walk statement
+		// lists rather than using a flat Inspect.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if block, ok := n.(*ast.BlockStmt); ok {
+				p.checkMapRanges(block.List, info, &diags)
+			}
+			if cc, ok := n.(*ast.CaseClause); ok {
+				p.checkMapRanges(cc.Body, info, &diags)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkMapRanges scans one statement list for range-over-map loops that
+// accumulate order-sensitively without a following sort.
+func (p *Pass) checkMapRanges(stmts []ast.Stmt, info *types.Info, diags *[]Diagnostic) {
+	for i, stmt := range stmts {
+		rs, ok := stmt.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		t := exprType(info, rs.X)
+		if t == nil {
+			continue
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		kind, sensitive := mapBodyOrderSensitive(rs, info)
+		if !sensitive {
+			continue
+		}
+		if sortFollows(stmts[i+1:], info) {
+			continue
+		}
+		p.report(diags, "determinism", rs,
+			"range over map %s with no deterministic sort after the loop; iterate a sorted key slice or sort the result",
+			kind)
+	}
+}
+
+// mapBodyOrderSensitive classifies the body of a range-over-map loop.
+// It reports ("appends to a slice", true) when the body appends,
+// ("selects a candidate", true) when an if-statement compares loop
+// variables and assigns a variable declared outside the loop, and
+// ("", false) for order-insensitive bodies (pure reads, counting,
+// deletes).
+func mapBodyOrderSensitive(rs *ast.RangeStmt, info *types.Info) (string, bool) {
+	loopObjs := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				loopObjs[obj] = true
+			}
+			if obj := info.Uses[id]; obj != nil {
+				loopObjs[obj] = true
+			}
+		}
+	}
+	mentionsLoopVar := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && loopObjs[info.Uses[id]] {
+				found = true
+				return false
+			}
+			return !found
+		})
+		return found
+	}
+	declaredInBody := declaredObjects(rs.Body, info)
+	assignsOuter := func(s ast.Stmt) bool {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				obj = info.Defs[id]
+			}
+			if obj != nil && !declaredInBody[obj] && !loopObjs[obj] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var kind string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if kind != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Builtin append (a shadowing user-defined append would be
+			// exotic enough to deserve the flag too).
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				kind = "appends to a slice"
+				return false
+			}
+		case *ast.IfStmt:
+			cond, ok := n.Cond.(*ast.BinaryExpr)
+			if !ok || !arithmeticOrCmp(cond.Op) {
+				return true
+			}
+			if !mentionsLoopVar(cond.X) && !mentionsLoopVar(cond.Y) {
+				return true
+			}
+			for _, s := range n.Body.List {
+				if assignsOuter(s) {
+					kind = "selects a candidate"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return kind, kind != ""
+}
+
+// declaredObjects collects every object declared within node.
+func declaredObjects(node ast.Node, info *types.Info) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				objs[obj] = true
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+// sortFollows reports whether any later statement in the same block is
+// a deterministic sort call (sort.* or slices.Sort*).
+func sortFollows(rest []ast.Stmt, info *types.Info) bool {
+	for _, s := range rest {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		if selectorFromPkg(info, sel, "sort") ||
+			(selectorFromPkg(info, sel, "slices") && len(sel.Sel.Name) >= 4 && sel.Sel.Name[:4] == "Sort") {
+			return true
+		}
+	}
+	return false
+}

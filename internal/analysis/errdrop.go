@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags call statements that silently discard an error result
+// in library and command packages. The figure pipeline writes TSV/JSON
+// artifacts that EXPERIMENTS.md quotes verbatim; a short write that
+// nobody notices produces a truncated artifact that still "passes".
+// Explicitly assigning the error to _ is accepted as a deliberate,
+// reviewable decision; a bare call statement is not.
+//
+// Calls that cannot meaningfully fail are exempt: fmt printing to
+// stdout, fmt.Fprint* to os.Stdout/os.Stderr or to in-memory buffers
+// (*bytes.Buffer, *strings.Builder), and the Write* methods of those
+// buffer types (documented to always return a nil error).
+func ErrDrop() *Analyzer {
+	return &Analyzer{
+		Name:      "errdrop",
+		Doc:       "no silently dropped error returns in library and command code",
+		AppliesTo: isCheckedPkg,
+		Run:       runErrDrop,
+	}
+}
+
+func runErrDrop(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if c, ok := n.X.(*ast.CallExpr); ok {
+					call, how = c, "call statement"
+				}
+			case *ast.DeferStmt:
+				call, how = n.Call, "deferred call"
+			case *ast.GoStmt:
+				call, how = n.Call, "go statement"
+			}
+			if call == nil {
+				return true
+			}
+			if !returnsError(p.Pkg.Info, call) || errSafeCall(p.Pkg.Info, call) {
+				return true
+			}
+			p.report(&diags, "errdrop",
+				call, "%s drops an error result from %s; handle it or assign it to _ explicitly",
+				how, calleeName(call))
+			return true
+		})
+	}
+	return diags
+}
+
+// returnsError reports whether any result of call has type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := exprType(info, call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// errSafeCall reports whether call is on the cannot-fail allowlist.
+func errSafeCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// fmt.Print/Printf/Println to stdout: interactive reporting only.
+	if selectorFromPkg(info, sel, "fmt") {
+		switch sel.Sel.Name {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && safeWriter(info, call.Args[0])
+		}
+		return false
+	}
+	// Methods of *bytes.Buffer and *strings.Builder are documented to
+	// return a nil error always.
+	if recv := exprType(info, sel.X); recv != nil && bufferLike(recv) {
+		return true
+	}
+	return false
+}
+
+// safeWriter reports whether e is os.Stdout, os.Stderr, or an in-memory
+// buffer — writers whose failures either cannot happen or cannot be
+// usefully handled by the caller.
+func safeWriter(info *types.Info, e ast.Expr) bool {
+	if sel, ok := e.(*ast.SelectorExpr); ok && selectorFromPkg(info, sel, "os") {
+		return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+	}
+	t := exprType(info, e)
+	return t != nil && bufferLike(t)
+}
+
+// bufferLike reports whether t is bytes.Buffer or strings.Builder
+// (pointer or value — method calls on an addressable value record the
+// value type as the receiver).
+func bufferLike(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "bytes" && name == "Buffer") || (pkg == "strings" && name == "Builder")
+}
+
+// calleeName renders a best-effort name for the called function.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatCmp flags == and != between floating-point operands in every
+// package. Exact float equality is almost never what a simulation
+// means: two runs that differ only in instruction scheduling (or in a
+// future refactor's association order) produce values that are equal
+// mathematically but not bit-for-bit, and an == turns that into a
+// behavioural divergence. Compare via an explicit tolerance helper, or
+// move the comparison into frac.Rat where equality is exact.
+func FloatCmp() *Analyzer {
+	return &Analyzer{
+		Name:      "floatcmp",
+		Doc:       "no ==/!= between floating-point operands",
+		AppliesTo: nil, // everywhere
+		Run:       runFloatCmp,
+	}
+}
+
+func runFloatCmp(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := exprType(info, be.X), exprType(info, be.Y)
+			if xt == nil || yt == nil {
+				return true
+			}
+			if !isFloat(xt) && !isFloat(yt) {
+				return true
+			}
+			// Comparisons between two compile-time constants are exact by
+			// construction and carry no runtime nondeterminism.
+			if info.Types[be.X].Value != nil && info.Types[be.Y].Value != nil {
+				return true
+			}
+			p.report(&diags, "floatcmp",
+				be, "%s between floating-point operands; use a tolerance helper or frac.Rat equality", be.Op)
+			return true
+		})
+	}
+	return diags
+}

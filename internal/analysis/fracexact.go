@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FracExact flags floating-point arithmetic, comparison, assignment, or
+// conversion inside the exact-arithmetic packages. Task weights, lags,
+// and group deadlines must flow through frac.Rat; the paper's drift
+// bounds are exact statements and do not survive rounding. Designated
+// reporting boundaries (frac.Rat.Float64, frac.Quantize, metric
+// percentages) carry //lint:allow fracexact annotations.
+func FracExact() *Analyzer {
+	return &Analyzer{
+		Name: "fracexact",
+		Doc:  "no float arithmetic/comparison/conversion in exact-arithmetic packages",
+		AppliesTo: func(pkgPath string) bool {
+			return pathIn(pkgPath, exactPkgs) && !pathIn(pkgPath, reportingPkgs)
+		},
+		Run: runFracExact,
+	}
+}
+
+func runFracExact(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !arithmeticOrCmp(n.Op) {
+					return true
+				}
+				if floatOperand(info, n.X) || floatOperand(info, n.Y) {
+					p.report(&diags, "fracexact",
+						n, "float %s expression in exact-arithmetic package; use frac.Rat", n.Op)
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+					return true
+				}
+				// Compound assignment: x += y etc.
+				for _, lhs := range n.Lhs {
+					if floatOperand(info, lhs) {
+						p.report(&diags, "fracexact",
+							n, "float compound assignment %s in exact-arithmetic package; use frac.Rat", n.Tok)
+						break
+					}
+				}
+			case *ast.CallExpr:
+				// Conversion to a float type: float64(x), float32(x),
+				// or a named type whose underlying type is float.
+				if len(n.Args) != 1 {
+					return true
+				}
+				tv, ok := info.Types[n.Fun]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				if isFloat(tv.Type) {
+					p.report(&diags, "fracexact",
+						n, "conversion to %s in exact-arithmetic package; keep values in frac.Rat", tv.Type)
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func arithmeticOrCmp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+func floatOperand(info *types.Info, e ast.Expr) bool {
+	t := exprType(info, e)
+	return t != nil && isFloat(t)
+}

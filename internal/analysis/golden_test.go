@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current analyzer output")
+
+// TestGolden runs each analyzer over its fixture package under
+// testdata/src/<check>/ and compares the rendered diagnostics against
+// testdata/<check>.golden. Suppressed lines (//lint:allow) must already
+// be filtered, so every fixture doubles as a suppression test.
+func TestGolden(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", a.Name)
+			loader, err := NewLoader(dir)
+			if err != nil {
+				t.Fatalf("NewLoader: %v", err)
+			}
+			pkg, err := loader.LoadDir(dir)
+			if err != nil {
+				t.Fatalf("LoadDir(%s): %v", dir, err)
+			}
+			diags := RunChecks([]*Package{pkg}, []*Analyzer{a}, true)
+			var b strings.Builder
+			for _, d := range diags {
+				fmt.Fprintf(&b, "%s:%d:%d: [%s] %s\n", filepath.Base(d.File), d.Line, d.Col, d.Check, d.Message)
+			}
+			got := b.String()
+
+			goldenPath := filepath.Join("testdata", a.Name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatalf("update golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", a.Name, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenFixturesSeedViolations asserts that every fixture seeds at
+// least one violation of its own category — the acceptance criterion
+// that pd2lint exits non-zero on each check is anchored here.
+func TestGoldenFixturesSeedViolations(t *testing.T) {
+	for _, a := range All() {
+		dir := filepath.Join("testdata", "src", a.Name)
+		loader, err := NewLoader(dir)
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", dir, err)
+		}
+		diags := RunChecks([]*Package{pkg}, []*Analyzer{a}, true)
+		if len(diags) == 0 {
+			t.Errorf("fixture %s produced no %s diagnostics", dir, a.Name)
+		}
+		for _, d := range diags {
+			if d.Check != a.Name {
+				t.Errorf("fixture %s produced foreign diagnostic %s", dir, d)
+			}
+		}
+	}
+}
+
+// TestModuleClean asserts the repository itself passes its own suite —
+// the linter is dogfooded on every go test run, not only in make check.
+func TestModuleClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dirs, err := loader.ModuleDirs()
+	if err != nil {
+		t.Fatalf("ModuleDirs: %v", err)
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags := RunChecks(pkgs, All(), false)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

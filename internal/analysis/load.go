@@ -1,0 +1,259 @@
+// Package loading. pd2lint must not pull in golang.org/x/tools, so this
+// file implements a small module-aware loader on top of go/parser,
+// go/types, and go/importer: module-internal imports are resolved by
+// mapping import paths onto directories under the module root and
+// type-checking recursively; standard-library imports go through the
+// toolchain's default importer (with a source-importer fallback for
+// environments without export data).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path, e.g. "repro/internal/core"
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files, sorted by file name
+	Types *types.Package
+	Info  *types.Info
+
+	supp map[string]*fileSuppressions // by filename, built lazily
+}
+
+// Loader loads packages of a single module (plus the standard library).
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string // absolute path of the directory holding go.mod
+	ModPath string // module path from go.mod
+
+	std     types.Importer
+	stdSrc  types.Importer
+	pkgs    map[string]*Package // keyed by absolute directory
+	loading map[string]bool     // cycle detection, keyed by directory
+}
+
+// NewLoader locates the enclosing module of dir and returns a loader
+// for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModRoot: root,
+		ModPath: modPath,
+		std:     importer.Default(),
+		stdSrc:  importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// findModule walks upward from dir looking for go.mod.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					mp := strings.TrimSpace(rest)
+					if unq, err := strconv.Unquote(mp); err == nil {
+						mp = unq
+					}
+					return d, mp, nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// ModuleDirs returns every directory under the module root that holds at
+// least one non-test .go file, in sorted order, skipping testdata,
+// hidden directories, and build-output directories.
+func (l *Loader) ModuleDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "out" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		names, err := goSources(path)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// goSources lists the non-test .go files of dir, sorted.
+func goSources(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadDir parses and type-checks the package in dir (non-test files
+// only). Results are cached, so shared dependencies are checked once.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[abs]; ok {
+		return pkg, nil
+	}
+	if l.loading[abs] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", abs)
+	}
+	l.loading[abs] = true
+	defer delete(l.loading, abs)
+
+	names, err := goSources(abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go source files in %s", abs)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	importPath := l.importPathFor(abs)
+	var firstErr error
+	conf := types.Config{
+		Importer: &moduleImporter{l: l},
+		// Record the first error but keep checking, so a single bad file
+		// yields one crisp diagnostic instead of a panic mid-walk.
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	pkg := &Package{
+		Path:  importPath,
+		Dir:   abs,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		supp:  make(map[string]*fileSuppressions),
+	}
+	l.pkgs[abs] = pkg
+	return pkg, nil
+}
+
+// importPathFor maps an absolute directory inside the module to its
+// import path.
+func (l *Loader) importPathFor(abs string) string {
+	rel, err := filepath.Rel(l.ModRoot, abs)
+	if err != nil || rel == "." {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+// dirForImport maps a module-internal import path to a directory.
+func (l *Loader) dirForImport(path string) (string, bool) {
+	if path == l.ModPath {
+		return l.ModRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModRoot, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// moduleImporter resolves imports during type checking.
+type moduleImporter struct {
+	l *Loader
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if dir, ok := m.l.dirForImport(path); ok {
+		pkg, err := m.l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	pkg, err := m.l.std.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	// Fall back to type-checking the standard library from source, for
+	// toolchains without prebuilt export data.
+	return m.l.stdSrc.Import(path)
+}

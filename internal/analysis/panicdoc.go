@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// PanicDoc requires that panic calls in library packages either
+// propagate an error value or carry a "pkg: message" string naming the
+// violated invariant. The exact-arithmetic layer deliberately panics on
+// impossible states (overflow, zero denominators, malformed windows) —
+// those panics are load-bearing documentation of the paper's
+// preconditions, and a bare panic("oops") or panic(42) tells a future
+// reader nothing about which invariant broke.
+func PanicDoc() *Analyzer {
+	return &Analyzer{
+		Name:      "panicdoc",
+		Doc:       "library panics must name the violated invariant or wrap an error",
+		AppliesTo: isLibraryPkg,
+		Run:       runPanicDoc,
+	}
+}
+
+func runPanicDoc(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" || len(call.Args) != 1 {
+				return true
+			}
+			if obj := info.Uses[id]; obj != nil {
+				if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+					return true // a shadowing user-defined panic
+				}
+			}
+			if panicArgDocumented(info, call.Args[0]) {
+				return true
+			}
+			p.report(&diags, "panicdoc",
+				call, "panic message must reference the violated invariant (\"pkg: what broke\") or wrap an error value")
+			return true
+		})
+	}
+	return diags
+}
+
+// panicArgDocumented reports whether the panic argument is acceptable:
+// an error value (including fmt.Errorf), or a string whose constant
+// value — directly or as a fmt.Sprintf format — has the "pkg: message"
+// shape.
+func panicArgDocumented(info *types.Info, arg ast.Expr) bool {
+	if t := exprType(info, arg); t != nil && isErrorType(t) {
+		return true
+	}
+	if s, ok := constString(info, arg); ok {
+		return invariantShaped(s)
+	}
+	if call, ok := arg.(*ast.CallExpr); ok {
+		if pkgFunc(info, call, "fmt", "Sprintf") && len(call.Args) > 0 {
+			if s, ok := constString(info, call.Args[0]); ok {
+				return invariantShaped(s)
+			}
+		}
+	}
+	return false
+}
+
+// constString extracts a compile-time string value from e.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// invariantShaped checks for the "pkg: what broke" message convention.
+func invariantShaped(s string) bool {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 {
+		return false
+	}
+	return strings.TrimSpace(s[i+1:]) != ""
+}

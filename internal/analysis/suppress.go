@@ -1,0 +1,149 @@
+// Suppression directives.
+//
+//	//lint:allow <check>[,<check>...] [reason]        — this line or the next
+//	//lint:file-allow <check>[,<check>...] [reason]   — whole file
+//
+// A line directive written as a trailing comment suppresses matching
+// diagnostics on its own line; written on a line of its own it
+// suppresses the line below. (Both interpretations are honoured: a
+// directive at line L covers L and L+1.) Reasons are free text and are
+// strongly encouraged — the allowlist is itself reviewed.
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+const (
+	allowPrefix     = "lint:allow"
+	fileAllowPrefix = "lint:file-allow"
+)
+
+// directive is one parsed //lint:allow or //lint:file-allow comment.
+type directive struct {
+	Line      int // 1-based line of the comment; 0 for file scope
+	FileScope bool
+	Checks    []string
+	Reason    string
+}
+
+// parseDirective parses the text of a single comment. The text must
+// still carry its // or /* marker, as in ast.Comment.Text. It returns
+// ok=false for comments that are not lint directives.
+func parseDirective(text string) (directive, bool) {
+	body := strings.TrimSpace(trimCommentMarkers(text))
+	var rest string
+	var d directive
+	switch {
+	case strings.HasPrefix(body, fileAllowPrefix):
+		d.FileScope = true
+		rest = body[len(fileAllowPrefix):]
+	case strings.HasPrefix(body, allowPrefix):
+		rest = body[len(allowPrefix):]
+	default:
+		return directive{}, false
+	}
+	// The check list is the first whitespace-separated field; everything
+	// after it is the reason.
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return directive{}, false // malformed: no checks named
+	}
+	list := rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		list, d.Reason = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	for _, c := range strings.Split(list, ",") {
+		c = strings.TrimSpace(c)
+		if c != "" {
+			d.Checks = append(d.Checks, c)
+		}
+	}
+	if len(d.Checks) == 0 {
+		return directive{}, false
+	}
+	return d, true
+}
+
+// trimCommentMarkers strips // or /* */ from a comment's raw text.
+func trimCommentMarkers(text string) string {
+	if rest, ok := strings.CutPrefix(text, "//"); ok {
+		return rest
+	}
+	if rest, ok := strings.CutPrefix(text, "/*"); ok {
+		return strings.TrimSuffix(rest, "*/")
+	}
+	return text
+}
+
+// fileSuppressions indexes the directives of one file.
+type fileSuppressions struct {
+	fileAllow map[string]bool         // check -> allowed file-wide
+	byLine    map[int]map[string]bool // line -> check -> allowed
+}
+
+func (fs *fileSuppressions) allows(check string, line int) bool {
+	if fs.fileAllow[check] {
+		return true
+	}
+	// A directive at line L covers diagnostics at L (trailing comment)
+	// and L+1 (standalone comment above the statement).
+	if fs.byLine[line][check] || fs.byLine[line-1][check] {
+		return true
+	}
+	return false
+}
+
+// buildSuppressions scans every comment of f.
+func buildSuppressions(pkg *Package, f *ast.File) *fileSuppressions {
+	fs := &fileSuppressions{
+		fileAllow: make(map[string]bool),
+		byLine:    make(map[int]map[string]bool),
+	}
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			d, ok := parseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			if d.FileScope {
+				for _, check := range d.Checks {
+					fs.fileAllow[check] = true
+				}
+				continue
+			}
+			line := pkg.Fset.Position(c.Pos()).Line
+			m := fs.byLine[line]
+			if m == nil {
+				m = make(map[string]bool)
+				fs.byLine[line] = m
+			}
+			for _, check := range d.Checks {
+				m[check] = true
+			}
+		}
+	}
+	return fs
+}
+
+// suppressed reports whether d is covered by a lint directive.
+func (p *Package) suppressed(d Diagnostic) bool {
+	fs, ok := p.supp[d.File]
+	if !ok {
+		for _, f := range p.Files {
+			if p.Fset.Position(f.Pos()).Filename == d.File {
+				fs = buildSuppressions(p, f)
+				break
+			}
+		}
+		if fs == nil {
+			fs = &fileSuppressions{
+				fileAllow: make(map[string]bool),
+				byLine:    make(map[int]map[string]bool),
+			}
+		}
+		p.supp[d.File] = fs
+	}
+	return fs.allows(d.Check, d.Line)
+}

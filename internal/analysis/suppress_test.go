@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+// TestParseDirective is the table test for the suppression-comment
+// grammar (satellite requirement: the grammar is part of the lint
+// contract and must not drift).
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		ok   bool
+		want directive
+	}{
+		{
+			name: "single check",
+			text: "//lint:allow fracexact",
+			ok:   true,
+			want: directive{Checks: []string{"fracexact"}},
+		},
+		{
+			name: "single check with reason",
+			text: "//lint:allow fracexact reporting boundary only",
+			ok:   true,
+			want: directive{Checks: []string{"fracexact"}, Reason: "reporting boundary only"},
+		},
+		{
+			name: "multiple checks",
+			text: "//lint:allow fracexact,floatcmp",
+			ok:   true,
+			want: directive{Checks: []string{"fracexact", "floatcmp"}},
+		},
+		{
+			name: "multiple checks with spaces and reason",
+			text: "//lint:allow errdrop, panicdoc best-effort shutdown path",
+			ok:   true,
+			// The list ends at the first whitespace: "panicdoc" starts the reason.
+			want: directive{Checks: []string{"errdrop"}, Reason: "panicdoc best-effort shutdown path"},
+		},
+		{
+			name: "file scope",
+			text: "//lint:file-allow determinism generated table",
+			ok:   true,
+			want: directive{FileScope: true, Checks: []string{"determinism"}, Reason: "generated table"},
+		},
+		{
+			name: "leading space before directive",
+			text: "// lint:allow floatcmp sentinel compare",
+			ok:   true,
+			want: directive{Checks: []string{"floatcmp"}, Reason: "sentinel compare"},
+		},
+		{
+			name: "block comment",
+			text: "/*lint:allow errdrop*/",
+			ok:   true,
+			want: directive{Checks: []string{"errdrop"}},
+		},
+		{
+			name: "tab separated reason",
+			text: "//lint:allow panicdoc\tdocumented elsewhere",
+			ok:   true,
+			want: directive{Checks: []string{"panicdoc"}, Reason: "documented elsewhere"},
+		},
+		{
+			name: "trailing comma tolerated",
+			text: "//lint:allow fracexact,",
+			ok:   true,
+			want: directive{Checks: []string{"fracexact"}},
+		},
+		{name: "no checks named", text: "//lint:allow", ok: false},
+		{name: "no checks file scope", text: "//lint:file-allow   ", ok: false},
+		{name: "only commas", text: "//lint:allow ,,", ok: false},
+		{name: "unrelated comment", text: "// just a comment", ok: false},
+		{name: "nolint is not our grammar", text: "//nolint:errcheck", ok: false},
+		{name: "lint namespace but unknown verb", text: "//lint:ignore foo bar", ok: false},
+		{name: "empty comment", text: "//", ok: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseDirective(tc.text)
+			if ok != tc.ok {
+				t.Fatalf("parseDirective(%q) ok = %v, want %v", tc.text, ok, tc.ok)
+			}
+			if !ok {
+				return
+			}
+			if !reflect.DeepEqual(got.Checks, tc.want.Checks) {
+				t.Errorf("checks = %v, want %v", got.Checks, tc.want.Checks)
+			}
+			if got.Reason != tc.want.Reason {
+				t.Errorf("reason = %q, want %q", got.Reason, tc.want.Reason)
+			}
+			if got.FileScope != tc.want.FileScope {
+				t.Errorf("fileScope = %v, want %v", got.FileScope, tc.want.FileScope)
+			}
+		})
+	}
+}
+
+// TestSuppressionScope checks line coverage (same line, next line) and
+// file-wide coverage against a synthetic file.
+func TestSuppressionScope(t *testing.T) {
+	const src = `package p
+
+//lint:file-allow panicdoc fixture file
+
+func f() {
+	bad() //lint:allow errdrop same-line
+	//lint:allow determinism next-line
+	alsoBad()
+	clean()
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Fset: fset, Files: nil}
+	fs := buildSuppressions(pkg, f)
+
+	cases := []struct {
+		check string
+		line  int
+		want  bool
+	}{
+		{"errdrop", 6, true},      // trailing comment covers its own line
+		{"errdrop", 8, false},     // but not unrelated lines
+		{"determinism", 8, true},  // standalone comment covers the next line
+		{"determinism", 7, true},  // and its own line
+		{"determinism", 9, false}, // but not two lines down
+		{"panicdoc", 6, true},     // file-allow covers everything
+		{"panicdoc", 9, true},     // everywhere
+		{"fracexact", 6, false},   // unnamed checks stay active
+		{"floatcmp", 3, false},    // file-allow names only panicdoc
+	}
+	for _, tc := range cases {
+		if got := fs.allows(tc.check, tc.line); got != tc.want {
+			t.Errorf("allows(%q, line %d) = %v, want %v", tc.check, tc.line, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package determinism is a pd2lint fixture: wall-clock reads, global
+// randomness, environment reads, and map-order dependence that must be
+// flagged, plus the sanctioned deterministic patterns.
+package determinism
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// BadClock reads the wall clock.
+func BadClock() int64 {
+	return time.Now().Unix() // want determinism
+}
+
+// BadSince measures wall-clock elapsed time.
+func BadSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want determinism
+}
+
+// BadGlobalRand draws from the unseeded global source.
+func BadGlobalRand(n int) int {
+	return rand.Intn(n) // want determinism
+}
+
+// BadSeed reseeds the global source (still order-dependent across goroutines).
+func BadSeed() {
+	rand.Seed(42) // want determinism
+}
+
+// BadEnv consults the process environment.
+func BadEnv() string {
+	return os.Getenv("PD2_MODE") // want determinism
+}
+
+// BadMapAppend accumulates candidates in map order.
+func BadMapAppend(ready map[string]int) []string {
+	var names []string
+	for name := range ready { // want determinism
+		names = append(names, name)
+	}
+	return names
+}
+
+// BadMapSelect picks a candidate by map-order-dependent tie-break.
+func BadMapSelect(lag map[string]int) string {
+	best, bestLag := "", -1
+	for name, l := range lag { // want determinism
+		if l > bestLag {
+			best, bestLag = name, l
+		}
+	}
+	return best
+}
+
+// OKSeededRand builds an explicitly seeded source.
+func OKSeededRand(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// OKMapAppendSorted appends and then sorts — replay-stable.
+func OKMapAppendSorted(ready map[string]int) []string {
+	var names []string
+	for name := range ready {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// OKMapCount only counts; no order sensitivity.
+func OKMapCount(ready map[string]int) int {
+	total := 0
+	for range ready {
+		total++
+	}
+	return total
+}
+
+// OKAllowed is suppressed.
+func OKAllowed() string {
+	return os.Getenv("CI") //lint:allow determinism fixture: CI detection outside the simulator
+}

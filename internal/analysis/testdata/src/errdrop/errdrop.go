@@ -1,0 +1,73 @@
+// Package errdrop is a pd2lint fixture: silently dropped errors that
+// must be flagged, plus the sanctioned handling patterns.
+package errdrop
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func write(p []byte) (int, error) { return 0, errors.New("errdrop: fixture") }
+func flush() error                { return errors.New("errdrop: fixture") }
+
+// BadCall drops a lone error result.
+func BadCall() {
+	flush() // want errdrop
+}
+
+// BadMulti drops the error of a multi-result call.
+func BadMulti(p []byte) {
+	write(p) // want errdrop
+}
+
+// BadDefer drops an error in a deferred close-like call.
+func BadDefer() {
+	defer flush() // want errdrop
+}
+
+// BadGo drops an error on a goroutine boundary.
+func BadGo() {
+	go flush() // want errdrop
+}
+
+// BadFprintf writes to a real (failable) writer without checking.
+func BadFprintf(f *os.File) {
+	fmt.Fprintf(f, "x") // want errdrop
+}
+
+// OKChecked handles the error.
+func OKChecked() error {
+	if err := flush(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// OKExplicitDrop documents the decision with a blank assignment.
+func OKExplicitDrop() {
+	_ = flush()
+}
+
+// OKStdout prints to stdout; interactive reporting is exempt.
+func OKStdout() {
+	fmt.Println("hello")
+	fmt.Fprintln(os.Stderr, "usage")
+}
+
+// OKBuffers writes to in-memory buffers, which never fail.
+func OKBuffers() string {
+	var b strings.Builder
+	b.WriteString("x")
+	var buf bytes.Buffer
+	buf.WriteByte('y')
+	fmt.Fprintf(&b, "%d", 1)
+	return b.String() + buf.String()
+}
+
+// OKAllowed is suppressed.
+func OKAllowed() {
+	flush() //lint:allow errdrop fixture: best-effort flush on shutdown
+}

@@ -1,0 +1,51 @@
+// Package floatcmp is a pd2lint fixture: exact float equality that must
+// be flagged, plus acceptable comparisons.
+package floatcmp
+
+import "math"
+
+type Meters float64
+
+// BadEq compares floats with ==.
+func BadEq(a, b float64) bool {
+	return a == b // want floatcmp
+}
+
+// BadNeq compares floats with !=.
+func BadNeq(a float64) bool {
+	return a != 0.0 // want floatcmp
+}
+
+// BadNamed compares a named float type.
+func BadNamed(a, b Meters) bool {
+	return a == b // want floatcmp
+}
+
+// BadMixed compares an untyped constant against a float variable.
+func BadMixed(a float64) bool {
+	return 1.5 == a // want floatcmp
+}
+
+// OKTolerance is the sanctioned pattern.
+func OKTolerance(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// OKOrdered comparisons are allowed; only ==/!= are flagged.
+func OKOrdered(a, b float64) bool {
+	return a < b
+}
+
+// OKConst folds at compile time; no runtime nondeterminism.
+const widthOK = 1.5 == 3.0/2.0
+
+// OKInt equality on integers is exact.
+func OKInt(a, b int) bool {
+	return a == b
+}
+
+// OKAllowed is suppressed with a standalone directive.
+func OKAllowed(a, b float64) bool {
+	//lint:allow floatcmp fixture: deliberate bit-exact sentinel compare
+	return a == b
+}

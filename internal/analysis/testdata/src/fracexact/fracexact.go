@@ -1,0 +1,41 @@
+// Package fracexact is a pd2lint fixture: float arithmetic that must be
+// flagged inside an exact-arithmetic package, plus allowed patterns.
+package fracexact
+
+// Weight mimics a task weight that should be a frac.Rat.
+type Weight = float64
+
+// BadArith does float arithmetic on weights.
+func BadArith(a, b float64) float64 {
+	return a + b // want fracexact
+}
+
+// BadCmp compares float weights.
+func BadCmp(a, b float64) bool {
+	return a < b // want fracexact
+}
+
+// BadConv converts a lag to float.
+func BadConv(lag int64) float64 {
+	return float64(lag) // want fracexact
+}
+
+// BadCompound uses a float compound assignment.
+func BadCompound(total *float64, x float64) {
+	*total += x // want fracexact (compound assignment)
+}
+
+// BadNamed converts through a named float type.
+func BadNamed(x int) Weight {
+	return Weight(x) // want fracexact
+}
+
+// OKInt is exact integer arithmetic and must not be flagged.
+func OKInt(a, b int64) int64 {
+	return a*b + 1
+}
+
+// OKAllowed is a designated reporting boundary.
+func OKAllowed(num, den int64) float64 {
+	return float64(num) / float64(den) //lint:allow fracexact reporting boundary fixture
+}

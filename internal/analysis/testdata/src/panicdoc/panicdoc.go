@@ -1,0 +1,65 @@
+// Package panicdoc is a pd2lint fixture: undocumented panics that must
+// be flagged, plus the sanctioned message shapes.
+package panicdoc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBroken mimics a sentinel invariant error.
+var ErrBroken = errors.New("panicdoc: invariant broken")
+
+// BadBare panics with a message that names no invariant.
+func BadBare() {
+	panic("oops") // want panicdoc
+}
+
+// BadEmpty panics with an empty message.
+func BadEmpty() {
+	panic("") // want panicdoc
+}
+
+// BadValue panics with a bare value.
+func BadValue(code int) {
+	panic(code) // want panicdoc
+}
+
+// BadTrailingColon has a colon but nothing after it.
+func BadTrailingColon() {
+	panic("panicdoc:") // want panicdoc
+}
+
+// BadSprintf formats a message that still names no invariant.
+func BadSprintf(n int) {
+	panic(fmt.Sprintf("bad %d", n)) // want panicdoc
+}
+
+// OKInvariant names the package and the violated invariant.
+func OKInvariant(den int64) {
+	if den == 0 {
+		panic("panicdoc: zero denominator violates Rat invariant")
+	}
+}
+
+// OKSprintf formats an invariant-shaped message.
+func OKSprintf(i int) {
+	panic(fmt.Sprintf("panicdoc: subtask index %d < 1", i))
+}
+
+// OKError propagates an error value.
+func OKError(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// OKSentinel propagates a sentinel error.
+func OKSentinel() {
+	panic(ErrBroken)
+}
+
+// OKAllowed is suppressed.
+func OKAllowed() {
+	panic("fixture") //lint:allow panicdoc fixture: suppression demonstration
+}

@@ -233,7 +233,7 @@ func (m TaskMetrics) PercentOfIdeal() float64 {
 	if m.CumPS.IsZero() {
 		return 1
 	}
-	return float64(m.Scheduled) / m.CumPS.Float64()
+	return float64(m.Scheduled) / m.CumPS.Float64() //lint:allow fracexact designated reporting boundary (figure output only)
 }
 
 func (ts *taskState) metrics() TaskMetrics {

@@ -293,7 +293,7 @@ func CeilDivInt(i int64, r Rat) int64 {
 
 // Float64 returns the nearest float64 to r. Intended for reporting only.
 func (r Rat) Float64() float64 {
-	return float64(r.num) / float64(r.Den())
+	return float64(r.num) / float64(r.Den()) //lint:allow fracexact designated exact→float reporting boundary
 }
 
 // String formats r as "num/den", or just "num" when r is an integer.
@@ -373,12 +373,12 @@ func Quantize(x float64, den int64) Rat {
 	if math.IsNaN(x) || math.IsInf(x, 0) {
 		panic("frac: Quantize of non-finite value")
 	}
-	scaled := x * float64(den)
+	scaled := x * float64(den) //lint:allow fracexact designated float→exact entry point (Whisper cost model)
 	var n int64
-	if scaled >= 0 {
-		n = int64(math.Floor(scaled + 0.5))
+	if scaled >= 0 { //lint:allow fracexact sign test on the incoming float, before quantization
+		n = int64(math.Floor(scaled + 0.5)) //lint:allow fracexact round-half-away rounding of the incoming float
 	} else {
-		n = int64(math.Ceil(scaled - 0.5))
+		n = int64(math.Ceil(scaled - 0.5)) //lint:allow fracexact round-half-away rounding of the incoming float
 	}
 	return New(n, den)
 }
