@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench figures demos lint check clean
+.PHONY: all build test test-race bench bench-json figures demos lint check clean
 
 all: build test
 
@@ -19,6 +19,13 @@ test-race:
 # the full protocol).
 bench:
 	$(GO) test -bench=. -benchmem -run XXX ./...
+
+# Refresh BENCH_core.json with the scheduler hot-path numbers. The file's
+# committed baseline_ns_per_op section (the pre-event-engine per-slot loop)
+# is preserved; only current_ns_per_op and the speedups are rewritten.
+bench-json:
+	$(GO) test -bench 'SchedulerSlot|ReweightStorm' -benchtime=1s -run XXX . \
+		| $(GO) run ./cmd/benchjson -out BENCH_core.json
 
 # Regenerate every evaluation artifact with the paper's 61-run protocol.
 figures:

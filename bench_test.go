@@ -121,9 +121,11 @@ func BenchmarkWhisperRun(b *testing.B) {
 
 // BenchmarkSchedulerSlot measures the per-slot cost of the PD² engine on a
 // static system, across system sizes. The paper reports ~5µs per-slot
-// scheduling decisions on its 2.7GHz testbed.
+// scheduling decisions on its 2.7GHz testbed; the event-driven calendar
+// engine keeps the per-slot cost roughly flat as the task count grows (see
+// BENCH_core.json for the tracked trajectory).
 func BenchmarkSchedulerSlot(b *testing.B) {
-	for _, n := range []int{8, 32, 128} {
+	for _, n := range []int{8, 32, 128, 512, 2048, 8192} {
 		b.Run(fmt.Sprintf("tasks=%d", n), func(b *testing.B) {
 			var tasks []Spec
 			for i := 0; i < n; i++ {
@@ -142,6 +144,39 @@ func BenchmarkSchedulerSlot(b *testing.B) {
 				b.Fatalf("misses: %v", s.Misses())
 			}
 		})
+	}
+}
+
+// BenchmarkReweightStorm measures a worst-case adaptive load: every slot,
+// a batch of tasks re-initiates weight changes while the engine is
+// scheduling, so the calendar's enactment/release machinery is exercised as
+// hard as the paper's Ω(max(N, M log N)) reweighting bound suggests.
+func BenchmarkReweightStorm(b *testing.B) {
+	const n = 512
+	const batch = 32
+	var tasks []Spec
+	for i := 0; i < n; i++ {
+		tasks = append(tasks, Spec{Name: fmt.Sprintf("T%d", i), Weight: NewRat(1, 256)})
+	}
+	s, err := NewScheduler(Config{M: 4, Policy: PolicyOI, Police: true},
+		System{M: 4, Tasks: tasks})
+	if err != nil {
+		b.Fatal(err)
+	}
+	weights := []Rat{NewRat(1, 256), NewRat(1, 128), NewRat(1, 200)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := (i * batch) % n
+		for j := 0; j < batch; j++ {
+			name := fmt.Sprintf("T%d", (base+j)%n)
+			if err := s.Initiate(name, weights[(i+j)%len(weights)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Step()
+	}
+	if len(s.Misses()) != 0 {
+		b.Fatalf("misses: %v", s.Misses())
 	}
 }
 

@@ -1,0 +1,118 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// record of ns/op per benchmark, suitable for committing as a performance
+// baseline (BENCH_core.json at the repository root).
+//
+// Usage:
+//
+//	go test -bench 'SchedulerSlot|ReweightStorm' -run XXX . | go run ./cmd/benchjson -out BENCH_core.json
+//
+// If the output file already exists, its "baseline" section is preserved
+// verbatim and per-benchmark speedups against it are recomputed; the fresh
+// numbers land in "current". To re-baseline, delete the file (the next run
+// seeds "baseline" from its own "current" numbers).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type report struct {
+	Note     string             `json:"note,omitempty"`
+	Baseline map[string]float64 `json:"baseline_ns_per_op,omitempty"`
+	Current  map[string]float64 `json:"current_ns_per_op"`
+	Speedup  map[string]string  `json:"speedup,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_core.json", "output JSON path")
+	note := flag.String("note", "", "optional note stored in the report")
+	flag.Parse()
+
+	cur, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	rep := report{Current: cur}
+	if data, err := os.ReadFile(*out); err == nil {
+		var prev report
+		if err := json.Unmarshal(data, &prev); err == nil {
+			rep.Baseline = prev.Baseline
+			if rep.Note == "" {
+				rep.Note = prev.Note
+			}
+		}
+	}
+	if *note != "" {
+		rep.Note = *note
+	}
+	if rep.Baseline == nil {
+		rep.Baseline = cur // first run seeds the baseline
+	}
+	rep.Speedup = make(map[string]string)
+	for name, ns := range cur {
+		if base, ok := rep.Baseline[name]; ok && ns > 0 {
+			rep.Speedup[name] = fmt.Sprintf("%.2fx", base/ns)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%-40s %12.0f ns/op  %s\n", name, cur[name], rep.Speedup[name])
+	}
+}
+
+// parseBench extracts "BenchmarkName-P  iters  ns ns/op" lines.
+func parseBench(f *os.File) (map[string]float64, error) {
+	res := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Strip the trailing -GOMAXPROCS suffix.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res[name] = ns
+	}
+	return res, sc.Err()
+}

@@ -1,0 +1,188 @@
+package core
+
+import "repro/internal/model"
+
+// This file implements the time-indexed calendar of the event-driven PD²
+// engine. Instead of rescanning every task every slot (the original
+// brute-force loop, preserved verbatim in internal/core/reference), the
+// scheduler keeps one min-heap per event kind — pending joins, enactment
+// times, release times, ERfair speculation candidates, subtask deadlines
+// (miss detection) and D(I_SW,·)-waiter resolutions — keyed by
+// (time, push sequence). Each Step pops only the events due now.
+//
+// Events are intentionally *lazy*: pushing is cheap and duplicates or
+// stale entries are allowed. Every pop re-validates the event against the
+// task's current state using exactly the predicate the original per-slot
+// scan evaluated, so a stale event is simply dropped and the engine's
+// observable behavior stays byte-for-byte identical to the scan. Events
+// that reference a pooled subtask additionally carry the subtask's reuse
+// stamp (see subtask.stamp).
+
+// tevent is one calendar entry. ts is the task it concerns; sub/stamp are
+// set only for deadline-miss events.
+type tevent struct {
+	at    model.Time
+	seq   uint64
+	ts    *taskState
+	sub   *subtask
+	stamp uint64
+}
+
+// eventHeap is a binary min-heap of tevents ordered by (at, seq). seq is a
+// global push counter, making the pop order deterministic.
+type eventHeap struct {
+	ev []tevent
+}
+
+func (h *eventHeap) push(e tevent) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.ev[i].before(h.ev[p]) {
+			break
+		}
+		h.ev[i], h.ev[p] = h.ev[p], h.ev[i]
+		i = p
+	}
+}
+
+func (e tevent) before(f tevent) bool {
+	if e.at != f.at {
+		return e.at < f.at
+	}
+	return e.seq < f.seq
+}
+
+// popDue removes and returns the earliest event if it is due at or before
+// t. The boolean is false when no event is due.
+func (h *eventHeap) popDue(t model.Time) (tevent, bool) {
+	if len(h.ev) == 0 || h.ev[0].at > t {
+		return tevent{}, false
+	}
+	e := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev[last] = tevent{} // release pointers
+	h.ev = h.ev[:last]
+	h.siftDown(0)
+	return e, true
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.ev)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.ev[r].before(h.ev[l]) {
+			m = r
+		}
+		if !h.ev[m].before(h.ev[i]) {
+			return
+		}
+		h.ev[i], h.ev[m] = h.ev[m], h.ev[i]
+		i = m
+	}
+}
+
+// readyHeap is an indexed min-heap of tasks ordered by the PD² priority of
+// their offered subtask (ts.offer). It holds exactly the tasks whose offer
+// would appear in the original engine's per-slot eligibility scan: every
+// joined, non-left task with an earliest incomplete subtask (released
+// subtasks never have a future release time outside ERfair speculation,
+// and under ERfair an instantiated subtask is eligible regardless of its
+// nominal release; so membership never depends on the current slot).
+//
+// The PD² order extended by task id is a strict total order, so the heap's
+// pop sequence — and with it the schedule — is deterministic regardless of
+// operation history.
+type readyHeap struct {
+	ts   []*taskState
+	less func(a, b *taskState) bool
+}
+
+func (h *readyHeap) len() int { return len(h.ts) }
+
+func (h *readyHeap) pushTask(ts *taskState) {
+	ts.readyIdx = len(h.ts)
+	h.ts = append(h.ts, ts)
+	h.siftUp(ts.readyIdx)
+}
+
+// popMin removes and returns the highest-priority task.
+func (h *readyHeap) popMin() *taskState {
+	top := h.ts[0]
+	last := len(h.ts) - 1
+	h.ts[0] = h.ts[last]
+	h.ts[0].readyIdx = 0
+	h.ts[last] = nil
+	h.ts = h.ts[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	top.readyIdx = -1
+	return top
+}
+
+// remove deletes the task at index i.
+func (h *readyHeap) remove(ts *taskState) {
+	i := ts.readyIdx
+	last := len(h.ts) - 1
+	if i != last {
+		h.ts[i] = h.ts[last]
+		h.ts[i].readyIdx = i
+	}
+	h.ts[last] = nil
+	h.ts = h.ts[:last]
+	if i != last {
+		h.fix(i)
+	}
+	ts.readyIdx = -1
+}
+
+// fix restores the heap property at index i after its key changed.
+func (h *readyHeap) fix(i int) {
+	if !h.siftUp(i) {
+		h.siftDown(i)
+	}
+}
+
+func (h *readyHeap) siftUp(i int) bool {
+	moved := false
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.ts[i], h.ts[p]) {
+			break
+		}
+		h.ts[i], h.ts[p] = h.ts[p], h.ts[i]
+		h.ts[i].readyIdx = i
+		h.ts[p].readyIdx = p
+		i = p
+		moved = true
+	}
+	return moved
+}
+
+func (h *readyHeap) siftDown(i int) {
+	n := len(h.ts)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(h.ts[r], h.ts[l]) {
+			m = r
+		}
+		if !h.less(h.ts[m], h.ts[i]) {
+			return
+		}
+		h.ts[i], h.ts[m] = h.ts[m], h.ts[i]
+		h.ts[i].readyIdx = i
+		h.ts[m].readyIdx = m
+		i = m
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// engine_test.go covers the event-driven engine's mechanical guarantees:
+// scratch buffers must not retain stale *subtask pointers across slots
+// (the pre-refactor eligibility buffer kept every scanned subtask alive
+// until the next slot's scan overwrote it), the steady-state hot path must
+// be allocation-free, and a stolen overhead quantum must occupy a CPU so
+// that affinity assignment cannot double-book it.
+
+func engineSystem(n int) (Config, model.System) {
+	tasks := make([]model.Spec, n)
+	for i := range tasks {
+		tasks[i] = model.Spec{Name: string(rune('A'+i%26)) + "#" + string(rune('0'+i/26)), Weight: frac.New(1, int64(n+1))}
+	}
+	return Config{M: 2, Policy: PolicyOI, Police: true}, model.System{M: 2, Tasks: tasks}
+}
+
+// TestStepScratchBuffersCleared: after each Step the per-slot scratch
+// buffers hold no subtask pointers beyond their logical length, so a
+// subtask popped from the pool cannot be kept alive (or worse, observed)
+// through a stale scratch reference.
+func TestStepScratchBuffersCleared(t *testing.T) {
+	cfg, sys := engineSystem(12)
+	s := mustNew(t, cfg, sys)
+	for i := 0; i < 100; i++ {
+		s.Step()
+		buf := s.runBuf[:cap(s.runBuf)]
+		for j, p := range buf {
+			if p != nil {
+				t.Fatalf("slot %d: runBuf[%d] retains %v after Step", i, j, p)
+			}
+		}
+		prev := s.prevRan[len(s.prevRan):cap(s.prevRan)]
+		for j, p := range prev {
+			if p != nil {
+				t.Fatalf("slot %d: prevRan slack [%d] retains task %s", i, j, p.name)
+			}
+		}
+	}
+}
+
+// TestStepSteadyStateAllocs: once the event heaps and pools are warm, a
+// Step allocates nothing — the lazy accrual works in value-type rationals
+// and the calendar reuses its backing arrays.
+func TestStepSteadyStateAllocs(t *testing.T) {
+	cfg, sys := engineSystem(64)
+	s := mustNew(t, cfg, sys)
+	s.RunTo(500) // warm up heaps, pools and scratch buffers
+	avg := testing.AllocsPerRun(200, func() { s.Step() })
+	if avg > 0.5 {
+		t.Errorf("steady-state Step allocates %.2f objects/slot, want ~0", avg)
+	}
+}
+
+// TestStolenSlotOccupiesCPU: a stolen overhead quantum must mark its
+// processor busy. Before the fix, the affinity pass could place a task on
+// the stolen CPU, double-booking it (M+1 quanta of work in an M-processor
+// slot) and corrupting the migration accounting.
+func TestStolenSlotOccupiesCPU(t *testing.T) {
+	sys := model.System{M: 2, Tasks: []model.Spec{
+		{Name: "A", Weight: frac.Half},
+		{Name: "B", Weight: frac.Half},
+		{Name: "C", Weight: rat("2/5")},
+	}}
+	s := mustNew(t, Config{
+		M: 2, Policy: PolicyOI, Police: true,
+		OverheadOI:     frac.One, // every enactment steals one full slot
+		RecordSchedule: true,
+	}, sys)
+	targets := []frac.Rat{rat("1/4"), rat("2/5")}
+	stolen := 0
+	for i := 0; i < 6; i++ {
+		if err := s.Initiate("C", targets[i%2]); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 15; j++ {
+			before := s.OverheadSlots()
+			now := s.Now()
+			s.Step()
+			if s.OverheadSlots() == before {
+				continue
+			}
+			stolen++
+			entries := s.ScheduleEntries(now)
+			if len(entries) > 1 {
+				t.Errorf("t=%d: stolen slot scheduled %d quanta on the remaining CPU: %v", now, len(entries), entries)
+			}
+			for _, e := range entries {
+				if e.CPU == 1 {
+					t.Errorf("t=%d: task %s placed on the stolen CPU 1", now, e.Task)
+				}
+			}
+		}
+	}
+	if stolen == 0 {
+		t.Fatal("scenario never stole a slot; overhead accounting broken")
+	}
+	if len(s.Misses()) != 0 {
+		t.Errorf("misses: %v", s.Misses())
+	}
+}

@@ -424,12 +424,14 @@ func TestFig3aRuleOAllocations(t *testing.T) {
 	s.RunTo(10)
 	ts := s.byName["T"]
 	t2 := ts.lastReleased
+	// Metrics materializes the lazy I_SW frontier up to now, so the
+	// white-box read of t2.swCum below sees the accrued value.
+	preSW := mustMetrics(t, s, "T").CumSW
 	// By time 10, I_SW has given T_2 its first-slot pairing allocation of
 	// 1/20 (slot 6) plus 3/20 in slots 7-9: total 10/20 = 1/2.
 	if !t2.swCum.Eq(frac.Half) {
 		t.Fatalf("A(I_SW, T_2, 0, 10) = %s, want 1/2", t2.swCum)
 	}
-	preSW := mustMetrics(t, s, "T").CumSW
 	if err := s.Initiate("T", frac.Half); err != nil {
 		t.Fatal(err)
 	}

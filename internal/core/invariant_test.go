@@ -299,10 +299,15 @@ func TestPolicingDefersOverload(t *testing.T) {
 	}
 	left := false
 	sawDeferral := false
-	var epochSub *subtask
+	// Snapshot the post-enactment subtask's identity at capture time: the
+	// engine pools subtask records, so a *subtask held across many releases
+	// may be recycled (see subtask.stamp).
+	var epochAbs int64
+	epochStart, captured := false, false
 	s.Run(30, func(now model.Time, sch *Scheduler) {
-		if left && epochSub == nil {
-			epochSub = sch.byName["B"].lastReleased
+		if left && !captured {
+			sub := sch.byName["B"].lastReleased
+			epochAbs, epochStart, captured = sub.abs, sub.epochStart, true
 		}
 		if frac.One.Less(sch.TotalSchedWeight()) {
 			t.Fatalf("t=%d: total scheduling weight %s exceeds M", now, sch.TotalSchedWeight())
@@ -332,8 +337,8 @@ func TestPolicingDefersOverload(t *testing.T) {
 	if !m.SchedWeight.Eq(frac.Half) {
 		t.Errorf("B's increase never landed: swt=%s", m.SchedWeight)
 	}
-	if epochSub == nil || !epochSub.epochStart || epochSub.abs != 4 {
-		t.Errorf("B's post-enactment subtask %v, want abs=4 epoch-start", epochSub)
+	if !captured || !epochStart || epochAbs != 4 {
+		t.Errorf("B's post-enactment subtask abs=%d epochStart=%v, want abs=4 epoch-start", epochAbs, epochStart)
 	}
 	if len(s.Misses()) != 0 {
 		t.Errorf("misses: %v", s.Misses())

@@ -1,0 +1,32 @@
+// Package reference is a frozen snapshot of the PD² engine's original
+// per-slot brute-force loop, kept verbatim (modulo the package clause) from
+// before the event-driven calendar refactor of internal/core.
+//
+// Its Step rescans every task every slot for joins, enactments, releases,
+// deadline misses and waiter resolution, and accrues the ideal schedules
+// (I_SW, I_CSW, I_PS) slot by slot with no laziness. That makes it slow for
+// large task systems but *obviously* faithful to the paper's definitions —
+// which is exactly what the differential tests in internal/core need: an
+// independent oracle whose per-slot schedules, metrics, misses and drifts
+// the optimized engine must reproduce byte for byte on randomized AIS
+// systems.
+//
+// Do not modify this package except to keep it compiling; behavioral
+// changes would silently weaken the differential safety net. New engine
+// features that the reference does not implement should be differential-
+// tested by other means (for example the Fig. 5 replayer in
+// internal/core/replay_test.go).
+package reference
+
+import (
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// WeightChange records a scheduling-weight change: from At onward the
+// task's scheduling weight is W (Config.RecordSubtasks). Mirrors
+// core.WeightChange.
+type WeightChange struct {
+	At model.Time
+	W  frac.Rat
+}

@@ -1,4 +1,4 @@
-package core
+package reference
 
 import (
 	"errors"
@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/frac"
 	"repro/internal/model"
+	"repro/internal/topk"
 )
 
 // PolicyKind selects how weight-change requests are carried out.
@@ -155,16 +156,6 @@ type SlotEntry struct {
 }
 
 // Scheduler is the PD² engine for adaptable (AIS) task systems.
-//
-// The engine is event-driven: per-kind calendars (min-heaps keyed by
-// model.Time; see calendar.go) hold pending joins, enactments, releases,
-// ERfair speculation candidates, subtask deadlines and waiter
-// resolutions, and a priority-indexed ready heap holds each task's
-// offered subtask, so a Step touches only the tasks with an event due
-// now. Ideal-schedule accrual is advanced lazily in closed form (see
-// lazy.go). The original brute-force per-slot loop is preserved verbatim
-// in internal/core/reference as a differential oracle; both engines
-// produce byte-for-byte identical schedules, metrics, misses and drifts.
 type Scheduler struct {
 	cfg      Config
 	now      model.Time
@@ -177,32 +168,12 @@ type Scheduler struct {
 	drifts     map[string][]DriftEvent
 	violations []string
 
+	eligBuf []*subtask
 	cpuBusy []bool // scratch: per-slot processor occupancy
 	holes   int64  // total idle processor-slots so far
 
 	overheadDebt  frac.Rat // accumulated reweighting cost, in quanta
 	overheadSlots int64    // processor-slots stolen to pay the debt
-
-	// Calendar heaps (see calendar.go). seq makes pop order deterministic;
-	// markGen dedupes candidates within one pop phase.
-	seq       uint64
-	markGen   uint64
-	evJoin    eventHeap // deferred joins of the initial system
-	evEnact   eventHeap // concrete enactment times
-	evRelease eventHeap // concrete release times
-	evER      eventHeap // ERfair speculation candidates
-	evMiss    eventHeap // subtask deadlines (miss detection)
-	evResolve eventHeap // D(I_SW,·)-waiter resolution forecasts
-
-	ready readyHeap // tasks with an offered (eligible) subtask
-
-	dueBuf  []*taskState // scratch: tasks due in the current phase
-	missBuf []tevent     // scratch: validated miss events of the slot
-	runBuf  []*subtask   // scratch: the slot's scheduled subtasks
-	prevRan []*taskState // tasks scheduled in the previous slot
-	curRan  []*taskState // tasks scheduled in the current slot
-
-	subPool []*subtask // free list of retired subtask records
 }
 
 // New builds a scheduler over the given system. Tasks with Spec.Join == 0
@@ -223,7 +194,6 @@ func New(cfg Config, sys model.System) (*Scheduler, error) {
 		byName: make(map[string]*taskState, len(sys.Tasks)),
 		drifts: make(map[string][]DriftEvent),
 	}
-	s.ready.less = func(a, b *taskState) bool { return s.higherPriority(a.offer, b.offer) }
 	for _, spec := range sys.Tasks {
 		if err := checkAdmissibleWeight(spec.Weight, cfg.AllowHeavy); err != nil {
 			return nil, fmt.Errorf("core: task %s: %w", spec.Name, err)
@@ -240,7 +210,6 @@ func New(cfg Config, sys model.System) (*Scheduler, error) {
 			},
 			lastCPU:     -1,
 			lastRunSlot: noTime,
-			readyIdx:    -1,
 		}
 		s.tasks = append(s.tasks, ts)
 		s.byName[ts.name] = ts
@@ -258,19 +227,9 @@ func New(cfg Config, sys model.System) (*Scheduler, error) {
 	for _, ts := range s.tasks {
 		if ts.join == 0 {
 			s.joinNow(ts)
-		} else {
-			s.pushEvent(&s.evJoin, tevent{at: ts.join, ts: ts})
 		}
 	}
 	return s, nil
-}
-
-// pushEvent stamps the event with the next push sequence number and adds
-// it to the given calendar.
-func (s *Scheduler) pushEvent(h *eventHeap, e tevent) {
-	s.seq++
-	e.seq = s.seq
-	h.push(e)
 }
 
 // joinNow activates a task at the current time and schedules its first
@@ -278,11 +237,8 @@ func (s *Scheduler) pushEvent(h *eventHeap, e tevent) {
 func (s *Scheduler) joinNow(ts *taskState) {
 	ts.joined = true
 	ts.join = s.now
-	ts.accrSynced = s.now
-	ts.psSynced = s.now
 	s.totalSwt = s.totalSwt.Add(ts.swt)
 	ts.nextRel = pendingRelease{at: s.now, epochStart: true}
-	s.pushEvent(&s.evRelease, tevent{at: s.now, ts: ts})
 	if s.cfg.RecordSubtasks {
 		ts.swtHist = append(ts.swtHist, WeightChange{At: s.now, W: ts.swt})
 	}
@@ -356,7 +312,6 @@ func (s *Scheduler) SubtaskHistory(name string) []SubtaskInfo {
 	if !ok {
 		return nil
 	}
-	s.syncTask(ts, s.now)
 	out := make([]SubtaskInfo, 0, len(ts.history))
 	for _, sub := range ts.history {
 		if sub.abs > ts.absN { // rolled back
@@ -382,7 +337,6 @@ func (s *Scheduler) Metrics(name string) (TaskMetrics, bool) {
 	if !ok {
 		return TaskMetrics{}, false
 	}
-	s.syncTask(ts, s.now)
 	return ts.metrics(), true
 }
 
@@ -390,7 +344,6 @@ func (s *Scheduler) Metrics(name string) (TaskMetrics, bool) {
 func (s *Scheduler) AllMetrics() []TaskMetrics {
 	out := make([]TaskMetrics, len(s.tasks))
 	for i, ts := range s.tasks {
-		s.syncTask(ts, s.now)
 		out[i] = ts.metrics()
 	}
 	return out
@@ -423,13 +376,9 @@ func (s *Scheduler) Initiate(name string, v frac.Rat) error {
 	// A request for the current scheduling weight with nothing pending is a
 	// no-op: there is no change to enact.
 	if v.Eq(ts.swt) && ts.enact == nil && !ts.ljLeaving && ts.nextRel.waitD == nil {
-		s.syncPS(ts, s.now) // wt changes the I_PS rate from now on
 		ts.wt = v
 		return nil
 	}
-	// Sync-before-mutation: materialize the lazy accrual state at t_c so
-	// the rules below observe exactly what the per-slot engine would.
-	s.syncTask(ts, s.now)
 	ts.initiations++
 	ts.wt = v // I_PS switches to the new weight at initiation
 	useOI := true
@@ -456,16 +405,6 @@ func (s *Scheduler) Initiate(name string, v frac.Rat) error {
 	} else {
 		s.initiateLJ(ts, v)
 	}
-	// Register the resulting calendar entries: a concrete enactment or
-	// release time, or a waiter-resolution forecast.
-	if e := ts.enact; e != nil && e.waitD == nil {
-		s.pushEvent(&s.evEnact, tevent{at: e.at, ts: ts})
-	}
-	if r := &ts.nextRel; r.waitD == nil && r.at != noTime {
-		s.pushEvent(&s.evRelease, tevent{at: r.at, ts: ts})
-	}
-	s.scheduleResolve(ts)
-	s.updateOffer(ts)
 	return nil
 }
 
@@ -476,13 +415,11 @@ func (s *Scheduler) Initiate(name string, v frac.Rat) error {
 // is retired from the ideal trackers. Rolling back can expose a second
 // speculative subtask underneath, so the unwind iterates.
 func (s *Scheduler) unwindSpeculation(ts *taskState) {
-	changed := false
 	for {
 		sub := ts.lastReleased
 		if sub == nil || sub.release <= s.now || sub.halted {
-			break
+			return
 		}
-		changed = true
 		dropLive(ts, sub)
 		if !sub.scheduled {
 			// Full rollback: the subtask never ran and has accrued nothing.
@@ -490,7 +427,6 @@ func (s *Scheduler) unwindSpeculation(ts *taskState) {
 			ts.epochN = sub.n - 1
 			ts.absN = sub.abs - 1
 			ts.nextRel = pendingRelease{at: sub.release, noEarly: true}
-			s.pushEvent(&s.evRelease, tevent{at: sub.release, ts: ts})
 			if n := len(ts.history); n > 0 && ts.history[n-1] == sub {
 				ts.history = ts.history[:n-1]
 			}
@@ -502,10 +438,7 @@ func (s *Scheduler) unwindSpeculation(ts *taskState) {
 		sub.swDone = true
 		sub.swDoneTime = s.now
 		sub.lastSlotAlloc = frac.Zero
-		break
-	}
-	if changed {
-		s.updateOffer(ts)
+		return
 	}
 }
 
@@ -617,7 +550,6 @@ func (s *Scheduler) halt(sub *subtask) {
 	sub.swDoneTime = s.now
 	sub.task.cumCSW = sub.task.cumCSW.Sub(sub.swCum)
 	dropLive(sub.task, sub)
-	s.updateOffer(sub.task)
 }
 
 // Join adds a new task at the current time. The join condition J (total
@@ -644,7 +576,6 @@ func (s *Scheduler) Join(spec model.Spec) error {
 		swt:         spec.Weight,
 		lastCPU:     -1,
 		lastRunSlot: noTime,
-		readyIdx:    -1,
 	}
 	s.tasks = append(s.tasks, ts)
 	s.byName[ts.name] = ts
@@ -674,7 +605,6 @@ func (s *Scheduler) DelayNext(name string, sep int64) error {
 	if ts.enact != nil || ts.nextRel.waitD != nil || ts.ljLeaving {
 		return fmt.Errorf("core: cannot delay %s while a reweighting event is in flight", name)
 	}
-	s.syncTask(ts, s.now) // materialize before unwinding/mutating the pause window
 	if sub := ts.lastReleased; sub != nil && sub.release > s.now {
 		if sub.scheduled {
 			return fmt.Errorf("core: cannot delay %s: its next subtask already executed early", name)
@@ -686,7 +616,6 @@ func (s *Scheduler) DelayNext(name string, sep int64) error {
 	}
 	ts.nextRel.at += sep
 	ts.nextRel.noEarly = true
-	s.pushEvent(&s.evRelease, tevent{at: ts.nextRel.at, ts: ts})
 	// The task is inactive — and unpaid by I_PS — from its current
 	// subtask's deadline until the delayed release.
 	pauseFrom := s.now
@@ -734,9 +663,6 @@ func (s *Scheduler) Leave(name string) error {
 	if !ts.joined || ts.left {
 		return fmt.Errorf("%w: %s", ErrNotActive, name)
 	}
-	// Freeze the lazy accrual at the leave time; a left task is skipped by
-	// all future syncs, exactly as the per-slot loop skipped left tasks.
-	s.syncTask(ts, s.now)
 	var pending []*subtask // released, unscheduled: withdrawn if the leave succeeds
 	lastSched := ts.lastReleased
 	for lastSched != nil && !lastSched.scheduled {
@@ -758,208 +684,131 @@ func (s *Scheduler) Leave(name string) error {
 	ts.enact = nil
 	ts.nextRel = pendingRelease{at: noTime}
 	s.totalSwt = s.totalSwt.Sub(ts.swt)
-	s.updateOffer(ts)
 	return nil
 }
 
 // Step simulates one slot: enactments and releases due now, PD² scheduling,
 // then ideal-schedule accrual. Initiations and joins/leaves for this slot
 // must be issued (via Initiate/Join/Leave) before calling Step.
-//
-// Each phase pops its calendar and re-validates every event against the
-// predicate the original per-slot scan evaluated (the scan itself is
-// preserved in internal/core/reference), so stale or duplicate events are
-// dropped and the phases process exactly the tasks the scan would have —
-// in the same (task-id) order.
 func (s *Scheduler) Step() {
 	t := s.now
 
 	// Scheduled joins from the initial system.
-	if due := s.collectDue(&s.evJoin, t, func(ts *taskState) bool {
-		return !ts.joined && !ts.left && ts.join == t
-	}); len(due) > 0 {
-		for _, ts := range due {
+	for _, ts := range s.tasks {
+		if !ts.joined && !ts.left && ts.join == t {
 			// Condition J: defer the join while capacity is lacking.
 			if frac.FromInt(int64(s.cfg.M)).Less(s.totalSwt.Add(ts.swt)) {
 				ts.join = t + 1
-				s.pushEvent(&s.evJoin, tevent{at: t + 1, ts: ts})
 				continue
 			}
 			s.joinNow(ts)
 		}
-		s.resetDue()
 	}
 
 	// Enactments due now: non-increases first so that freed capacity can be
 	// claimed by increases policed under (W) in the same slot.
-	if due := s.collectDue(&s.evEnact, t, func(ts *taskState) bool {
-		e := ts.enact
-		return e != nil && e.waitD == nil && e.at == t && !ts.left
-	}); len(due) > 0 {
-		for pass := 0; pass < 2; pass++ {
-			for _, ts := range due {
-				e := ts.enact
-				if e == nil || e.at != t || ts.left {
-					continue
-				}
-				increase := ts.swt.Less(e.target)
-				if (pass == 0) == increase {
-					continue
-				}
-				if s.cfg.Police && increase {
-					newTotal := s.totalSwt.Sub(ts.swt).Add(e.target)
-					if frac.FromInt(int64(s.cfg.M)).Less(newTotal) {
-						// Defer under (W): retry next slot. A rule-I(i) event's
-						// separately-scheduled release is gated below on the
-						// enactment having landed, so the new epoch cannot start
-						// early; it still waits for D(I_SW, T_j) + b(T_j).
-						e.at = t + 1
-						s.pushEvent(&s.evEnact, tevent{at: t + 1, ts: ts})
-						continue
-					}
-				}
-				// The scheduling weight changes now: materialize the accrual
-				// of slots < t under the old weight first (slot t itself
-				// accrues under the new weight, as in the per-slot loop).
-				s.syncAccrual(ts, t)
-				s.totalSwt = s.totalSwt.Sub(ts.swt).Add(e.target)
-				ts.swt = e.target
-				ts.enactments++
-				ts.ljLeaving = false
-				if s.cfg.RecordSubtasks {
-					ts.swtHist = append(ts.swtHist, WeightChange{At: t, W: ts.swt})
-				}
-				if e.viaLJ {
-					s.overheadDebt = s.overheadDebt.Add(s.cfg.OverheadLJ)
-				} else {
-					s.overheadDebt = s.overheadDebt.Add(s.cfg.OverheadOI)
-				}
-				if e.releaseWithEnact {
-					ts.nextRel = pendingRelease{at: t, epochStart: true}
-					s.pushEvent(&s.evRelease, tevent{at: t, ts: ts})
-				} else {
-					// Rule I(i): the release was scheduled independently (at
-					// D(I_SW, T_j) + b(T_j)); a policing deferral may have pushed
-					// the enactment past it, and the epoch cannot start before
-					// its weight change, so clamp the release to now.
-					if ts.nextRel.waitD != nil {
-						if ts.nextRel.clamp < t {
-							ts.nextRel.clamp = t
-						}
-					} else if ts.nextRel.at != noTime && ts.nextRel.at < t {
-						ts.nextRel.at = t
-						s.pushEvent(&s.evRelease, tevent{at: t, ts: ts})
-					}
-				}
-				ts.enact = nil
-				// The new weight changes the completion forecast any
-				// remaining waiter was scheduled on.
-				s.scheduleResolve(ts)
+	for pass := 0; pass < 2; pass++ {
+		for _, ts := range s.tasks {
+			e := ts.enact
+			if e == nil || e.at != t || ts.left {
+				continue
 			}
+			increase := ts.swt.Less(e.target)
+			if (pass == 0) == increase {
+				continue
+			}
+			if s.cfg.Police && increase {
+				newTotal := s.totalSwt.Sub(ts.swt).Add(e.target)
+				if frac.FromInt(int64(s.cfg.M)).Less(newTotal) {
+					// Defer under (W): retry next slot. A rule-I(i) event's
+					// separately-scheduled release is gated below on the
+					// enactment having landed, so the new epoch cannot start
+					// early; it still waits for D(I_SW, T_j) + b(T_j).
+					e.at = t + 1
+					continue
+				}
+			}
+			s.totalSwt = s.totalSwt.Sub(ts.swt).Add(e.target)
+			ts.swt = e.target
+			ts.enactments++
+			ts.ljLeaving = false
+			if s.cfg.RecordSubtasks {
+				ts.swtHist = append(ts.swtHist, WeightChange{At: t, W: ts.swt})
+			}
+			if e.viaLJ {
+				s.overheadDebt = s.overheadDebt.Add(s.cfg.OverheadLJ)
+			} else {
+				s.overheadDebt = s.overheadDebt.Add(s.cfg.OverheadOI)
+			}
+			if e.releaseWithEnact {
+				ts.nextRel = pendingRelease{at: t, epochStart: true}
+			} else {
+				// Rule I(i): the release was scheduled independently (at
+				// D(I_SW, T_j) + b(T_j)); a policing deferral may have pushed
+				// the enactment past it, and the epoch cannot start before
+				// its weight change, so clamp the release to now.
+				if ts.nextRel.waitD != nil {
+					if ts.nextRel.clamp < t {
+						ts.nextRel.clamp = t
+					}
+				} else if ts.nextRel.at != noTime && ts.nextRel.at < t {
+					ts.nextRel.at = t
+				}
+			}
+			ts.enact = nil
 		}
-		s.resetDue()
 	}
 
 	// Releases due now. Under ERfair, a normal (Eqn (4)) release may be
 	// instantiated early — with its nominal release time and deadline —
 	// once the predecessor has completed, so it can execute ahead of its
-	// window. Candidates come from the release calendar (concrete release
-	// times) and the ER calendar (a predecessor completed last slot).
-	s.markGen++
-	for {
-		e, ok := s.evRelease.popDue(t)
-		if !ok {
-			break
+	// window.
+	for _, ts := range s.tasks {
+		if !ts.joined || ts.left || ts.nextRel.waitD != nil || ts.nextRel.at == noTime {
+			continue
 		}
-		if ts := e.ts; ts.mark != s.markGen {
-			ts.mark = s.markGen
-			s.dueBuf = append(s.dueBuf, ts)
+		// An epoch-start release may not fire while its weight change is
+		// still pending (policing can defer the enactment past the release
+		// time the D-waiter resolved to).
+		if ts.nextRel.epochStart && ts.enact != nil {
+			continue
 		}
-	}
-	for {
-		e, ok := s.evER.popDue(t)
-		if !ok {
-			break
+		switch {
+		case ts.nextRel.at <= t:
+			s.release(ts, maxTime(ts.nextRel.at, t))
+		case s.cfg.EarlyRelease && ts.nextRel.at > t &&
+			!ts.nextRel.epochStart && !ts.nextRel.noEarly &&
+			ts.enact == nil && !ts.ljLeaving &&
+			ts.lastReleased != nil && ts.earliestIncomplete() == nil:
+			s.release(ts, ts.nextRel.at)
 		}
-		if ts := e.ts; ts.mark != s.markGen {
-			ts.mark = s.markGen
-			s.dueBuf = append(s.dueBuf, ts)
-		}
-	}
-	if len(s.dueBuf) > 0 {
-		sortTasksByID(s.dueBuf)
-		for _, ts := range s.dueBuf {
-			if !ts.joined || ts.left || ts.nextRel.waitD != nil || ts.nextRel.at == noTime {
-				continue
-			}
-			// An epoch-start release may not fire while its weight change is
-			// still pending (policing can defer the enactment past the release
-			// time the D-waiter resolved to); retry next slot.
-			if ts.nextRel.epochStart && ts.enact != nil {
-				s.pushEvent(&s.evRelease, tevent{at: t + 1, ts: ts})
-				continue
-			}
-			switch {
-			case ts.nextRel.at <= t:
-				s.release(ts, maxTime(ts.nextRel.at, t))
-			case s.cfg.EarlyRelease && ts.nextRel.at > t &&
-				!ts.nextRel.epochStart && !ts.nextRel.noEarly &&
-				ts.enact == nil && !ts.ljLeaving &&
-				ts.lastReleased != nil && ts.earliestIncomplete() == nil:
-				s.release(ts, ts.nextRel.at)
-			}
-		}
-		s.resetDue()
 	}
 
 	// Deadline-miss detection: a subtask incomplete at the start of slot
-	// d(T_j) has missed. The calendar holds one event per released subtask
-	// at its deadline; validation replicates the scan's one-generation
-	// chain walk (a subtask trimmed out of the chain is never reported).
-	for {
-		e, ok := s.evMiss.popDue(t)
-		if !ok {
-			break
-		}
-		sub, ts := e.sub, e.ts
-		if e.stamp != sub.stamp || sub.task != ts {
-			continue // recycled record
-		}
-		if lr := ts.lastReleased; lr == nil || (sub != lr && sub != lr.prev) {
-			continue // trimmed out of the one-generation chain
-		}
-		if sub.scheduled || sub.halted || sub.absent || sub.missed || sub.deadline > t {
-			continue
-		}
-		s.missBuf = append(s.missBuf, e)
-	}
-	if len(s.missBuf) > 0 {
-		sortMisses(s.missBuf)
-		for _, e := range s.missBuf {
-			sub, ts := e.sub, e.ts
-			if sub.missed {
+	// d(T_j) has missed.
+	for _, ts := range s.tasks {
+		for sub := ts.lastReleased; sub != nil; sub = sub.prev {
+			if sub.scheduled || sub.halted || sub.absent || sub.missed || sub.deadline > t {
 				continue
 			}
 			sub.missed = true
 			ts.misses++
 			s.misses = append(s.misses, MissEvent{Task: ts.name, Subtask: sub.abs, Deadline: sub.deadline})
 		}
-		for i := range s.missBuf {
-			s.missBuf[i] = tevent{}
-		}
-		s.missBuf = s.missBuf[:0]
 	}
 
-	// PD² scheduling of slot t. The ready heap holds exactly the tasks the
-	// original scan would have found eligible; popping it yields the
-	// unique highest-priority subtasks in priority order (the PD² order
-	// extended by task id is a strict total order, so the selection —
-	// like topk.Partial over the scanned set — is deterministic).
-	//
+	// PD² scheduling of slot t.
+	elig := s.eligBuf[:0]
+	for _, ts := range s.tasks {
+		if sub := ts.eligible(t, s.cfg.EarlyRelease); sub != nil {
+			elig = append(elig, sub)
+		}
+	}
 	// Pay down accumulated reweighting overhead by stealing processor-slots
 	// (at most one per slot: the scheduling work serializes on the event
-	// queue). The stolen quantum occupies the highest-numbered processor,
-	// so affinity/migration accounting sees it as busy.
+	// queue). The stolen quantum occupies the highest-numbered processor:
+	// without marking it busy, the affinity pass below could double-book
+	// the stolen CPU (this fix matches the event-driven engine).
 	if s.cpuBusy == nil {
 		s.cpuBusy = make([]bool, s.cfg.M)
 	}
@@ -973,39 +822,39 @@ func (s *Scheduler) Step() {
 		s.overheadDebt = s.overheadDebt.Sub(frac.One)
 		s.cpuBusy[s.cfg.M-1] = true
 	}
-	n := s.ready.len()
+	n := len(elig)
 	if n > avail {
 		n = avail
 	}
-	for i := 0; i < n; i++ {
-		ts := s.ready.popMin()
-		s.runBuf = append(s.runBuf, ts.offer)
-		s.curRan = append(s.curRan, ts)
-	}
+	// Select the highest-priority subtasks; the PD² order (deadline,
+	// b-bit, group deadline, tie-break, task id) is a strict total order,
+	// so the selected set is unique and the run stays deterministic.
+	topk.Partial(elig, n, s.higherPriority)
 	// Processor assignment with affinity: a task keeps its previous CPU
 	// when it is free, so the migration counts reflect unavoidable moves.
-	for _, sub := range s.runBuf {
-		ts := sub.task
+	for i := 0; i < n; i++ {
+		ts := elig[i].task
 		if c := ts.lastCPU; c >= 0 && c < s.cfg.M && !s.cpuBusy[c] {
 			s.cpuBusy[c] = true
-			sub.schedCPU = c
+			elig[i].schedCPU = c
 		} else {
-			sub.schedCPU = -1
+			elig[i].schedCPU = -1
 		}
 	}
 	next := 0
-	for _, sub := range s.runBuf {
-		if sub.schedCPU >= 0 {
+	for i := 0; i < n; i++ {
+		if elig[i].schedCPU >= 0 {
 			continue
 		}
 		for s.cpuBusy[next] {
 			next++
 		}
-		sub.schedCPU = next
+		elig[i].schedCPU = next
 		s.cpuBusy[next] = true
 	}
 	var row []SlotEntry
-	for _, sub := range s.runBuf {
+	for i := 0; i < n; i++ {
+		sub := elig[i]
 		ts := sub.task
 		sub.scheduled = true
 		sub.schedSlot = t
@@ -1018,18 +867,16 @@ func (s *Scheduler) Step() {
 		if s.cfg.RecordSchedule {
 			row = append(row, SlotEntry{Task: ts.name, Subtask: sub.abs, CPU: sub.schedCPU})
 		}
-		// The completed quantum advances the task's offer (possibly to an
-		// already-released successor); under ERfair the completion also
-		// makes the task a speculation candidate next slot.
-		s.updateOffer(ts)
-		if s.cfg.EarlyRelease {
-			s.pushEvent(&s.evER, tevent{at: t + 1, ts: ts})
-		}
 	}
 	// Preemption accounting: a task that ran in slot t-1 and has eligible
-	// work now but was not chosen has been preempted.
-	for _, ts := range s.prevRan {
-		if ts.lastRunSlot != t && ts.eligible(t, s.cfg.EarlyRelease) != nil {
+	// work now but was not chosen has been preempted. The lastRunSlot >= 0
+	// guard fixes an off-by-one the original loop had at t=0: lastRunSlot
+	// initializes to noTime (-1), which compared equal to t-1, so every
+	// eligible-but-unchosen task was counted as preempted before it ever
+	// ran. (This is the one behavioral fix applied to the frozen engine;
+	// the event-driven engine's prev-ran list is naturally empty at t=0.)
+	for i := n; i < len(elig); i++ {
+		if ts := elig[i].task; ts.lastRunSlot >= 0 && ts.lastRunSlot == t-1 {
 			ts.preemptions++
 		}
 	}
@@ -1037,108 +884,23 @@ func (s *Scheduler) Step() {
 		s.schedule = append(s.schedule, row)
 	}
 	s.holes += int64(avail - n)
-	for i := range s.runBuf {
-		s.runBuf[i] = nil // release subtask pointers
-	}
-	s.runBuf = s.runBuf[:0]
-	for i := range s.prevRan {
-		s.prevRan[i] = nil
-	}
-	s.prevRan, s.curRan = s.curRan, s.prevRan[:0]
+	s.eligBuf = elig[:0]
 
-	// Ideal-schedule accrual for slot t is lazy (see lazy.go); only
-	// forecast waiter resolutions run now, with the affected task's
-	// accrual materialized through slot t so D(I_SW,·) is known.
-	if due := s.collectDue(&s.evResolve, t, func(ts *taskState) bool {
-		return (ts.enact != nil && ts.enact.waitD != nil) || ts.nextRel.waitD != nil
-	}); len(due) > 0 {
-		for _, ts := range due {
-			s.syncAccrual(ts, t+1)
-			s.resolveWaiters(ts)
+	// Ideal-schedule accrual for slot t, then waiter resolution.
+	for _, ts := range s.tasks {
+		if !ts.joined || ts.left {
+			continue
 		}
-		s.resetDue()
+		s.accrue(ts, t)
+		if !(t >= ts.psPauseFrom && t < ts.psPauseUntil && ts.psPauseUntil > 0) {
+			ts.cumPS = ts.cumPS.Add(ts.wt)
+		}
+	}
+	for _, ts := range s.tasks {
+		s.resolveWaiters(ts)
 	}
 
 	s.now = t + 1
-}
-
-// collectDue pops every event due at or before t from the calendar, keeps
-// the tasks passing the validation predicate (deduplicated, in task-id
-// order) in s.dueBuf and returns it. Callers must resetDue afterwards.
-func (s *Scheduler) collectDue(h *eventHeap, t model.Time, valid func(*taskState) bool) []*taskState {
-	s.markGen++
-	for {
-		e, ok := h.popDue(t)
-		if !ok {
-			break
-		}
-		ts := e.ts
-		if ts.mark == s.markGen || !valid(ts) {
-			continue
-		}
-		ts.mark = s.markGen
-		s.dueBuf = append(s.dueBuf, ts)
-	}
-	sortTasksByID(s.dueBuf)
-	return s.dueBuf
-}
-
-// resetDue clears the scratch buffer of the last collectDue.
-func (s *Scheduler) resetDue() {
-	for i := range s.dueBuf {
-		s.dueBuf[i] = nil
-	}
-	s.dueBuf = s.dueBuf[:0]
-}
-
-// sortTasksByID sorts the (typically tiny) batch in task-id order —
-// insertion sort avoids allocation in the hot path.
-func sortTasksByID(ts []*taskState) {
-	for i := 1; i < len(ts); i++ {
-		for j := i; j > 0 && ts[j].id < ts[j-1].id; j-- {
-			ts[j], ts[j-1] = ts[j-1], ts[j]
-		}
-	}
-}
-
-// sortMisses orders validated miss events like the original chain scan:
-// tasks in id order, and within a task the newest subtask first.
-func sortMisses(ev []tevent) {
-	less := func(a, b tevent) bool {
-		if a.ts.id != b.ts.id {
-			return a.ts.id < b.ts.id
-		}
-		return a.sub.abs > b.sub.abs
-	}
-	for i := 1; i < len(ev); i++ {
-		for j := i; j > 0 && less(ev[j], ev[j-1]); j-- {
-			ev[j], ev[j-1] = ev[j-1], ev[j]
-		}
-	}
-}
-
-// updateOffer recomputes the subtask the task offers to the PD² queue and
-// fixes its ready-heap membership. Called after any mutation that can
-// change earliestIncomplete (release, scheduling, halt, unwind, leave).
-func (s *Scheduler) updateOffer(ts *taskState) {
-	var offer *subtask
-	if ts.joined && !ts.left {
-		offer = ts.earliestIncomplete()
-	}
-	if offer == ts.offer {
-		return
-	}
-	ts.offer = offer
-	switch {
-	case offer == nil:
-		if ts.readyIdx >= 0 {
-			s.ready.remove(ts)
-		}
-	case ts.readyIdx < 0:
-		s.ready.pushTask(ts)
-	default:
-		s.ready.fix(ts.readyIdx)
-	}
 }
 
 // RunTo advances the simulation to time horizon.
@@ -1161,13 +923,6 @@ func (s *Scheduler) Run(horizon model.Time, hook func(t model.Time, s *Scheduler
 
 // release instantiates the next subtask of ts at time t.
 func (s *Scheduler) release(ts *taskState, t model.Time) {
-	// Materialize the lazy accrual at the wall-clock slot being processed:
-	// the (V) invariant check, the first-slot pairing of the new subtask
-	// and the drift update all read state the per-slot loop would have
-	// accrued by now. Under ERfair speculation t is the *nominal* release
-	// time, which lies in the future — syncing to it would materialize
-	// allocations the per-slot loop has not yet made, so sync to s.now.
-	s.syncTask(ts, s.now)
 	n := ts.epochN + 1
 	epochStart := ts.nextRel.epochStart || ts.lastReleased == nil
 	if epochStart {
@@ -1175,16 +930,17 @@ func (s *Scheduler) release(ts *taskState, t model.Time) {
 	}
 	d := model.EpochDeadline(ts.swt, t, n)
 	b := model.EpochBBit(ts.swt, n)
-	sub := s.newSubtask()
-	sub.task = ts
-	sub.n = n
-	sub.abs = ts.absN + 1
-	sub.epochStart = epochStart
-	sub.release = t
-	sub.deadline = d
-	sub.bbit = b
-	sub.groupDeadline = model.GroupDeadline(ts.swt, t, n)
-	sub.prev = ts.lastReleased
+	sub := &subtask{
+		task:          ts,
+		n:             n,
+		abs:           ts.absN + 1,
+		epochStart:    epochStart,
+		release:       t,
+		deadline:      d,
+		bbit:          b,
+		groupDeadline: model.GroupDeadline(ts.swt, t, n),
+		prev:          ts.lastReleased,
+	}
 	if ts.pendingAbsent[sub.abs] {
 		delete(ts.pendingAbsent, sub.abs)
 		// An absent subtask keeps its window but never runs and receives no
@@ -1195,17 +951,8 @@ func (s *Scheduler) release(ts *taskState, t model.Time) {
 		sub.swDoneTime = t
 		sub.lastSlotAlloc = frac.Zero
 	}
-	if lr := ts.lastReleased; lr != nil {
-		// Keep at most one generation of links. The trimmed-out record is
-		// unreachable once the offer is recomputed below; retire it to the
-		// pool after a one-release grace period.
-		if p2 := lr.prev; p2 != nil && (p2.swDone || p2.halted) {
-			if ts.retired != nil {
-				s.freeSubtask(ts.retired)
-			}
-			ts.retired = p2
-		}
-		lr.prev = nil
+	if ts.lastReleased != nil {
+		ts.lastReleased.prev = nil // keep at most one generation of links
 	}
 	if s.cfg.RecordSubtasks {
 		ts.history = append(ts.history, sub)
@@ -1230,46 +977,9 @@ func (s *Scheduler) release(ts *taskState, t model.Time) {
 	ts.live = append(ts.live, sub)
 	// Normal successor release per Eqn (4); reweighting events override it.
 	ts.nextRel = pendingRelease{at: model.NextRelease(d, b, 0)}
-	s.pushEvent(&s.evRelease, tevent{at: ts.nextRel.at, ts: ts})
-	if !sub.absent {
-		s.pushEvent(&s.evMiss, tevent{at: sub.deadline, ts: ts, sub: sub, stamp: sub.stamp})
-	} else if s.cfg.EarlyRelease {
-		// An absent subtask is complete at release, so the task becomes an
-		// ERfair speculation candidate next slot. Next *wall-clock* slot:
-		// for a speculative release t is the nominal (future) release time,
-		// but the scan would reconsider the task at s.now+1 already.
-		s.pushEvent(&s.evER, tevent{at: s.now + 1, ts: ts})
-	}
-	s.updateOffer(ts)
 	if epochStart {
 		s.recordDrift(ts, t)
 	}
-}
-
-// newSubtask takes a record from the free list (or allocates one),
-// preserving its reuse stamp.
-func (s *Scheduler) newSubtask() *subtask {
-	if n := len(s.subPool); n > 0 {
-		sub := s.subPool[n-1]
-		s.subPool[n-1] = nil
-		s.subPool = s.subPool[:n-1]
-		*sub = subtask{stamp: sub.stamp}
-		return sub
-	}
-	return &subtask{}
-}
-
-// freeSubtask retires an unreachable record to the pool. Bumping the
-// stamp invalidates any calendar event still referencing it. Records are
-// kept forever under RecordSubtasks (the history retains them).
-func (s *Scheduler) freeSubtask(sub *subtask) {
-	if s.cfg.RecordSubtasks {
-		return
-	}
-	sub.stamp++
-	sub.task = nil
-	sub.prev = nil
-	s.subPool = append(s.subPool, sub)
 }
 
 // recordDrift updates drift(T, ·) at the release time of an epoch-starting
@@ -1285,20 +995,64 @@ func (s *Scheduler) recordDrift(ts *taskState, u model.Time) {
 	}
 }
 
+// accrue adds slot t's I_SW (and I_CSW) allocations to the task's live
+// subtasks, implementing the Fig. 5 pseudo-code with the current scheduling
+// weight.
+func (s *Scheduler) accrue(ts *taskState, t model.Time) {
+	if len(ts.live) == 0 {
+		return
+	}
+	w := ts.swt
+	live := ts.live[:0]
+	for _, sub := range ts.live {
+		if sub.swDone || sub.halted {
+			continue
+		}
+		if t < sub.release {
+			// Instantiated early (ERfair); ideal allocations start at the
+			// nominal release.
+			live = append(live, sub)
+			continue
+		}
+		var alloc frac.Rat
+		if t == sub.release {
+			if sub.epochStart || sub.prev == nil || sub.prev.halted || sub.prev.bbit == 0 {
+				alloc = w // Fig. 5 lines 4-5
+			} else {
+				// Fig. 5 line 7: pair with the predecessor's final slot.
+				alloc = w.Sub(sub.prev.lastSlotAlloc)
+			}
+		} else {
+			alloc = frac.Min(w, frac.One.Sub(sub.swCum)) // Fig. 5 line 10
+		}
+		if s.cfg.CheckInvariants && (alloc.Sign() < 0 || w.Less(alloc)) {
+			s.violations = append(s.violations,
+				fmt.Sprintf("t=%d: (AF1) violated for %s: per-slot allocation %s outside [0,%s]", t, sub, alloc, w))
+		}
+		sub.swCum = sub.swCum.Add(alloc)
+		ts.cumSW = ts.cumSW.Add(alloc)
+		ts.cumCSW = ts.cumCSW.Add(alloc)
+		if sub.swCum.Eq(frac.One) {
+			sub.swDone = true
+			sub.swDoneTime = t + 1 // D(I_SW, T_j)
+			sub.lastSlotAlloc = alloc
+		} else {
+			live = append(live, sub)
+		}
+	}
+	ts.live = live
+}
+
 // resolveWaiters converts D(I_SW, ·)-dependent enactment and release times
-// into concrete times once the completion they wait on is known (per-slot
-// accrual is lazy, so callers materialize the awaited subtask's state
-// first), and registers the now-concrete times on the calendars.
+// into concrete times once the completion they wait on is known.
 func (s *Scheduler) resolveWaiters(ts *taskState) {
 	if e := ts.enact; e != nil && e.waitD != nil && e.waitD.swDone {
 		e.at = maxTime(e.clamp, e.waitD.swDoneTime+e.addB)
 		e.waitD = nil
-		s.pushEvent(&s.evEnact, tevent{at: e.at, ts: ts})
 	}
 	if r := &ts.nextRel; r.waitD != nil && r.waitD.swDone {
 		r.at = maxTime(r.clamp, r.waitD.swDoneTime+r.addB)
 		r.waitD = nil
-		s.pushEvent(&s.evRelease, tevent{at: r.at, ts: ts})
 	}
 }
 

@@ -1,4 +1,4 @@
-package core
+package reference
 
 import (
 	"fmt"
@@ -53,11 +53,6 @@ type subtask struct {
 	// an earlier epoch, possibly halted). Links older than one generation
 	// are dropped to keep memory bounded.
 	prev *subtask
-
-	// stamp is a reuse generation counter for the scheduler's subtask pool:
-	// calendar events that reference a subtask capture the stamp at push
-	// time and are invalidated when the record is recycled.
-	stamp uint64
 }
 
 // window returns the PD² window of the subtask.
@@ -175,28 +170,6 @@ type taskState struct {
 	initiations int64 // weight-change requests seen
 	enactments  int64 // weight changes enacted
 	misses      int64 // deadline misses (0 under PD²-OI/LJ by Theorem 2)
-
-	// Event-driven engine state.
-	//
-	// offer is the subtask the task currently offers to the PD² ready queue
-	// (earliestIncomplete while joined and not left), maintained
-	// incrementally at releases, scheduling marks, halts and unwinds.
-	// readyIdx is the task's position in the scheduler's ready heap, or -1.
-	offer    *subtask
-	readyIdx int
-	// accrSynced / psSynced mark the lazy accrual frontier: cumSW/cumCSW
-	// and the live subtasks' swCum state are exact as of the start of slot
-	// accrSynced (all slots < accrSynced accrued); likewise cumPS as of
-	// psSynced. Between events both advance in closed form.
-	accrSynced model.Time
-	psSynced   model.Time
-	// mark dedupes per-phase event candidates (compared against the
-	// scheduler's markGen). retired keeps the most recently trimmed-out
-	// subtask record alive for one extra release before it returns to the
-	// pool, so short-lived external references (white-box tests, debug
-	// inspection) see a stable record.
-	mark    uint64
-	retired *subtask
 }
 
 // earliestIncomplete returns the earliest released subtask that is neither

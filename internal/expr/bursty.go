@@ -41,35 +41,41 @@ func BurstyComparison(o Options) (Figure, error) {
 			pcts := make([]float64, o.Runs)
 			drifts := make([]float64, o.Runs)
 			errs := make([]error, o.Runs)
+			// Fixed worker pool (see RunCellCfg): o.workers() goroutines
+			// pull run indices instead of spawning one goroutine per run.
+			runCh := make(chan int)
 			var wg sync.WaitGroup
-			sem := make(chan struct{}, o.workers())
-			for i := 0; i < o.Runs; i++ {
+			for w := 0; w < o.workers(); w++ {
 				wg.Add(1)
-				go func(i int) {
+				go func() {
 					defer wg.Done()
-					sem <- struct{}{}
-					defer func() { <-sem }()
-					p := base
-					p.BurstProb = bp
-					p.Seed = o.BaseSeed + uint64(i)
-					gen, err := workload.New(p)
-					if err != nil {
-						errs[i] = err
-						return
+					for i := range runCh {
+						p := base
+						p.BurstProb = bp
+						p.Seed = o.BaseSeed + uint64(i)
+						gen, err := workload.New(p)
+						if err != nil {
+							errs[i] = err
+							continue
+						}
+						res, err := RunWorkload(gen, p.M, p.Horizon, WhisperRunConfig{Kind: kind})
+						if err != nil {
+							errs[i] = err
+							continue
+						}
+						if res.Misses != 0 {
+							errs[i] = fmt.Errorf("bursty %v run %d: %d misses", kind, i, res.Misses)
+							continue
+						}
+						pcts[i] = res.PctIdeal
+						drifts[i] = res.MaxAbsDrift
 					}
-					res, err := RunWorkload(gen, p.M, p.Horizon, WhisperRunConfig{Kind: kind})
-					if err != nil {
-						errs[i] = err
-						return
-					}
-					if res.Misses != 0 {
-						errs[i] = fmt.Errorf("bursty %v run %d: %d misses", kind, i, res.Misses)
-						return
-					}
-					pcts[i] = res.PctIdeal
-					drifts[i] = res.MaxAbsDrift
-				}(i)
+				}()
 			}
+			for i := 0; i < o.Runs; i++ {
+				runCh <- i
+			}
+			close(runCh)
 			wg.Wait()
 			for _, err := range errs {
 				if err != nil {

@@ -212,19 +212,27 @@ func RunCellCfg(p whisper.Params, rc WhisperRunConfig, o Options) (Cell, error) 
 	}
 	results := make([]RunResult, o.Runs)
 	errs := make([]error, o.Runs)
+	// Fixed worker pool: exactly o.workers() goroutines pull run indices
+	// from a channel. The previous version spawned one goroutine per run
+	// and throttled with a semaphore, which allocates O(Runs) goroutine
+	// stacks up front for large sweeps.
+	runCh := make(chan int)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, o.workers())
-	for i := 0; i < o.Runs; i++ {
+	for w := 0; w < o.workers(); w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			pp := p
-			pp.Seed = o.BaseSeed + uint64(i)
-			results[i], errs[i] = RunWhisperCfg(pp, rc)
-		}(i)
+			for i := range runCh {
+				pp := p
+				pp.Seed = o.BaseSeed + uint64(i)
+				results[i], errs[i] = RunWhisperCfg(pp, rc)
+			}
+		}()
 	}
+	for i := 0; i < o.Runs; i++ {
+		runCh <- i
+	}
+	close(runCh)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -48,11 +48,25 @@ func (r *RNG) Float64() float64 {
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
+//
+// The naive r.Uint64() % n is biased: the 2^64 mod n smallest residues
+// occur one extra time. Rejection sampling removes the bias: draws in the
+// top 2^64 mod n values are redrawn, so every residue is exactly equally
+// likely. The rejected region covers only n/2^64 of the space, so for the
+// n used here (task counts, slot indices) a redraw essentially never
+// occurs and existing seeded experiment streams are unchanged — each call
+// still consumes exactly one Uint64 on accept.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("stats: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	un := uint64(n)
+	lim := -un % un // 2^64 mod n
+	v := r.Uint64()
+	for lim != 0 && v >= -lim { // -lim == 2^64 - lim, the unbiased bound
+		v = r.Uint64()
+	}
+	return int(v % un)
 }
 
 // Angle returns a uniform angle in [0, 2π).

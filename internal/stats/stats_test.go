@@ -82,6 +82,45 @@ func TestIntn(t *testing.T) {
 	r.Intn(0)
 }
 
+// TestIntnUnbiased detects the modulo bias that rejection sampling removes.
+// With n = 3·2^61, 2^64 mod n = 2^62, so the naive Uint64()%n would hit
+// each of the three 2^61-wide buckets with probabilities (3/8, 3/8, 1/4)
+// instead of 1/3 each — a ~25% relative error on the last bucket, far
+// outside the tolerance below. Rejection sampling restores uniformity.
+func TestIntnUnbiased(t *testing.T) {
+	const n = 3 << 61
+	const draws = 30000
+	r := NewRNG(7)
+	var counts [3]int
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v>>61]++
+	}
+	for b, c := range counts {
+		frac := float64(c) / draws
+		if frac < 0.31 || frac > 0.36 {
+			t.Errorf("bucket %d frequency %.4f, want ~1/3 (naive modulo gives 0.375/0.375/0.25)", b, frac)
+		}
+	}
+}
+
+// TestIntnStreamCompatible pins the stream-compatibility guarantee: for the
+// small n the experiments use, the rejection region is vanishingly small,
+// so Intn consumes exactly one Uint64 per call and produces the same
+// sequence as the pre-fix modulo implementation.
+func TestIntnStreamCompatible(t *testing.T) {
+	a, b := NewRNG(11), NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		n := 1 + i%977
+		if got, want := a.Intn(n), int(b.Uint64()%uint64(n)); got != want {
+			t.Fatalf("draw %d (n=%d): Intn=%d, modulo stream=%d", i, n, got, want)
+		}
+	}
+}
+
 func TestAngle(t *testing.T) {
 	r := NewRNG(3)
 	for i := 0; i < 1000; i++ {
