@@ -35,10 +35,12 @@ figures:
 demos:
 	$(GO) run ./cmd/pd2trace
 
-# Invariant checks: exact arithmetic, determinism, error handling
-# (see docs/LINT.md).
+# Invariant checks (all nine: exact arithmetic, determinism, error
+# handling, plus the dataflow checks poolescape/heapkey/gocapture/
+# eventexhaust — see docs/LINT.md). Strict mode also flags stale
+# //lint:allow directives so the allowlist cannot rot.
 lint:
-	$(GO) run ./cmd/pd2lint ./...
+	$(GO) run ./cmd/pd2lint -strict-suppress ./...
 
 check: build lint
 	$(GO) vet ./...

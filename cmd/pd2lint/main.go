@@ -9,22 +9,31 @@
 //	pd2lint internal/core          # lint one directory (all checks apply)
 //	pd2lint -checks errdrop ./...  # run a subset of the checks
 //	pd2lint -json ./...            # machine-readable diagnostics
+//	pd2lint -strict-suppress ./... # also flag stale //lint:allow comments
 //	pd2lint -list                  # describe the available checks
 //
 // With the ./... pattern each check is applied to the packages it is
 // scoped to (fracexact to the exact-arithmetic packages, determinism to
 // the simulator, and so on). When explicit directories are named, every
 // selected check runs on them regardless of scope — that is how seeded
-// violations and the testdata fixtures are exercised.
+// violations and the testdata fixtures are exercised. The loader is
+// anchored at the first explicit directory, so pd2lint can be pointed
+// at another module's packages from outside that module.
 //
 // Exit status: 0 when clean, 1 when diagnostics were reported, 2 on
-// usage or load errors.
+// usage or load errors. A load error in one directory does not abort
+// the run: the remaining directories are still linted, and diagnostics
+// win — exit 1 beats exit 2 when both occur, so CI never mistakes
+// "broken and dirty" for merely "broken".
 package main
+
+//lint:file-allow errdrop CLI boundary: diagnostics print to caller-supplied writers (terminal or test buffers); a failed report write has no further channel to report on
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,67 +42,110 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
-	checkList := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-	list := flag.Bool("list", false, "list the available checks and exit")
-	flag.Usage = usage
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses argv, lints, writes
+// reports to stdout and errors to stderr, and returns the exit status.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pd2lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	checkList := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list the available checks and exit")
+	strict := fs.Bool("strict-suppress", false, "report //lint:allow directives that suppress nothing")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: pd2lint [-json] [-checks list] [-strict-suppress] [-list] ./... | dir...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	checks, err := analysis.ByName(*checkList)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	args := flag.Args()
+	args := fs.Args()
 	if len(args) == 0 {
-		usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 
-	loader, err := analysis.NewLoader(".")
+	// Anchor the loader at the first explicit directory so explicit-dir
+	// invocations work from outside the target module; ./... always
+	// means the module enclosing the working directory.
+	anchor := "."
+	for _, arg := range args {
+		if !strings.HasSuffix(arg, "...") {
+			anchor = arg
+			break
+		}
+	}
+	loader, err := analysis.NewLoader(anchor)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	dirs, ignoreScope, err := resolvePatterns(loader, args)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
+
+	// Load every directory, collecting — not aborting on — load errors,
+	// so diagnostics already found elsewhere are never masked.
 	var pkgs []*analysis.Package
+	var loadErrs []error
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
-			fatal(err)
+			loadErrs = append(loadErrs, err)
+			continue
 		}
 		pkgs = append(pkgs, pkg)
 	}
 
-	diags := analysis.RunChecks(pkgs, checks, ignoreScope)
+	diags := analysis.RunChecksOpts(pkgs, checks, analysis.RunOptions{
+		IgnoreScope:   ignoreScope,
+		StaleSuppress: *strict,
+	})
 	for i := range diags {
 		diags[i].File = relPath(loader.ModRoot, diags[i].File)
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(diags); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 		if len(diags) > 0 {
-			fmt.Fprintf(os.Stderr, "pd2lint: %d issue(s) in %d package(s)\n", len(diags), len(pkgs))
+			fmt.Fprintf(stderr, "pd2lint: %d issue(s) in %d package(s)\n", len(diags), len(pkgs))
 		}
 	}
-	if len(diags) > 0 {
-		os.Exit(1)
+	for _, err := range loadErrs {
+		fmt.Fprintln(stderr, err)
 	}
+	switch {
+	case len(diags) > 0:
+		return 1 // diagnostics win: exit 1 beats exit 2
+	case len(loadErrs) > 0:
+		return 2
+	}
+	return 0
 }
 
 // resolvePatterns expands the command-line package patterns. A trailing
@@ -143,14 +195,4 @@ func relPath(root, file string) string {
 		return rel
 	}
 	return file
-}
-
-func usage() {
-	fmt.Fprintf(os.Stderr, "usage: pd2lint [-json] [-checks list] [-list] ./... | dir...\n")
-	flag.PrintDefaults()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(2)
 }

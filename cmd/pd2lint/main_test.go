@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a temp module from a map of relative path -> body.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, body := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const tmpGoMod = "module tmpmod\n\ngo 1.22\n"
+
+// dirtyGo seeds one floatcmp violation (float equality).
+const dirtyGo = `package dirty
+
+func Eq(a, b float64) bool { return a == b }
+`
+
+// cleanGo has no findings under any check.
+const cleanGo = `package clean
+
+func Add(a, b int) int { return a + b }
+`
+
+// brokenGo does not type-check.
+const brokenGo = `package broken
+
+var x int = "not an int"
+`
+
+// staleGo carries a //lint:allow that suppresses nothing.
+const staleGo = `package stale
+
+//lint:allow floatcmp nothing to suppress here
+func Add(a, b int) int { return a + b }
+`
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitCleanIsZero(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":        tmpGoMod,
+		"clean/a.go":    cleanGo,
+		"clean/unused":  "",
+		"clean/.hidden": "",
+	})
+	code, stdout, stderr := runCLI(t, filepath.Join(root, "clean"))
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+}
+
+func TestExitDiagnosticsIsOne(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":     tmpGoMod,
+		"dirty/a.go": dirtyGo,
+	})
+	code, stdout, _ := runCLI(t, filepath.Join(root, "dirty"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s", code, stdout)
+	}
+	if !strings.Contains(stdout, "floatcmp") {
+		t.Fatalf("stdout missing floatcmp diagnostic:\n%s", stdout)
+	}
+}
+
+func TestExitLoadErrorIsTwo(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":      tmpGoMod,
+		"broken/a.go": brokenGo,
+	})
+	code, _, stderr := runCLI(t, filepath.Join(root, "broken"))
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "type-checking") {
+		t.Fatalf("stderr missing load error:\n%s", stderr)
+	}
+}
+
+// TestDiagnosticsBeatLoadErrors is the exit-code contract: a load error
+// in one directory must not mask diagnostics collected from another —
+// exit 1 wins over exit 2 when both occur.
+func TestDiagnosticsBeatLoadErrors(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":      tmpGoMod,
+		"dirty/a.go":  dirtyGo,
+		"broken/a.go": brokenGo,
+	})
+	code, stdout, stderr := runCLI(t,
+		filepath.Join(root, "dirty"), filepath.Join(root, "broken"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (diagnostics win)\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "floatcmp") {
+		t.Fatalf("diagnostics lost:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "type-checking") {
+		t.Fatalf("load error not reported on stderr:\n%s", stderr)
+	}
+}
+
+func TestStrictSuppressFlagsStaleDirective(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":     tmpGoMod,
+		"stale/a.go": staleGo,
+	})
+	dir := filepath.Join(root, "stale")
+	// Without the flag the stale directive is tolerated.
+	code, stdout, _ := runCLI(t, dir)
+	if code != 0 {
+		t.Fatalf("exit %d without -strict-suppress, want 0\n%s", code, stdout)
+	}
+	// With it, the dead directive is itself a diagnostic.
+	code, stdout, _ = runCLI(t, "-strict-suppress", dir)
+	if code != 1 {
+		t.Fatalf("exit %d with -strict-suppress, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "[suppress]") || !strings.Contains(stdout, "stale suppression") {
+		t.Fatalf("missing stale-suppression diagnostic:\n%s", stdout)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":     tmpGoMod,
+		"dirty/a.go": dirtyGo,
+	})
+	code, stdout, _ := runCLI(t, "-json", filepath.Join(root, "dirty"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stdout, `"check": "floatcmp"`) {
+		t.Fatalf("JSON output missing check field:\n%s", stdout)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "-checks", "nonexistent", "."); code != 2 {
+		t.Fatalf("unknown check: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "internal/..."); code != 2 {
+		t.Fatalf("unsupported pattern: exit %d, want 2", code)
+	}
+}
+
+func TestListChecks(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list: exit %d, want 0", code)
+	}
+	for _, name := range []string{"fracexact", "poolescape", "heapkey", "gocapture", "eventexhaust"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout)
+		}
+	}
+}

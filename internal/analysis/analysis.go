@@ -59,9 +59,12 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
 }
 
-// Pass carries everything an analyzer needs to inspect one package.
+// Pass carries everything an analyzer needs to inspect one package:
+// the loaded package plus the shared fact cache (functions, exhaustive
+// enums) built once per package no matter how many checks run.
 type Pass struct {
-	Pkg *Package
+	Pkg   *Package
+	facts *packageFacts
 }
 
 // report appends a diagnostic for node n.
@@ -77,6 +80,16 @@ func (p *Pass) report(diags *[]Diagnostic, check string, n ast.Node, format stri
 	})
 }
 
+// reportAtPkg appends a diagnostic anchored at the package clause of
+// the package's first file — used for findings that have no AST node,
+// such as stale annotation-table entries.
+func (p *Pass) reportAtPkg(diags *[]Diagnostic, check string, format string, args ...any) {
+	if len(p.Pkg.Files) == 0 {
+		return
+	}
+	p.report(diags, check, p.Pkg.Files[0].Name, format, args...)
+}
+
 // Analyzer is one named invariant check.
 type Analyzer struct {
 	Name string
@@ -86,7 +99,8 @@ type Analyzer struct {
 	Run       func(p *Pass) []Diagnostic
 }
 
-// All is the full pd2lint suite in reporting order.
+// All is the full pd2lint suite in reporting order: the five v1
+// AST-pattern checks followed by the four v2 dataflow checks.
 func All() []*Analyzer {
 	return []*Analyzer{
 		FracExact(),
@@ -94,6 +108,10 @@ func All() []*Analyzer {
 		Determinism(),
 		ErrDrop(),
 		PanicDoc(),
+		PoolEscape(),
+		HeapKey(),
+		GoCapture(),
+		EventExhaust(),
 	}
 }
 
@@ -178,24 +196,51 @@ func isCheckedPkg(pkgPath string) bool {
 	return isLibraryPkg(pkgPath) || strings.HasPrefix(pkgPath, "repro/cmd/")
 }
 
+// RunOptions configures a RunChecksOpts invocation.
+type RunOptions struct {
+	// IgnoreScope disables per-check AppliesTo filters (used when linting
+	// explicit directories such as seeded-violation fixtures).
+	IgnoreScope bool
+	// StaleSuppress reports //lint:allow and //lint:file-allow directives
+	// that suppressed nothing during the run (check "suppress"). Only
+	// meaningful when the full suite runs, so it is opt-in via
+	// -strict-suppress.
+	StaleSuppress bool
+}
+
 // RunChecks applies the analyzers to the packages, honouring scope
-// filters unless ignoreScope is set (used when linting explicit
-// directories such as seeded-violation fixtures), strips suppressed
-// diagnostics, and returns the rest sorted by position.
+// filters unless ignoreScope is set, strips suppressed diagnostics,
+// and returns the rest sorted by position.
 func RunChecks(pkgs []*Package, checks []*Analyzer, ignoreScope bool) []Diagnostic {
+	return RunChecksOpts(pkgs, checks, RunOptions{IgnoreScope: ignoreScope})
+}
+
+// RunChecksOpts is RunChecks with full options. One Pass (with its
+// shared fact cache) is built per package and reused by every analyzer,
+// so functions and enum registries are computed once per package.
+func RunChecksOpts(pkgs []*Package, checks []*Analyzer, opts RunOptions) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		pass := &Pass{Pkg: pkg}
+		pass := newPass(pkg)
+		ran := make(map[string]bool)
 		for _, a := range checks {
-			if !ignoreScope && a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+			if !opts.IgnoreScope && a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 				continue
 			}
+			ran[a.Name] = true
 			for _, d := range a.Run(pass) {
 				if pkg.suppressed(d) {
 					continue
 				}
 				diags = append(diags, d)
 			}
+		}
+		if opts.StaleSuppress {
+			diags = append(diags, pkg.staleSuppressions(ran, known)...)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -1,0 +1,204 @@
+// The annotation table: the declarative registry that scopes the
+// dataflow checks to the engine structures whose invariants they
+// enforce. docs/LINT.md ("Annotation table") and DESIGN.md link here.
+//
+// The table is code, reviewed like code. Every entry is validated
+// against the type-checked package it names — a renamed struct, field,
+// or function makes the stale entry itself a diagnostic, so the table
+// cannot silently rot out of sync with the engine.
+package analysis
+
+import "go/types"
+
+// ---------------------------------------------------------------------
+// heapkey annotations.
+
+// heapKeySpec registers the ordering-key fields of one heap-organized
+// struct. Writes to a key field are only legal inside methods of Owner
+// (the heap's push/pop/fix/sift call chain) or in the explicitly listed
+// AllowIn functions — everywhere else a write can silently corrupt heap
+// order without failing a test.
+type heapKeySpec struct {
+	Pkg    string   // import path the entry applies to
+	Struct string   // struct type whose fields are ordering keys
+	Fields []string // the key fields
+	Owner  string   // heap type; all its methods may write the keys
+	// AllowIn lists additional "Recv.Method" / "Func" names allowed to
+	// write (constructors that stamp keys before insertion, and
+	// update-then-Fix protocols). Keep each entry justified by Why.
+	AllowIn []string
+	Why     string
+}
+
+// heapKeyTable registers the event-driven engine's heaps (the indexed
+// PD² ready-heap and the six calendar heaps share two key structs) and
+// the self-test fixture. Keep in sync with docs/LINT.md.
+var heapKeyTable = []heapKeySpec{
+	{
+		Pkg:     "repro/internal/core",
+		Struct:  "tevent",
+		Fields:  []string{"at", "seq"},
+		Owner:   "eventHeap",
+		AllowIn: []string{"Scheduler.pushEvent"},
+		Why:     "calendar entries are ordered by (at, seq); pushEvent stamps seq before insertion and events are immutable afterwards",
+	},
+	{
+		Pkg:     "repro/internal/core",
+		Struct:  "subtask",
+		Fields:  []string{"deadline", "bbit", "groupDeadline"},
+		Owner:   "readyHeap",
+		AllowIn: []string{"Scheduler.release"},
+		Why:     "PD² priority fields are fixed at release (Sec. 3.2) before the record can be offered to the ready heap",
+	},
+	{
+		Pkg:     "repro/internal/core",
+		Struct:  "taskState",
+		Fields:  []string{"offer", "readyIdx"},
+		Owner:   "readyHeap",
+		AllowIn: []string{"Scheduler.updateOffer"},
+		Why:     "offer is the ready-heap comparator input and readyIdx its index slot; updateOffer recomputes offer and immediately re-fixes membership",
+	},
+	// Fixture entries (internal/analysis/testdata/src/heapkey).
+	{
+		Pkg:     "repro/internal/analysis/testdata/src/heapkey",
+		Struct:  "item",
+		Fields:  []string{"key", "idx"},
+		Owner:   "minheap",
+		AllowIn: []string{"rekey"},
+		Why:     "fixture: rekey updates the key and immediately fixes the heap",
+	},
+}
+
+// heapKeySpecsFor returns the table entries applying to pkgPath.
+func heapKeySpecsFor(pkgPath string) []heapKeySpec {
+	var out []heapKeySpec
+	for _, s := range heapKeyTable {
+		if s.Pkg == pkgPath {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// poolescape annotations.
+
+// poolSink is a long-lived struct that may hold a pooled pointer only
+// together with its reuse stamp: a composite literal that sets PtrField
+// must also set StampField (from the pointer's own stamp), so a stale
+// entry is detectable at pop time.
+type poolSink struct {
+	Struct     string
+	PtrField   string
+	StampField string
+}
+
+// poolSpec registers one free-list pool: where pooled pointers are born
+// (Alloc), where they die (Free), which struct they point to, and the
+// only places they may be stored.
+type poolSpec struct {
+	Pkg        string
+	Alloc      string // function/method whose call yields a pooled pointer
+	Free       string // function/method retiring a pointer to the pool
+	Elem       string // pooled record type
+	StampField string // reuse-generation field on Elem
+	Sinks      []poolSink
+	// OwnerFields lists "Type.field" stores that are the ownership
+	// structure itself (the task's subtask chain, the pool's free list):
+	// they are retired through Free and therefore need no stamp.
+	OwnerFields []string
+	Why         string
+}
+
+// poolTable registers the scheduler's subtask pool and the self-test
+// fixture. Keep in sync with docs/LINT.md.
+var poolTable = []poolSpec{
+	{
+		Pkg:        "repro/internal/core",
+		Alloc:      "newSubtask",
+		Free:       "freeSubtask",
+		Elem:       "subtask",
+		StampField: "stamp",
+		Sinks: []poolSink{
+			{Struct: "tevent", PtrField: "sub", StampField: "stamp"},
+		},
+		OwnerFields: []string{
+			"taskState.lastReleased", // head of the one-generation chain
+			"taskState.live",         // I_SW live set, trimmed by syncAccrual
+			"taskState.history",      // RecordSubtasks mode: records are never freed
+			"taskState.retired",      // one-release grace slot before freeSubtask
+			"subtask.prev",           // the chain link itself
+			"Scheduler.subPool",      // the free list
+		},
+		Why: "calendar events outlive slots; only stamped tevents and the owning chain may hold subtask pointers",
+	},
+	// Fixture entry (internal/analysis/testdata/src/poolescape).
+	{
+		Pkg:        "repro/internal/analysis/testdata/src/poolescape",
+		Alloc:      "alloc",
+		Free:       "free",
+		Elem:       "rec",
+		StampField: "stamp",
+		Sinks: []poolSink{
+			{Struct: "event", PtrField: "sub", StampField: "stamp"},
+		},
+		OwnerFields: []string{"owner.last", "owner.live", "owner.pool"},
+		Why:         "fixture: miniature subtask pool with reuse stamps",
+	},
+}
+
+// poolSpecsFor returns the table entries applying to pkgPath.
+func poolSpecsFor(pkgPath string) []poolSpec {
+	var out []poolSpec
+	for _, s := range poolTable {
+		if s.Pkg == pkgPath {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Table validation (shared by heapkey and poolescape).
+
+// lookupStruct resolves a package-scope struct type by name.
+func lookupStruct(pkg *types.Package, name string) (*types.Struct, bool) {
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil, false
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, false
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	return st, ok
+}
+
+// structHasField reports whether the named struct has the field.
+func structHasField(st *types.Struct, field string) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == field {
+			return true
+		}
+	}
+	return false
+}
+
+// hasFuncNamed reports whether the package declares a function or
+// method matching a "Recv.Method" / "Func" table name.
+func hasFuncNamed(p *Pass, name string) bool {
+	for _, fi := range p.Funcs() {
+		if fi.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// typeDeclared reports whether the package scope declares a type name.
+func typeDeclared(pkg *types.Package, name string) bool {
+	obj := pkg.Scope().Lookup(name)
+	_, ok := obj.(*types.TypeName)
+	return ok
+}

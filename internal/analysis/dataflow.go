@@ -1,0 +1,445 @@
+// The multi-pass layer: per-package facts shared by every analyzer in a
+// run, plus a lightweight intraprocedural dataflow toolkit (def/alias
+// tracking, lock-region tracking, position-ordered kill/use scanning)
+// built only on go/ast and go/types.
+//
+// pd2lint v1 checks were single-walk AST pattern matchers. The
+// event-driven engine's invariants (pool reuse stamps, heap-key
+// discipline, goroutine capture safety) are *dataflow* properties: they
+// concern where a value came from and where it is still live, not what
+// one expression looks like. The helpers here stay deliberately modest —
+// flow-insensitive may-alias sets and lexical lock spans, all
+// intraprocedural — because every diagnostic they feed is suppressible
+// and reviewed; soundness beyond the function boundary is documented as
+// out of scope in docs/LINT.md.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ---------------------------------------------------------------------
+// Per-package shared facts.
+
+// funcInfo describes one top-level function or method declaration.
+type funcInfo struct {
+	Decl *ast.FuncDecl
+	File *ast.File
+	// Recv is the bare receiver type name ("" for plain functions);
+	// Name is "Recv.Method" for methods and the identifier for functions.
+	Recv string
+	Name string
+}
+
+// packageFacts caches artifacts every analyzer of a run may need, so
+// each is computed once per package no matter how many checks run.
+type packageFacts struct {
+	funcs      []*funcInfo
+	funcsBuilt bool
+	enums      []*enumInfo
+	enumsBuilt bool
+}
+
+// newPass builds the Pass (with its shared fact cache) for one package.
+func newPass(pkg *Package) *Pass {
+	return &Pass{Pkg: pkg, facts: &packageFacts{}}
+}
+
+// Funcs returns every top-level function and method of the package, in
+// file order. Built once per package and shared across analyzers.
+func (p *Pass) Funcs() []*funcInfo {
+	if p.facts.funcsBuilt {
+		return p.facts.funcs
+	}
+	p.facts.funcsBuilt = true
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fi := &funcInfo{Decl: fd, File: f, Name: fd.Name.Name}
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				fi.Recv = recvTypeName(fd.Recv.List[0].Type)
+				if fi.Recv != "" {
+					fi.Name = fi.Recv + "." + fd.Name.Name
+				}
+			}
+			p.facts.funcs = append(p.facts.funcs, fi)
+		}
+	}
+	return p.facts.funcs
+}
+
+// recvTypeName extracts the bare type name of a receiver expression,
+// peeling pointers and (for generic types) type parameter lists.
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Expression helpers shared by the dataflow checks.
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// rootIdent walks to the base identifier of an lvalue-shaped expression
+// (x, x.f, x[i], *x, (x).f ...), or nil if the base is not an identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := unparen(e).(type) {
+		case *ast.Ident:
+			return t
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// identObj resolves an identifier to its object (use or def).
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// namedTypeName returns the name of the named (possibly pointed-to)
+// type of t declared in pkg, or "".
+func namedTypeName(t types.Type, pkg *types.Package) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		if ptr, ok := t.(*types.Pointer); ok {
+			named, ok = ptr.Elem().(*types.Named)
+			if !ok {
+				return ""
+			}
+		} else {
+			return ""
+		}
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() != pkg {
+		return ""
+	}
+	return obj.Name()
+}
+
+// ---------------------------------------------------------------------
+// Def/alias tracking.
+
+// aliasSet is the result of one intraprocedural def/alias pass: local
+// objects that may alias a seeded value, with the position where each
+// first joined the set.
+type aliasSet struct {
+	objs map[types.Object]token.Pos
+}
+
+// contains reports whether e is an identifier aliasing a seeded value.
+func (s *aliasSet) contains(info *types.Info, e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := identObj(info, id)
+	if obj == nil {
+		return false
+	}
+	_, in := s.objs[obj]
+	return in
+}
+
+// trackAliases runs forward def/alias propagation over body: a variable
+// assigned from an expression for which seed returns true — or from an
+// existing alias — joins the set. Propagation iterates to a fixpoint so
+// aliases established lexically later still flow through loops. The
+// analysis is flow-insensitive (reassignment from a clean value does not
+// remove an object): the result is a may-alias set, which is the right
+// polarity for a linter whose false positives are suppressible.
+func trackAliases(body ast.Node, info *types.Info, seed func(ast.Expr) bool) *aliasSet {
+	s := &aliasSet{objs: make(map[types.Object]token.Pos)}
+	if body == nil {
+		return s
+	}
+	tainted := func(e ast.Expr) bool {
+		e = unparen(e)
+		if seed(e) {
+			return true
+		}
+		return s.contains(info, e)
+	}
+	add := func(id *ast.Ident) bool {
+		if id == nil || id.Name == "_" {
+			return false
+		}
+		obj := identObj(info, id)
+		if obj == nil {
+			return false
+		}
+		if _, ok := s.objs[obj]; ok {
+			return false
+		}
+		s.objs[obj] = id.Pos()
+		return true
+	}
+	for round := 0; round < 8; round++ { // fixpoint; depth 8 covers any sane chain
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true // tuple-from-call: seeds are single-valued here
+				}
+				for i, rhs := range n.Rhs {
+					if !tainted(rhs) {
+						continue
+					}
+					if id, ok := unparen(n.Lhs[i]).(*ast.Ident); ok && add(id) {
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) != len(n.Values) {
+					return true
+				}
+				for i, v := range n.Values {
+					if tainted(v) && add(n.Names[i]) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Lock-region tracking.
+
+// span is a half-open source interval.
+type span struct{ from, to token.Pos }
+
+// spanSet answers "is this position inside a held-lock region".
+type spanSet []span
+
+func (ss spanSet) contains(p token.Pos) bool {
+	for _, s := range ss {
+		if s.from <= p && p < s.to {
+			return true
+		}
+	}
+	return false
+}
+
+// lockedSpans computes the source spans of body during which a
+// sync.Mutex / sync.RWMutex / sync.Locker is lexically held: from an
+// x.Lock() (or x.RLock()) statement to the matching x.Unlock()
+// (x.RUnlock()) later in the same statement list, or — for the
+// Lock-then-defer-Unlock idiom — to the end of the surrounding body.
+// Nested blocks inherit the region by position containment.
+func lockedSpans(body *ast.BlockStmt, info *types.Info) spanSet {
+	var spans spanSet
+	if body == nil {
+		return spans
+	}
+	var scan func(list []ast.Stmt, end token.Pos)
+	scan = func(list []ast.Stmt, end token.Pos) {
+		var start token.Pos // NoPos = not currently locked
+		for _, st := range list {
+			switch st := st.(type) {
+			case *ast.ExprStmt:
+				switch lockCallKind(st.X, info) {
+				case "Lock", "RLock":
+					if start == token.NoPos {
+						start = st.End()
+					}
+				case "Unlock", "RUnlock":
+					if start != token.NoPos {
+						spans = append(spans, span{start, st.Pos()})
+						start = token.NoPos
+					}
+				}
+			case *ast.DeferStmt:
+				switch lockCallKind(st.Call, info) {
+				case "Unlock", "RUnlock":
+					if start != token.NoPos {
+						spans = append(spans, span{start, end})
+						start = token.NoPos
+					}
+				}
+			}
+			// Recurse into nested statement lists; a Lock held at this
+			// level covers them by position containment, so the nested
+			// scan only needs to discover locks taken inside.
+			for _, nested := range nestedStmtLists(st) {
+				scan(nested, end)
+			}
+		}
+		if start != token.NoPos {
+			spans = append(spans, span{start, end})
+		}
+	}
+	scan(body.List, body.End())
+	return spans
+}
+
+// nestedStmtLists returns the statement lists directly nested in st.
+func nestedStmtLists(st ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		out = append(out, st.List)
+	case *ast.IfStmt:
+		out = append(out, st.Body.List)
+		switch e := st.Else.(type) {
+		case *ast.BlockStmt:
+			out = append(out, e.List)
+		case *ast.IfStmt:
+			out = append(out, nestedStmtLists(e)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, st.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, st.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedStmtLists(st.Stmt)...)
+	}
+	return out
+}
+
+// lockCallKind classifies e as a Lock/RLock/Unlock/RUnlock method call
+// on a sync.Mutex, sync.RWMutex, or sync.Locker; "" otherwise.
+func lockCallKind(e ast.Expr, info *types.Info) string {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return ""
+	}
+	if !isSyncLocker(exprType(info, sel.X)) {
+		return ""
+	}
+	return name
+}
+
+// isSyncLocker reports whether t is (a pointer to) a sync mutex type or
+// the sync.Locker interface.
+func isSyncLocker(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "Locker":
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Misc shared predicates.
+
+// containsPanic reports whether any statement in list calls panic.
+func containsPanic(list []ast.Stmt) bool {
+	found := false
+	for _, st := range list {
+		ast.Inspect(st, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					found = true
+					return false
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// qualify renders "Recv.Method" / "Func" names for diagnostics.
+func qualifyList(names []string) string {
+	return strings.Join(names, ", ")
+}

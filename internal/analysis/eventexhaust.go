@@ -1,0 +1,262 @@
+// The eventexhaust check: switches over registered enum types must
+// cover every declared member, with no silent default.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// enumInfo describes one type registered as an exhaustive enum via a
+//
+//	//lint:exhaustive [ignore=Name[,Name...]] [reason]
+//
+// directive on its type declaration. Members are the package-scope
+// constants of the type, in declaration order; Ignored names (e.g. a
+// numEventKinds sentinel) are exempt from coverage.
+type enumInfo struct {
+	TypeName *types.TypeName
+	Name     string
+	Members  []*types.Const
+	Ignored  map[string]bool
+	Decl     ast.Node // the type spec, for stale-directive diagnostics
+
+	staleIgnored []string // ignore= names that match no constant
+}
+
+// ExhaustiveEnums returns the package's registered exhaustive enums.
+// Built once per package and shared across analyzers.
+func (p *Pass) ExhaustiveEnums() []*enumInfo {
+	if p.facts.enumsBuilt {
+		return p.facts.enums
+	}
+	p.facts.enumsBuilt = true
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				ignored, found := exhaustiveDirective(gd.Doc, ts.Doc, ts.Comment)
+				if !found {
+					continue
+				}
+				tn, ok := info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				e := &enumInfo{
+					TypeName: tn,
+					Name:     tn.Name(),
+					Ignored:  make(map[string]bool),
+					Decl:     ts,
+				}
+				for _, name := range ignored {
+					e.Ignored[name] = true
+				}
+				p.facts.enums = append(p.facts.enums, e)
+			}
+		}
+	}
+	// Collect members in declaration order by scanning const decls.
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := info.Defs[name].(*types.Const)
+					if !ok {
+						continue
+					}
+					for _, e := range p.facts.enums {
+						if types.Identical(c.Type(), e.TypeName.Type()) {
+							e.Members = append(e.Members, c)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Validate ignore= names so the directive cannot rot silently.
+	for _, e := range p.facts.enums {
+		names := make(map[string]bool, len(e.Members))
+		for _, m := range e.Members {
+			names[m.Name()] = true
+		}
+		for name := range e.Ignored {
+			if !names[name] {
+				e.staleIgnored = append(e.staleIgnored, name)
+			}
+		}
+		sortStrings(e.staleIgnored)
+	}
+	return p.facts.enums
+}
+
+// exhaustiveDirective scans the comment groups of a type declaration
+// for a //lint:exhaustive directive and returns its ignore= names.
+func exhaustiveDirective(groups ...*ast.CommentGroup) (ignored []string, found bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, "//lint:exhaustive") {
+				continue
+			}
+			rest := strings.TrimPrefix(text, "//lint:exhaustive")
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //lint:exhaustiveX
+			}
+			found = true
+			for _, field := range strings.Fields(rest) {
+				if list, ok := strings.CutPrefix(field, "ignore="); ok {
+					for _, name := range strings.Split(list, ",") {
+						if name = strings.TrimSpace(name); name != "" {
+							ignored = append(ignored, name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return ignored, found
+}
+
+// EventExhaust flags switches over //lint:exhaustive enum types that
+// miss declared members or hide future ones behind a silent default.
+//
+// The calendar event-kind type is the motivating registrant: every
+// event kind popped from a calendar heap must be handled at pop time,
+// so adding a kind must fail lint until each kind-dispatch switch
+// handles it. A default clause that panics is "loud" and accepted (it
+// turns an unhandled kind into an immediate, named failure); a default
+// that silently absorbs unknown kinds is itself a diagnostic even when
+// today's members are all covered, because it converts tomorrow's
+// missing case into silent mis-scheduling.
+func EventExhaust() *Analyzer {
+	return &Analyzer{
+		Name: "eventexhaust",
+		Doc:  "switches over //lint:exhaustive enum types cover every member, with no silent default",
+		Run:  runEventExhaust,
+	}
+}
+
+func runEventExhaust(p *Pass) []Diagnostic {
+	enums := p.ExhaustiveEnums()
+	if len(enums) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, e := range enums {
+		for _, name := range e.staleIgnored {
+			p.report(&diags, "eventexhaust", e.Decl,
+				"stale directive: ignore=%s names no constant of type %s", name, e.Name)
+		}
+		if len(e.Members) == 0 {
+			p.report(&diags, "eventexhaust", e.Decl,
+				"//lint:exhaustive on type %s, but the package declares no constants of that type", e.Name)
+		}
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := exprType(info, sw.Tag)
+			if tagType == nil {
+				return true
+			}
+			var e *enumInfo
+			for _, cand := range enums {
+				if types.Identical(tagType, cand.TypeName.Type()) {
+					e = cand
+					break
+				}
+			}
+			if e == nil || len(e.Members) == 0 {
+				return true
+			}
+			covered := make(map[string]bool)
+			var defaultClause *ast.CaseClause
+			for _, cl := range sw.Body.List {
+				cc, ok := cl.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					defaultClause = cc
+					continue
+				}
+				for _, expr := range cc.List {
+					var id *ast.Ident
+					switch x := unparen(expr).(type) {
+					case *ast.Ident:
+						id = x
+					case *ast.SelectorExpr:
+						id = x.Sel
+					}
+					if id == nil {
+						continue
+					}
+					if c, ok := identObj(info, id).(*types.Const); ok {
+						covered[c.Name()] = true
+					}
+				}
+			}
+			if defaultClause != nil && !containsPanic(defaultClause.Body) {
+				p.report(&diags, "eventexhaust", defaultClause,
+					"silent default in switch over exhaustive enum %s; handle each member explicitly and panic on unknown values", e.Name)
+			}
+			if defaultClause == nil || !containsPanic(defaultClauseBody(defaultClause)) {
+				var missing []string
+				for _, m := range e.Members {
+					if !covered[m.Name()] && !e.Ignored[m.Name()] {
+						missing = append(missing, m.Name())
+					}
+				}
+				if len(missing) > 0 {
+					p.report(&diags, "eventexhaust", sw,
+						"switch over %s does not cover %s; every declared kind must be handled", e.Name, strings.Join(missing, ", "))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// defaultClauseBody returns the clause body, tolerating nil.
+func defaultClauseBody(cc *ast.CaseClause) []ast.Stmt {
+	if cc == nil {
+		return nil
+	}
+	return cc.Body
+}
+
+// sortStrings sorts in place (tiny helper to keep imports tight).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -6,10 +6,43 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files from current analyzer output")
+
+// moduleLoader is the one Loader every test in this package shares:
+// each package (fixtures included — they live inside this module) is
+// parsed and type-checked exactly once per `go test` run, and the
+// standard library import cache is shared process-wide (load.go). This
+// is the same load-once discipline cmd/pd2lint uses.
+var (
+	moduleLoaderOnce sync.Once
+	moduleLoaderVal  *Loader
+	moduleLoaderErr  error
+)
+
+func moduleLoader(t testing.TB) *Loader {
+	t.Helper()
+	moduleLoaderOnce.Do(func() {
+		moduleLoaderVal, moduleLoaderErr = NewLoader(".")
+	})
+	if moduleLoaderErr != nil {
+		t.Fatalf("NewLoader: %v", moduleLoaderErr)
+	}
+	return moduleLoaderVal
+}
+
+func loadFixture(t testing.TB, check string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", check)
+	pkg, err := moduleLoader(t).LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	return pkg
+}
 
 // TestGolden runs each analyzer over its fixture package under
 // testdata/src/<check>/ and compares the rendered diagnostics against
@@ -18,15 +51,7 @@ var update = flag.Bool("update", false, "rewrite the golden files from current a
 func TestGolden(t *testing.T) {
 	for _, a := range All() {
 		t.Run(a.Name, func(t *testing.T) {
-			dir := filepath.Join("testdata", "src", a.Name)
-			loader, err := NewLoader(dir)
-			if err != nil {
-				t.Fatalf("NewLoader: %v", err)
-			}
-			pkg, err := loader.LoadDir(dir)
-			if err != nil {
-				t.Fatalf("LoadDir(%s): %v", dir, err)
-			}
+			pkg := loadFixture(t, a.Name)
 			diags := RunChecks([]*Package{pkg}, []*Analyzer{a}, true)
 			var b strings.Builder
 			for _, d := range diags {
@@ -57,34 +82,24 @@ func TestGolden(t *testing.T) {
 // that pd2lint exits non-zero on each check is anchored here.
 func TestGoldenFixturesSeedViolations(t *testing.T) {
 	for _, a := range All() {
-		dir := filepath.Join("testdata", "src", a.Name)
-		loader, err := NewLoader(dir)
-		if err != nil {
-			t.Fatalf("NewLoader: %v", err)
-		}
-		pkg, err := loader.LoadDir(dir)
-		if err != nil {
-			t.Fatalf("LoadDir(%s): %v", dir, err)
-		}
+		pkg := loadFixture(t, a.Name)
 		diags := RunChecks([]*Package{pkg}, []*Analyzer{a}, true)
 		if len(diags) == 0 {
-			t.Errorf("fixture %s produced no %s diagnostics", dir, a.Name)
+			t.Errorf("fixture %s produced no %s diagnostics", pkg.Dir, a.Name)
 		}
 		for _, d := range diags {
 			if d.Check != a.Name {
-				t.Errorf("fixture %s produced foreign diagnostic %s", dir, d)
+				t.Errorf("fixture %s produced foreign diagnostic %s", pkg.Dir, d)
 			}
 		}
 	}
 }
 
-// TestModuleClean asserts the repository itself passes its own suite —
-// the linter is dogfooded on every go test run, not only in make check.
-func TestModuleClean(t *testing.T) {
-	loader, err := NewLoader(".")
-	if err != nil {
-		t.Fatalf("NewLoader: %v", err)
-	}
+// loadModulePkgs loads every package of the module through the shared
+// loader.
+func loadModulePkgs(t testing.TB) []*Package {
+	t.Helper()
+	loader := moduleLoader(t)
 	dirs, err := loader.ModuleDirs()
 	if err != nil {
 		t.Fatalf("ModuleDirs: %v", err)
@@ -97,8 +112,43 @@ func TestModuleClean(t *testing.T) {
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	diags := RunChecks(pkgs, All(), false)
+	return pkgs
+}
+
+// TestModuleClean asserts the repository itself passes its own suite —
+// including stale-suppression strictness — on every go test run, not
+// only in make check.
+func TestModuleClean(t *testing.T) {
+	diags := RunChecksOpts(loadModulePkgs(t), All(), RunOptions{StaleSuppress: true})
 	for _, d := range diags {
 		t.Errorf("%s", d)
+	}
+}
+
+// BenchmarkLintModule guards the load-once architecture: one iteration
+// loads the module (warm stdlib cache, cold module packages) and runs
+// the full suite. A regression that re-loads or re-type-checks per
+// check shows up here as a step change.
+func BenchmarkLintModule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		loader, err := NewLoader(".")
+		if err != nil {
+			b.Fatalf("NewLoader: %v", err)
+		}
+		dirs, err := loader.ModuleDirs()
+		if err != nil {
+			b.Fatalf("ModuleDirs: %v", err)
+		}
+		var pkgs []*Package
+		for _, dir := range dirs {
+			pkg, err := loader.LoadDir(dir)
+			if err != nil {
+				b.Fatalf("LoadDir(%s): %v", dir, err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+		if diags := RunChecksOpts(pkgs, All(), RunOptions{}); len(diags) != 0 {
+			b.Fatalf("module not clean: %d diagnostics", len(diags))
+		}
 	}
 }

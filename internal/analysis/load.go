@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -39,8 +40,6 @@ type Loader struct {
 	ModRoot string // absolute path of the directory holding go.mod
 	ModPath string // module path from go.mod
 
-	std     types.Importer
-	stdSrc  types.Importer
 	pkgs    map[string]*Package // keyed by absolute directory
 	loading map[string]bool     // cycle detection, keyed by directory
 }
@@ -56,16 +55,45 @@ func NewLoader(dir string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
 	return &Loader{
-		Fset:    fset,
+		Fset:    token.NewFileSet(),
 		ModRoot: root,
 		ModPath: modPath,
-		std:     importer.Default(),
-		stdSrc:  importer.ForCompiler(fset, "source", nil),
 		pkgs:    make(map[string]*Package),
 		loading: make(map[string]bool),
 	}, nil
+}
+
+// sharedStd serves standard-library imports for every Loader in the
+// process. Export data (or, as a fallback, the type-checked stdlib
+// source) is loaded once and reused: the lint suite, golden tests, and
+// benchmarks all create loaders, and re-importing fmt/sync/sort per
+// loader dominated `make lint` before this cache existed. The source
+// importer keeps its own FileSet — stdlib positions never surface in
+// diagnostics, so sharing it across loaders is safe.
+var sharedStd struct {
+	once sync.Once
+	mu   sync.Mutex
+	def  types.Importer
+	src  types.Importer
+}
+
+// stdImport resolves a standard-library import through the shared
+// process-wide importer pair.
+func stdImport(path string) (*types.Package, error) {
+	sharedStd.once.Do(func() {
+		sharedStd.def = importer.Default()
+		sharedStd.src = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	})
+	sharedStd.mu.Lock()
+	defer sharedStd.mu.Unlock()
+	pkg, err := sharedStd.def.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	// Fall back to type-checking the standard library from source, for
+	// toolchains without prebuilt export data.
+	return sharedStd.src.Import(path)
 }
 
 // findModule walks upward from dir looking for go.mod.
@@ -249,11 +277,5 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
-	pkg, err := m.l.std.Import(path)
-	if err == nil {
-		return pkg, nil
-	}
-	// Fall back to type-checking the standard library from source, for
-	// toolchains without prebuilt export data.
-	return m.l.stdSrc.Import(path)
+	return stdImport(path)
 }

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a temp tree from relative path -> body.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, body := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestFindModuleNested(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":        "module example.com/mod\n\ngo 1.22\n",
+		"a/b/c/keep.go": "package c\n",
+	})
+	gotRoot, modPath, err := findModule(filepath.Join(root, "a", "b", "c"))
+	if err != nil {
+		t.Fatalf("findModule: %v", err)
+	}
+	if gotRoot != root {
+		t.Errorf("root = %s, want %s", gotRoot, root)
+	}
+	if modPath != "example.com/mod" {
+		t.Errorf("module path = %q, want example.com/mod", modPath)
+	}
+}
+
+func TestFindModuleQuotedPath(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module \"quoted.example/m\"\n",
+	})
+	_, modPath, err := findModule(root)
+	if err != nil {
+		t.Fatalf("findModule: %v", err)
+	}
+	if modPath != "quoted.example/m" {
+		t.Errorf("module path = %q, want quoted.example/m", modPath)
+	}
+}
+
+func TestFindModuleMissing(t *testing.T) {
+	// An isolated tree with no go.mod anywhere up to the filesystem root
+	// cannot be guaranteed, so assert on a tree whose go.mod is broken:
+	// the nearest go.mod lacking a module line is an error, not a silent
+	// walk past it.
+	root := writeTree(t, map[string]string{
+		"go.mod":    "// no module line\n",
+		"pkg/a.go":  "package pkg\n",
+		"pkg/b.txt": "",
+	})
+	_, _, err := findModule(filepath.Join(root, "pkg"))
+	if err == nil || !strings.Contains(err.Error(), "no module line") {
+		t.Fatalf("err = %v, want no-module-line error", err)
+	}
+}
+
+func TestModuleDirsScoping(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":                   "module scoped.example/m\n\ngo 1.22\n",
+		"root.go":                  "package m\n",
+		"inner/inner.go":           "package inner\n",
+		"inner/inner_test.go":      "package inner\n", // test-only files don't make a dir a package
+		"testonly/only_test.go":    "package testonly\n",
+		"testdata/src/fix/f.go":    "package fix\n", // testdata is skipped
+		"_build/gen.go":            "package gen\n", // underscore dirs are skipped
+		".hidden/h.go":             "package h\n",   // hidden dirs are skipped
+		"vendor/dep/d.go":          "package dep\n", // vendor is skipped
+		"out/artifact.go":          "package out\n", // build output is skipped
+		"docs/readme.txt":          "",
+		"nested/deep/pkg/p.go":     "package pkg\n",
+		"nested/deep/pkg/skip.txt": "",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dirs, err := loader.ModuleDirs()
+	if err != nil {
+		t.Fatalf("ModuleDirs: %v", err)
+	}
+	var rel []string
+	for _, d := range dirs {
+		r, err := filepath.Rel(root, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel = append(rel, filepath.ToSlash(r))
+	}
+	want := []string{".", "inner", "nested/deep/pkg"}
+	if len(rel) != len(want) {
+		t.Fatalf("dirs = %v, want %v", rel, want)
+	}
+	for i := range want {
+		if rel[i] != want[i] {
+			t.Fatalf("dirs = %v, want %v", rel, want)
+		}
+	}
+}
+
+func TestLoadDirImportPathsAndCache(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":     "module path.example/m\n\ngo 1.22\n",
+		"root.go":    "package m\n\nimport \"path.example/m/lib\"\n\nvar _ = lib.Answer\n",
+		"lib/lib.go": "package lib\n\nconst Answer = 42\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	rootPkg, err := loader.LoadDir(root)
+	if err != nil {
+		t.Fatalf("LoadDir(root): %v", err)
+	}
+	if rootPkg.Path != "path.example/m" {
+		t.Errorf("root import path = %q", rootPkg.Path)
+	}
+	libPkg, err := loader.LoadDir(filepath.Join(root, "lib"))
+	if err != nil {
+		t.Fatalf("LoadDir(lib): %v", err)
+	}
+	if libPkg.Path != "path.example/m/lib" {
+		t.Errorf("lib import path = %q", libPkg.Path)
+	}
+	// The dependency was loaded during root's type check; the explicit
+	// LoadDir must hit the cache and return the same *Package.
+	again, err := loader.LoadDir(filepath.Join(root, "lib"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != libPkg {
+		t.Error("LoadDir did not cache: distinct *Package for the same dir")
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":       "module err.example/m\n\ngo 1.22\n",
+		"empty/x.txt":  "",
+		"badtype/a.go": "package badtype\n\nvar x int = \"s\"\n",
+		"badsyn/a.go":  "package badsyn\n\nfunc {\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if _, err := loader.LoadDir(filepath.Join(root, "empty")); err == nil {
+		t.Error("LoadDir(empty) succeeded, want no-source error")
+	}
+	if _, err := loader.LoadDir(filepath.Join(root, "badtype")); err == nil ||
+		!strings.Contains(err.Error(), "type-checking") {
+		t.Errorf("LoadDir(badtype) err = %v, want type-checking error", err)
+	}
+	if _, err := loader.LoadDir(filepath.Join(root, "badsyn")); err == nil {
+		t.Error("LoadDir(badsyn) succeeded, want parse error")
+	}
+}
+
+func TestLoadDirImportCycle(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":   "module cyc.example/m\n\ngo 1.22\n",
+		"a/a.go":   "package a\n\nimport \"cyc.example/m/b\"\n\nvar _ = b.V\n",
+		"b/b.go":   "package b\n\nimport \"cyc.example/m/a\"\n\nvar V = 1\nvar _ = a.W\n",
+		"README":   "",
+		"c/ok.go":  "package c\n",
+		"c/t.tmpl": "",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if _, err := loader.LoadDir(filepath.Join(root, "a")); err == nil {
+		t.Error("import cycle not detected")
+	}
+	// Unrelated packages still load after the failure.
+	if _, err := loader.LoadDir(filepath.Join(root, "c")); err != nil {
+		t.Errorf("LoadDir(c) after cycle failure: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// copyModuleSource copies the module's go.mod and non-test Go sources
+// (minus this analysis package, testdata, and the commands) into a temp
+// module, so a mutation can be applied without touching the working
+// tree. The copy keeps the module path "repro", which is what the
+// annotation tables are keyed by.
+func copyModuleSource(t *testing.T) string {
+	t.Helper()
+	root := moduleLoader(t).ModRoot
+	dst := t.TempDir()
+	skipRel := map[string]bool{
+		filepath.Join("internal", "analysis"): true,
+		"cmd":                                 true,
+	}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if rel != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "out" || name == "vendor" || skipRel[rel]) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if rel != "go.mod" && (!strings.HasSuffix(rel, ".go") || strings.HasSuffix(rel, "_test.go")) {
+			return nil
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		out := filepath.Join(dst, rel)
+		if rerr := os.MkdirAll(filepath.Dir(out), 0o755); rerr != nil {
+			return rerr
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copy module: %v", err)
+	}
+	return dst
+}
+
+// TestSeededMutationsAreCaught is the acceptance test for the v2
+// dataflow checks: reintroducing each of the silent-corruption bugs the
+// checks were built for — deleting the reuse-stamp guard, mutating a
+// heap ordering key in place, dropping an event kind from the dispatch
+// switch, racing a worker pool on captured state — must produce a
+// diagnostic from the corresponding check on the real engine sources.
+func TestSeededMutationsAreCaught(t *testing.T) {
+	cases := []struct {
+		name  string
+		check string
+		file  string // module-relative, forward slashes
+		old   string
+		new   string
+	}{
+		{
+			name:  "delete-stamp-guard",
+			check: "poolescape",
+			file:  "internal/core/scheduler.go",
+			old:   "sub: sub, stamp: sub.stamp}",
+			new:   "sub: sub}",
+		},
+		{
+			name:  "mutate-heap-key-in-place",
+			check: "heapkey",
+			file:  "internal/core/scheduler.go",
+			old:   "s.runBuf = append(s.runBuf, ts.offer)",
+			new:   "ts.offer.deadline = 0\n\t\ts.runBuf = append(s.runBuf, ts.offer)",
+		},
+		{
+			name:  "drop-calendar-case",
+			check: "eventexhaust",
+			file:  "internal/core/scheduler.go",
+			old:   "\tcase evKindResolve:\n\t\treturn &s.evResolve\n",
+			new:   "",
+		},
+		{
+			name:  "unguarded-shared-write",
+			check: "gocapture",
+			file:  "internal/expr/expr.go",
+			old:   "results[i], errs[i] = RunWhisperCfg(pp, rc)",
+			new:   "results[i], errs[i] = RunWhisperCfg(pp, rc)\n\t\t\t\tresults = results[:1]",
+		},
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst := copyModuleSource(t)
+			target := filepath.Join(dst, filepath.FromSlash(tc.file))
+			src, err := os.ReadFile(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mutated := strings.Replace(string(src), tc.old, tc.new, 1)
+			if mutated == string(src) {
+				t.Fatalf("mutation anchor %q not found in %s; keep the mutation test in sync with the engine", tc.old, tc.file)
+			}
+			if err := os.WriteFile(target, []byte(mutated), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			loader, err := NewLoader(dst)
+			if err != nil {
+				t.Fatalf("NewLoader: %v", err)
+			}
+			pkgDir := filepath.Dir(target)
+			pkg, err := loader.LoadDir(pkgDir)
+			if err != nil {
+				t.Fatalf("LoadDir(%s): %v", pkgDir, err)
+			}
+			diags := RunChecks([]*Package{pkg}, []*Analyzer{byName[tc.check]}, false)
+			if len(diags) == 0 {
+				t.Fatalf("mutation %s not caught by %s", tc.name, tc.check)
+			}
+			for _, d := range diags {
+				if d.Check != tc.check {
+					t.Errorf("unexpected foreign diagnostic %s", d)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,414 @@
+// The poolescape check: pooled records must not outlive their reuse
+// stamp.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolEscape flags pooled free-list pointers (the scheduler's subtask
+// records) that escape the slot without a reuse-stamp guard, and
+// aliases used after the record was freed.
+//
+// The event-driven engine recycles subtask records through a free list;
+// calendar events that reference a record capture its reuse stamp at
+// push time and are invalidated when the record is recycled
+// (subtask.stamp). That protocol only works if every long-lived store
+// of a pooled pointer carries the stamp: an unstamped alias surviving
+// free() dangles into a recycled record and silently corrupts a later
+// task's schedule. Three rules, driven by the annotation table
+// (annotations.go) and the def/alias layer (dataflow.go):
+//
+//  1. A composite literal of a registered sink struct (tevent) that
+//     sets the pointer field must also set the stamp field from that
+//     same pointer's stamp.
+//  2. An alias of an Alloc() result may be stored only into the
+//     registered owner fields (the subtask chain, the free list) or a
+//     guarded sink; stores into other fields, maps, slices-held-in-
+//     fields, or non-invoked closures are flagged.
+//  3. After Free(x), any use of an alias of x before reassignment is
+//     flagged.
+//
+// The analysis is intraprocedural: pointers received as parameters or
+// read from fields are trusted to already be owned (docs/LINT.md,
+// "scope and limits").
+func PoolEscape() *Analyzer {
+	return &Analyzer{
+		Name: "poolescape",
+		Doc:  "pooled free-list pointers may not escape the slot unstamped or be used after free (annotation table)",
+		AppliesTo: func(pkgPath string) bool {
+			return len(poolSpecsFor(pkgPath)) > 0
+		},
+		Run: runPoolEscape,
+	}
+}
+
+func runPoolEscape(p *Pass) []Diagnostic {
+	specs := poolSpecsFor(p.Pkg.Path)
+	if len(specs) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	specs = validatePoolSpecs(p, specs, &diags)
+	for i := range specs {
+		p.runPoolSpec(&specs[i], &diags)
+	}
+	return diags
+}
+
+func (p *Pass) runPoolSpec(spec *poolSpec, diags *[]Diagnostic) {
+	info := p.Pkg.Info
+	owner := make(map[string]bool)
+	for _, f := range spec.OwnerFields {
+		owner[f] = true
+	}
+	for _, fi := range p.Funcs() {
+		body := fi.Decl.Body
+
+		// Rule 1: stamp guards on sink literals. Purely syntactic on the
+		// literal, so it also catches pointers the alias pass cannot see
+		// (e.g. a chain head stored into a calendar event).
+		for _, sink := range spec.Sinks {
+			p.checkSinkLiterals(body, spec, sink, diags)
+		}
+
+		// Seed the alias set with Alloc() call results.
+		aliases := trackAliases(body, info, func(e ast.Expr) bool {
+			call, ok := e.(*ast.CallExpr)
+			return ok && p.callsPoolFunc(call, spec.Alloc)
+		})
+
+		if len(aliases.objs) > 0 {
+			p.checkEscapes(fi, spec, aliases, owner, diags)
+		}
+		p.checkUseAfterFree(fi, spec, aliases, diags)
+	}
+}
+
+// callsPoolFunc reports whether call invokes a function or method of
+// this package with the given name (the table's Alloc/Free).
+func (p *Pass) callsPoolFunc(call *ast.CallExpr, name string) bool {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := p.Pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Name() == name && fn.Pkg() == p.Pkg.Types
+}
+
+// checkSinkLiterals enforces rule 1 on every composite literal of the
+// sink struct in body.
+func (p *Pass) checkSinkLiterals(body *ast.BlockStmt, spec *poolSpec, sink poolSink, diags *[]Diagnostic) {
+	info := p.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		t := exprType(info, lit)
+		if namedTypeName(t, p.Pkg.Types) != sink.Struct {
+			return true
+		}
+		var ptrExpr ast.Expr
+		stamped := false
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue // positional literals of long-lived events are not used here
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch key.Name {
+			case sink.PtrField:
+				if !isNilExpr(kv.Value) {
+					ptrExpr = kv.Value
+				}
+			case sink.StampField:
+				// The guard must read the stamp off the stored pointer
+				// itself: sel.X textually matching the pointer field's
+				// value is checked below once both are seen.
+				if sel, ok := unparen(kv.Value).(*ast.SelectorExpr); ok &&
+					sel.Sel.Name == spec.StampField {
+					stamped = true
+				}
+			}
+		}
+		if ptrExpr != nil && !stamped {
+			p.report(diags, "poolescape", lit,
+				"pooled %s pointer stored into %s.%s without the %s reuse-stamp guard; a recycled record would alias a live event",
+				spec.Elem, sink.Struct, sink.PtrField, sink.StampField)
+		}
+		return true
+	})
+}
+
+// checkEscapes enforces rule 2: stores of tracked aliases outside the
+// ownership structure.
+func (p *Pass) checkEscapes(fi *funcInfo, spec *poolSpec, aliases *aliasSet, owner map[string]bool, diags *[]Diagnostic) {
+	info := p.Pkg.Info
+	body := fi.Decl.Body
+
+	// Closures that are invoked on the spot run within the slot; go
+	// statements and stored/returned closures escape it.
+	immediate := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+			immediate[lit] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+				immediate[lit] = false
+			}
+		}
+		return true
+	})
+
+	storedVia := func(rhs ast.Expr) ast.Expr {
+		// A tracked alias stored directly, or appended into a container:
+		// append(xs, alias) — return the alias expression, else nil.
+		rhs = unparen(rhs)
+		if aliases.contains(info, rhs) {
+			return rhs
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+				for _, arg := range call.Args[1:] {
+					if aliases.contains(info, arg) {
+						return arg
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				alias := storedVia(rhs)
+				if alias == nil {
+					continue
+				}
+				lhs := unparen(n.Lhs[i])
+				switch lhs := lhs.(type) {
+				case *ast.Ident:
+					// Plain alias propagation; rule 3 keeps tracking it.
+				case *ast.SelectorExpr:
+					if name := p.fieldQualName(lhs); name != "" && !owner[name] {
+						p.report(diags, "poolescape", n,
+							"pooled %s pointer stored into %s, which outlives the slot without a reuse-stamp guard (owner fields: %s)",
+							spec.Elem, name, qualifyList(spec.OwnerFields))
+					}
+				case *ast.IndexExpr:
+					// Element stores into field-held containers (maps or
+					// slices reachable beyond the slot).
+					if inner, ok := unparen(lhs.X).(*ast.SelectorExpr); ok {
+						if name := p.fieldQualName(inner); name != "" && !owner[name] {
+							p.report(diags, "poolescape", n,
+								"pooled %s pointer stored into element of %s, which outlives the slot without a reuse-stamp guard",
+								spec.Elem, name)
+						}
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if immediate[n] {
+				return true
+			}
+			for obj, pos := range aliases.objs {
+				_ = pos
+				used := false
+				ast.Inspect(n.Body, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && identObj(info, id) == obj {
+						used = true
+						return false
+					}
+					return !used
+				})
+				if used {
+					p.report(diags, "poolescape", n,
+						"pooled %s pointer %s captured by a closure that may outlive the slot; pass the (pointer, stamp) pair instead",
+						spec.Elem, obj.Name())
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// fieldQualName renders a selector store target as "Type.field" when
+// the selected object is a struct field; "" otherwise.
+func (p *Pass) fieldQualName(sel *ast.SelectorExpr) string {
+	f, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !f.IsField() {
+		if s, ok := p.Pkg.Info.Selections[sel]; ok {
+			if v, okv := s.Obj().(*types.Var); okv && v.IsField() {
+				f = v
+			} else {
+				return ""
+			}
+		} else {
+			return ""
+		}
+	}
+	tn := namedTypeName(exprType(p.Pkg.Info, sel.X), p.Pkg.Types)
+	if tn == "" {
+		return ""
+	}
+	return tn + "." + f.Name()
+}
+
+// checkUseAfterFree enforces rule 3 with a position-ordered scan: a use
+// of an alias after Free(alias) with no intervening reassignment.
+func (p *Pass) checkUseAfterFree(fi *funcInfo, spec *poolSpec, aliases *aliasSet, diags *[]Diagnostic) {
+	info := p.Pkg.Info
+	body := fi.Decl.Body
+
+	// Free positions per object, plus the alias group freed together:
+	// freeing one alias frees every alias of the same record, so the
+	// whole tracked set is invalidated at the free position.
+	var freeEnd token.Pos
+	freeCalls := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !p.callsPoolFunc(call, spec.Free) {
+			return true
+		}
+		if len(call.Args) == 1 {
+			if aliases.contains(info, call.Args[0]) {
+				freeCalls++
+				if freeEnd == token.NoPos || call.End() < freeEnd {
+					freeEnd = call.End()
+				}
+			}
+		}
+		return true
+	})
+	if freeCalls == 0 {
+		return
+	}
+
+	// Reassignment positions kill the freed state for one object.
+	reassign := make(map[types.Object][]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := unparen(lhs).(*ast.Ident); ok {
+				if obj := identObj(info, id); obj != nil {
+					if _, tracked := aliases.objs[obj]; tracked {
+						reassign[obj] = append(reassign[obj], id.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	reported := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() <= freeEnd {
+			return true
+		}
+		obj := identObj(info, id)
+		if obj == nil || reported[obj] {
+			return true
+		}
+		if _, tracked := aliases.objs[obj]; !tracked {
+			return true
+		}
+		// A reassignment between the free and this use re-arms the alias;
+		// the reassigning identifier itself is also exempt.
+		for _, rp := range reassign[obj] {
+			if rp > freeEnd && rp <= id.Pos() {
+				return true
+			}
+		}
+		reported[obj] = true
+		p.report(diags, "poolescape", id,
+			"alias %s of a pooled %s used after %s; the reuse stamp has advanced and the record may be recycled",
+			obj.Name(), spec.Elem, spec.Free)
+		return true
+	})
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// validatePoolSpecs drops (and reports) stale table entries.
+func validatePoolSpecs(p *Pass, specs []poolSpec, diags *[]Diagnostic) []poolSpec {
+	var out []poolSpec
+	for _, s := range specs {
+		ok := true
+		st, found := lookupStruct(p.Pkg.Types, s.Elem)
+		if !found {
+			p.reportAtPkg(diags, "poolescape",
+				"stale annotation: pool table names record type %s.%s, which does not exist", s.Pkg, s.Elem)
+			ok = false
+		} else if !structHasField(st, s.StampField) {
+			p.reportAtPkg(diags, "poolescape",
+				"stale annotation: pool table names stamp field %s.%s, which does not exist", s.Elem, s.StampField)
+			ok = false
+		}
+		for _, fn := range []string{s.Alloc, s.Free} {
+			if !p.pkgDeclaresFunc(fn) {
+				p.reportAtPkg(diags, "poolescape",
+					"stale annotation: pool table names %s in %s, which does not exist", fn, s.Pkg)
+				ok = false
+			}
+		}
+		for _, sink := range s.Sinks {
+			sst, found := lookupStruct(p.Pkg.Types, sink.Struct)
+			if !found || !structHasField(sst, sink.PtrField) || !structHasField(sst, sink.StampField) {
+				p.reportAtPkg(diags, "poolescape",
+					"stale annotation: pool table sink %s.%s/%s does not resolve in %s", sink.Struct, sink.PtrField, sink.StampField, s.Pkg)
+				ok = false
+			}
+		}
+		if ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// pkgDeclaresFunc reports whether any top-level function or method of
+// the package has the given bare name.
+func (p *Pass) pkgDeclaresFunc(name string) bool {
+	for _, fi := range p.Funcs() {
+		if fi.Decl.Name.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -8,10 +8,18 @@
 // suppresses the line below. (Both interpretations are honoured: a
 // directive at line L covers L and L+1.) Reasons are free text and are
 // strongly encouraged — the allowlist is itself reviewed.
+//
+// Every suppression is hit-counted during a run: a directive that
+// suppresses nothing is dead weight that hides nothing today and may
+// hide a regression tomorrow (a renamed check, code moved off the
+// annotated line). Under -strict-suppress such stale directives are
+// themselves diagnostics (check "suppress"), as is a directive naming
+// a check that does not exist.
 package analysis
 
 import (
 	"go/ast"
+	"sort"
 	"strings"
 )
 
@@ -77,29 +85,41 @@ func trimCommentMarkers(text string) string {
 	return text
 }
 
-// fileSuppressions indexes the directives of one file.
-type fileSuppressions struct {
-	fileAllow map[string]bool         // check -> allowed file-wide
-	byLine    map[int]map[string]bool // line -> check -> allowed
+// suppEntry is one (directive, check) pair, hit-counted over a run.
+type suppEntry struct {
+	file      string
+	line      int // line of the directive comment; 0 for file scope
+	col       int
+	fileScope bool
+	check     string
+	hits      int
 }
 
-func (fs *fileSuppressions) allows(check string, line int) bool {
-	if fs.fileAllow[check] {
-		return true
+// fileSuppressions indexes the suppression entries of one file.
+type fileSuppressions struct {
+	fileAllow map[string]*suppEntry         // check -> file-wide entry
+	byLine    map[int]map[string]*suppEntry // line -> check -> entry
+	entries   []*suppEntry                  // all, in source order
+}
+
+// match returns the entry covering (check, line), or nil. A line
+// directive at line L covers diagnostics at L (trailing comment) and
+// L+1 (standalone comment above the statement).
+func (fs *fileSuppressions) match(check string, line int) *suppEntry {
+	if e := fs.byLine[line][check]; e != nil {
+		return e
 	}
-	// A directive at line L covers diagnostics at L (trailing comment)
-	// and L+1 (standalone comment above the statement).
-	if fs.byLine[line][check] || fs.byLine[line-1][check] {
-		return true
+	if e := fs.byLine[line-1][check]; e != nil {
+		return e
 	}
-	return false
+	return fs.fileAllow[check]
 }
 
 // buildSuppressions scans every comment of f.
 func buildSuppressions(pkg *Package, f *ast.File) *fileSuppressions {
 	fs := &fileSuppressions{
-		fileAllow: make(map[string]bool),
-		byLine:    make(map[int]map[string]bool),
+		fileAllow: make(map[string]*suppEntry),
+		byLine:    make(map[int]map[string]*suppEntry),
 	}
 	for _, group := range f.Comments {
 		for _, c := range group.List {
@@ -107,43 +127,117 @@ func buildSuppressions(pkg *Package, f *ast.File) *fileSuppressions {
 			if !ok {
 				continue
 			}
-			if d.FileScope {
-				for _, check := range d.Checks {
-					fs.fileAllow[check] = true
-				}
-				continue
-			}
-			line := pkg.Fset.Position(c.Pos()).Line
-			m := fs.byLine[line]
-			if m == nil {
-				m = make(map[string]bool)
-				fs.byLine[line] = m
-			}
+			pos := pkg.Fset.Position(c.Pos())
 			for _, check := range d.Checks {
-				m[check] = true
+				e := &suppEntry{
+					file:      pos.Filename,
+					line:      pos.Line,
+					col:       pos.Column,
+					fileScope: d.FileScope,
+					check:     check,
+				}
+				if d.FileScope {
+					if fs.fileAllow[check] == nil {
+						fs.fileAllow[check] = e
+						fs.entries = append(fs.entries, e)
+					}
+					continue
+				}
+				m := fs.byLine[pos.Line]
+				if m == nil {
+					m = make(map[string]*suppEntry)
+					fs.byLine[pos.Line] = m
+				}
+				if m[check] == nil {
+					m[check] = e
+					fs.entries = append(fs.entries, e)
+				}
 			}
 		}
 	}
 	return fs
 }
 
-// suppressed reports whether d is covered by a lint directive.
-func (p *Package) suppressed(d Diagnostic) bool {
-	fs, ok := p.supp[d.File]
-	if !ok {
-		for _, f := range p.Files {
-			if p.Fset.Position(f.Pos()).Filename == d.File {
-				fs = buildSuppressions(p, f)
-				break
-			}
-		}
-		if fs == nil {
-			fs = &fileSuppressions{
-				fileAllow: make(map[string]bool),
-				byLine:    make(map[int]map[string]bool),
-			}
-		}
-		p.supp[d.File] = fs
+// fileSupp returns (building if needed) the suppression index for the
+// named file.
+func (p *Package) fileSupp(filename string) *fileSuppressions {
+	if fs, ok := p.supp[filename]; ok {
+		return fs
 	}
-	return fs.allows(d.Check, d.Line)
+	var fs *fileSuppressions
+	for _, f := range p.Files {
+		if p.Fset.Position(f.Pos()).Filename == filename {
+			fs = buildSuppressions(p, f)
+			break
+		}
+	}
+	if fs == nil {
+		fs = &fileSuppressions{
+			fileAllow: make(map[string]*suppEntry),
+			byLine:    make(map[int]map[string]*suppEntry),
+		}
+	}
+	p.supp[filename] = fs
+	return fs
+}
+
+// suppressed reports whether d is covered by a lint directive, and
+// counts the hit against the covering entry.
+func (p *Package) suppressed(d Diagnostic) bool {
+	e := p.fileSupp(d.File).match(d.Check, d.Line)
+	if e == nil {
+		return false
+	}
+	e.hits++
+	return true
+}
+
+// staleSuppressions reports directives that suppressed nothing during
+// the run. ran is the set of checks that actually executed on this
+// package (a directive for a check that was out of scope or deselected
+// is not stale — it just was not exercised); known is the full check
+// registry, so a directive naming a nonexistent check is always
+// reported. Diagnostics carry the pseudo-check "suppress" and are not
+// themselves suppressible.
+func (p *Package) staleSuppressions(ran, known map[string]bool) []Diagnostic {
+	// Ensure every file's directives are indexed, including files that
+	// produced no diagnostics at all.
+	for _, f := range p.Files {
+		p.fileSupp(p.Fset.Position(f.Pos()).Filename)
+	}
+	var diags []Diagnostic
+	for _, fs := range p.supp {
+		for _, e := range fs.entries {
+			if e.hits > 0 {
+				continue
+			}
+			scope := "lint:allow"
+			if e.fileScope {
+				scope = "lint:file-allow"
+			}
+			switch {
+			case !known[e.check]:
+				diags = append(diags, Diagnostic{
+					File: e.file, Line: e.line, Col: e.col, Check: "suppress",
+					Message: "//" + scope + " names unknown check \"" + e.check + "\"; no such check exists",
+				})
+			case ran[e.check]:
+				diags = append(diags, Diagnostic{
+					File: e.file, Line: e.line, Col: e.col, Check: "suppress",
+					Message: "stale suppression: //" + scope + " " + e.check + " matched no diagnostic in this run; remove it or re-anchor it to the offending line",
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Message < b.Message
+	})
+	return diags
 }

@@ -3,7 +3,9 @@ package analysis
 import (
 	"go/parser"
 	"go/token"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -140,8 +142,66 @@ func f() {
 		{"floatcmp", 3, false},    // file-allow names only panicdoc
 	}
 	for _, tc := range cases {
-		if got := fs.allows(tc.check, tc.line); got != tc.want {
-			t.Errorf("allows(%q, line %d) = %v, want %v", tc.check, tc.line, got, tc.want)
+		if got := fs.match(tc.check, tc.line) != nil; got != tc.want {
+			t.Errorf("match(%q, line %d) = %v, want %v", tc.check, tc.line, got, tc.want)
 		}
+	}
+}
+
+// TestStaleSuppressions exercises the hit-counting layer end to end: a
+// directive that suppresses a real diagnostic stays silent, a directive
+// that suppresses nothing is reported, a directive naming an unknown
+// check is reported, and a directive for a check that did not run on
+// the package is left alone.
+func TestStaleSuppressions(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module stale.example/m\n\ngo 1.22\n",
+		"p/p.go": `package p
+
+func eq(a, b float64) bool {
+	return a == b //lint:allow floatcmp exercised: suppresses the diagnostic above
+}
+
+//lint:allow floatcmp dead: nothing on the next line violates floatcmp
+func add(a, b int) int { return a + b }
+
+//lint:allow nosuchcheck typo in the check name
+func sub(a, b int) int { return a - b }
+
+//lint:file-allow determinism whole-file directive, check not selected below
+var _ = eq
+`,
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(root, "p"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	// Run only floatcmp: the determinism file-allow must not be called
+	// stale, because determinism never ran.
+	checks, err := ByName("floatcmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunChecksOpts([]*Package{pkg}, checks, RunOptions{IgnoreScope: true, StaleSuppress: true})
+	var got []string
+	for _, d := range diags {
+		if d.Check != "suppress" {
+			t.Errorf("unexpected non-suppress diagnostic %s", d)
+			continue
+		}
+		got = append(got, d.Message)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d suppress diagnostics, want 2:\n%s", len(got), strings.Join(got, "\n"))
+	}
+	if !strings.Contains(got[0], "stale suppression") || !strings.Contains(got[0], "floatcmp") {
+		t.Errorf("first diagnostic = %q, want stale floatcmp directive", got[0])
+	}
+	if !strings.Contains(got[1], "unknown check") || !strings.Contains(got[1], "nosuchcheck") {
+		t.Errorf("second diagnostic = %q, want unknown-check report", got[1])
 	}
 }

@@ -1,0 +1,116 @@
+// Fixture for the eventexhaust check: a registered enum with a
+// sentinel, mirroring the engine's calendar event-kind type.
+package eventexhaust
+
+// kind is the fixture's exhaustive enum.
+//
+//lint:exhaustive ignore=numKinds sentinel counts the kinds
+type kind uint8
+
+const (
+	kindA kind = iota
+	kindB
+	kindC
+	numKinds // sentinel
+)
+
+// color carries a stale ignore= name: "ghost" is not a constant.
+//
+//lint:exhaustive ignore=ghost stale on purpose
+type color uint8
+
+const (
+	red color = iota
+	green
+)
+
+// ---------------------------------------------------------------------
+// True positives.
+
+// badMissing omits kindC.
+func badMissing(k kind) string {
+	switch k {
+	case kindA:
+		return "a"
+	case kindB:
+		return "b"
+	}
+	return ""
+}
+
+// badSilentDefault hides future kinds behind a silent default.
+func badSilentDefault(k kind) string {
+	switch k {
+	case kindA:
+		return "a"
+	case kindB:
+		return "b"
+	case kindC:
+		return "c"
+	default:
+		return "unknown"
+	}
+}
+
+// ---------------------------------------------------------------------
+// Accepted negatives.
+
+// okFull covers every member; the sentinel is ignored.
+func okFull(k kind) string {
+	switch k {
+	case kindA:
+		return "a"
+	case kindB:
+		return "b"
+	case kindC:
+		return "c"
+	}
+	return "out-of-range"
+}
+
+// okLoudDefault panics on unknown values — a loud default is accepted
+// even with members grouped per case.
+func okLoudDefault(k kind) int {
+	switch k {
+	case kindA, kindB:
+		return 1
+	case kindC:
+		return 2
+	default:
+		panic("eventexhaust fixture: unknown kind")
+	}
+}
+
+// okOtherSwitch switches over an unregistered type.
+func okOtherSwitch(n int) int {
+	switch n {
+	case 0:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// okColorFull keeps the stale-directive enum's switches clean.
+func okColorFull(c color) bool {
+	switch c {
+	case red:
+		return true
+	case green:
+		return false
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Suppression.
+
+// suppressedMissing shows //lint:allow is honoured.
+func suppressedMissing(k kind) bool {
+	//lint:allow eventexhaust fixture: suppression must be honoured
+	switch k {
+	case kindA:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,138 @@
+// Fixture for the gocapture check: worker-pool closures mirroring
+// internal/expr's fan-out idioms.
+package gocapture
+
+import "sync"
+
+func sink(int) {}
+
+// ---------------------------------------------------------------------
+// True positives.
+
+// badSharedCounter increments a captured counter from every worker.
+func badSharedCounter(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// badSharedAppend appends to a captured slice from every worker.
+func badSharedAppend(inputs []int) []int {
+	var results []int
+	var wg sync.WaitGroup
+	for _, v := range inputs {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			results = append(results, v*v)
+		}(v)
+	}
+	wg.Wait()
+	return results
+}
+
+// badSpawnerWrite mutates a captured variable after spawning, with no
+// barrier between.
+func badSpawnerWrite() int {
+	sum := 0
+	done := make(chan struct{})
+	go func() {
+		sink(sum)
+		close(done)
+	}()
+	sum = 42
+	<-done
+	return sum
+}
+
+// ---------------------------------------------------------------------
+// Accepted negatives.
+
+// okIndexed writes distinct elements through a closure-local index —
+// the worker-pool idiom.
+func okIndexed(inputs []int) []int {
+	results := make([]int, len(inputs))
+	var wg sync.WaitGroup
+	for i, v := range inputs {
+		wg.Add(1)
+		go func(i, v int) {
+			defer wg.Done()
+			results[i] = v * v
+		}(i, v)
+	}
+	wg.Wait()
+	return results
+}
+
+// okLocked guards the shared accumulator with a mutex.
+func okLocked(inputs []int) int {
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for _, v := range inputs {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			mu.Lock()
+			total += v
+			mu.Unlock()
+		}(v)
+	}
+	wg.Wait()
+	return total
+}
+
+// okAfterWait mutates shared state only after the Wait barrier.
+func okAfterWait(inputs []int) []int {
+	out := make([]int, len(inputs))
+	var wg sync.WaitGroup
+	for i, v := range inputs {
+		wg.Add(1)
+		go func(i, v int) {
+			defer wg.Done()
+			out[i] = v + 1
+		}(i, v)
+	}
+	wg.Wait()
+	out = append(out, 0)
+	return out
+}
+
+// okLoopVar mutates a per-iteration loop variable: each goroutine owns
+// its own binding (Go 1.22 semantics).
+func okLoopVar(inputs []int) {
+	var wg sync.WaitGroup
+	for _, v := range inputs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v *= 2
+			sink(v)
+		}()
+	}
+	wg.Wait()
+}
+
+// ---------------------------------------------------------------------
+// Suppression.
+
+// suppressedShared shows //lint:allow is honoured.
+func suppressedShared(done chan struct{}) {
+	flag := false
+	go func() {
+		flag = true //lint:allow gocapture fixture: suppression must be honoured
+		close(done)
+	}()
+	<-done
+	if flag {
+		sink(1)
+	}
+}

@@ -1,0 +1,127 @@
+// Fixture for the poolescape check: a miniature subtask pool with
+// reuse stamps, mirroring the scheduler's free list. The annotation
+// table (annotations.go) registers alloc/free/rec/stamp, the event
+// sink, and the owner fields last/live/pool.
+package poolescape
+
+// rec is the pooled record; stamp is its reuse generation.
+type rec struct {
+	stamp uint64
+	key   int64
+}
+
+// event is the registered sink: it may hold a pooled pointer only
+// together with the pointer's stamp.
+type event struct {
+	at    int64
+	sub   *rec
+	stamp uint64
+}
+
+// owner holds the pool and the registered ownership fields.
+type owner struct {
+	last *rec   // owner field
+	live []*rec // owner field
+	pool []*rec // owner field (the free list)
+	held *rec   // NOT an owner field
+	byID map[int64]*rec
+	evs  []event
+}
+
+func (o *owner) alloc() *rec {
+	n := len(o.pool)
+	if n == 0 {
+		return &rec{}
+	}
+	r := o.pool[n-1]
+	o.pool = o.pool[:n-1]
+	return r
+}
+
+func (o *owner) free(r *rec) {
+	r.stamp++
+	o.pool = append(o.pool, r)
+}
+
+// ---------------------------------------------------------------------
+// True positives.
+
+// badUnstampedEvent stores a pooled pointer into the sink without the
+// reuse-stamp guard (rule 1).
+func (o *owner) badUnstampedEvent(at int64) {
+	r := o.alloc()
+	o.evs = append(o.evs, event{at: at, sub: r})
+	o.last = r
+}
+
+// badHold stores a pooled pointer into an unregistered field (rule 2).
+func (o *owner) badHold() {
+	r := o.alloc()
+	o.held = r
+}
+
+// badIndex stores a pooled pointer into an element of an unregistered
+// container field (rule 2).
+func (o *owner) badIndex(id int64) {
+	r := o.alloc()
+	o.byID[id] = r
+}
+
+// badClosure captures a pooled pointer in a closure that outlives the
+// slot (rule 2).
+func (o *owner) badClosure() func() uint64 {
+	r := o.alloc()
+	return func() uint64 { return r.stamp }
+}
+
+// badUseAfterFree reads through an alias after the record was retired
+// (rule 3).
+func (o *owner) badUseAfterFree() int64 {
+	r := o.alloc()
+	o.free(r)
+	return int64(r.stamp)
+}
+
+// ---------------------------------------------------------------------
+// Accepted negatives.
+
+// okStamped stores the pointer together with its stamp.
+func (o *owner) okStamped(at int64) {
+	r := o.alloc()
+	o.evs = append(o.evs, event{at: at, sub: r, stamp: r.stamp})
+	o.last = r
+}
+
+// okOwner stores only into registered owner fields.
+func (o *owner) okOwner() {
+	r := o.alloc()
+	o.last = r
+	o.live = append(o.live, r)
+}
+
+// okImmediate invokes the closure on the spot; the pointer does not
+// outlive the slot.
+func (o *owner) okImmediate() uint64 {
+	r := o.alloc()
+	v := func() uint64 { return r.stamp }()
+	o.last = r
+	return v
+}
+
+// okRealloc re-arms the alias by reallocating after free.
+func (o *owner) okRealloc() *rec {
+	r := o.alloc()
+	o.free(r)
+	r = o.alloc()
+	o.last = r
+	return r
+}
+
+// ---------------------------------------------------------------------
+// Suppression.
+
+// suppressedHold shows //lint:allow is honoured.
+func (o *owner) suppressedHold() {
+	r := o.alloc()
+	o.held = r //lint:allow poolescape fixture: suppression must be honoured
+}

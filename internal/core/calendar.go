@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/model"
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
 
 // This file implements the time-indexed calendar of the event-driven PD²
 // engine. Instead of rescanning every task every slot (the original
@@ -17,6 +21,47 @@ import "repro/internal/model"
 // observable behavior stays byte-for-byte identical to the scan. Events
 // that reference a pooled subtask additionally carry the subtask's reuse
 // stamp (see subtask.stamp).
+
+// eventKind enumerates the calendar heaps of the event-driven engine.
+// Each kind has its own heap on the Scheduler and its own pop-time
+// re-validation predicate; dispatching from kind to heap goes through
+// Scheduler.calendar, whose switch pd2lint's eventexhaust check keeps
+// exhaustive — adding a kind here fails lint until every kind-dispatch
+// switch handles it.
+//
+//lint:exhaustive ignore=numEventKinds -- sentinel counts the kinds, it is not one
+type eventKind uint8
+
+const (
+	evKindJoin    eventKind = iota // deferred joins of the initial system
+	evKindEnact                    // concrete enactment times
+	evKindRelease                  // concrete release times
+	evKindER                       // ERfair speculation candidates
+	evKindMiss                     // subtask deadlines (miss detection)
+	evKindResolve                  // D(I_SW,·)-waiter resolution forecasts
+	numEventKinds                  // sentinel: number of kinds, not a kind
+)
+
+// String names the kind for diagnostics and tests. All kinds are
+// covered; the fallthrough renders out-of-range values instead of
+// hiding them behind a default case.
+func (k eventKind) String() string {
+	switch k {
+	case evKindJoin:
+		return "join"
+	case evKindEnact:
+		return "enact"
+	case evKindRelease:
+		return "release"
+	case evKindER:
+		return "erfair"
+	case evKindMiss:
+		return "miss"
+	case evKindResolve:
+		return "resolve"
+	}
+	return fmt.Sprintf("eventKind(%d)", uint8(k))
+}
 
 // tevent is one calendar entry. ts is the task it concerns; sub/stamp are
 // set only for deadline-miss events.

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// newTestScheduler builds a tiny two-task scheduler for calendar tests.
+func newTestScheduler(t *testing.T) *Scheduler {
+	t.Helper()
+	sys := model.System{
+		M: 2,
+		Tasks: []model.Spec{
+			{Name: "A", Weight: frac.New(1, 4)},
+			{Name: "B", Weight: frac.New(1, 3)},
+		},
+	}
+	s, err := New(Config{M: 2}, sys)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestEventKindString(t *testing.T) {
+	want := map[eventKind]string{
+		evKindJoin:    "join",
+		evKindEnact:   "enact",
+		evKindRelease: "release",
+		evKindER:      "erfair",
+		evKindMiss:    "miss",
+		evKindResolve: "resolve",
+	}
+	if len(want) != int(numEventKinds) {
+		t.Fatalf("test covers %d kinds, engine declares %d", len(want), numEventKinds)
+	}
+	for k, name := range want {
+		if got := k.String(); got != name {
+			t.Errorf("eventKind(%d).String() = %q, want %q", uint8(k), got, name)
+		}
+	}
+	if got := numEventKinds.String(); !strings.Contains(got, "eventKind(") {
+		t.Errorf("out-of-range String() = %q, want fallthrough rendering", got)
+	}
+}
+
+func TestCalendarDispatch(t *testing.T) {
+	s := newTestScheduler(t)
+	// Every kind must map to a distinct heap.
+	seen := make(map[*eventHeap]eventKind)
+	for k := eventKind(0); k < numEventKinds; k++ {
+		h := s.calendar(k)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("calendar(%v) and calendar(%v) share a heap", prev, k)
+		}
+		seen[h] = k
+	}
+	// pushEvent routes to the kind's heap and stamps increasing seq.
+	base := s.pendingEvents()
+	ts := s.tasks[0]
+	s.pushEvent(evKindResolve, tevent{at: model.Time(7), ts: ts})
+	s.pushEvent(evKindResolve, tevent{at: model.Time(7), ts: ts})
+	if got := len(s.calendar(evKindResolve).ev); got != 2 {
+		t.Fatalf("resolve heap holds %d events, want 2", got)
+	}
+	if got := s.pendingEvents(); got != base+2 {
+		t.Fatalf("pendingEvents = %d, want %d", got, base+2)
+	}
+	e1, ok1 := s.calendar(evKindResolve).popDue(model.Time(7))
+	e2, ok2 := s.calendar(evKindResolve).popDue(model.Time(7))
+	if !ok1 || !ok2 || e1.seq >= e2.seq {
+		t.Fatalf("pop order not seq-deterministic: (%v,%v) seq %d,%d", ok1, ok2, e1.seq, e2.seq)
+	}
+}
+
+func TestCalendarUnknownKindPanics(t *testing.T) {
+	s := newTestScheduler(t)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("calendar(numEventKinds) did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "unknown event kind") {
+			t.Fatalf("panic %v does not name the invariant", r)
+		}
+	}()
+	s.calendar(numEventKinds)
+}

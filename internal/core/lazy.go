@@ -221,5 +221,5 @@ func (s *Scheduler) scheduleResolve(ts *taskState) {
 	if at < s.now {
 		at = s.now
 	}
-	s.pushEvent(&s.evResolve, tevent{at: at, ts: ts})
+	s.pushEvent(evKindResolve, tevent{at: at, ts: ts})
 }

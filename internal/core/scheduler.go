@@ -259,18 +259,52 @@ func New(cfg Config, sys model.System) (*Scheduler, error) {
 		if ts.join == 0 {
 			s.joinNow(ts)
 		} else {
-			s.pushEvent(&s.evJoin, tevent{at: ts.join, ts: ts})
+			s.pushEvent(evKindJoin, tevent{at: ts.join, ts: ts})
 		}
 	}
 	return s, nil
 }
 
+// calendar maps an event kind to its heap. The switch is the single
+// kind-dispatch point of the engine and is kept exhaustive by pd2lint's
+// eventexhaust check: adding an event kind fails lint until a heap (and
+// its pop-time validation) exists for it. The trailing panic names the
+// invariant instead of silently mis-filing events.
+func (s *Scheduler) calendar(k eventKind) *eventHeap {
+	switch k {
+	case evKindJoin:
+		return &s.evJoin
+	case evKindEnact:
+		return &s.evEnact
+	case evKindRelease:
+		return &s.evRelease
+	case evKindER:
+		return &s.evER
+	case evKindMiss:
+		return &s.evMiss
+	case evKindResolve:
+		return &s.evResolve
+	}
+	panic(fmt.Sprintf("core: calendar: unknown event kind %d (every eventKind must have a heap)", uint8(k)))
+}
+
+// pendingEvents returns the total number of queued calendar entries
+// across every kind (stale entries included); used by tests to assert
+// the calendars drain.
+func (s *Scheduler) pendingEvents() int {
+	n := 0
+	for k := eventKind(0); k < numEventKinds; k++ {
+		n += len(s.calendar(k).ev)
+	}
+	return n
+}
+
 // pushEvent stamps the event with the next push sequence number and adds
-// it to the given calendar.
-func (s *Scheduler) pushEvent(h *eventHeap, e tevent) {
+// it to the calendar of the given kind.
+func (s *Scheduler) pushEvent(k eventKind, e tevent) {
 	s.seq++
 	e.seq = s.seq
-	h.push(e)
+	s.calendar(k).push(e)
 }
 
 // joinNow activates a task at the current time and schedules its first
@@ -282,7 +316,7 @@ func (s *Scheduler) joinNow(ts *taskState) {
 	ts.psSynced = s.now
 	s.totalSwt = s.totalSwt.Add(ts.swt)
 	ts.nextRel = pendingRelease{at: s.now, epochStart: true}
-	s.pushEvent(&s.evRelease, tevent{at: s.now, ts: ts})
+	s.pushEvent(evKindRelease, tevent{at: s.now, ts: ts})
 	if s.cfg.RecordSubtasks {
 		ts.swtHist = append(ts.swtHist, WeightChange{At: s.now, W: ts.swt})
 	}
@@ -459,10 +493,10 @@ func (s *Scheduler) Initiate(name string, v frac.Rat) error {
 	// Register the resulting calendar entries: a concrete enactment or
 	// release time, or a waiter-resolution forecast.
 	if e := ts.enact; e != nil && e.waitD == nil {
-		s.pushEvent(&s.evEnact, tevent{at: e.at, ts: ts})
+		s.pushEvent(evKindEnact, tevent{at: e.at, ts: ts})
 	}
 	if r := &ts.nextRel; r.waitD == nil && r.at != noTime {
-		s.pushEvent(&s.evRelease, tevent{at: r.at, ts: ts})
+		s.pushEvent(evKindRelease, tevent{at: r.at, ts: ts})
 	}
 	s.scheduleResolve(ts)
 	s.updateOffer(ts)
@@ -490,7 +524,7 @@ func (s *Scheduler) unwindSpeculation(ts *taskState) {
 			ts.epochN = sub.n - 1
 			ts.absN = sub.abs - 1
 			ts.nextRel = pendingRelease{at: sub.release, noEarly: true}
-			s.pushEvent(&s.evRelease, tevent{at: sub.release, ts: ts})
+			s.pushEvent(evKindRelease, tevent{at: sub.release, ts: ts})
 			if n := len(ts.history); n > 0 && ts.history[n-1] == sub {
 				ts.history = ts.history[:n-1]
 			}
@@ -686,7 +720,7 @@ func (s *Scheduler) DelayNext(name string, sep int64) error {
 	}
 	ts.nextRel.at += sep
 	ts.nextRel.noEarly = true
-	s.pushEvent(&s.evRelease, tevent{at: ts.nextRel.at, ts: ts})
+	s.pushEvent(evKindRelease, tevent{at: ts.nextRel.at, ts: ts})
 	// The task is inactive — and unpaid by I_PS — from its current
 	// subtask's deadline until the delayed release.
 	pauseFrom := s.now
@@ -775,14 +809,14 @@ func (s *Scheduler) Step() {
 	t := s.now
 
 	// Scheduled joins from the initial system.
-	if due := s.collectDue(&s.evJoin, t, func(ts *taskState) bool {
+	if due := s.collectDue(evKindJoin, t, func(ts *taskState) bool {
 		return !ts.joined && !ts.left && ts.join == t
 	}); len(due) > 0 {
 		for _, ts := range due {
 			// Condition J: defer the join while capacity is lacking.
 			if frac.FromInt(int64(s.cfg.M)).Less(s.totalSwt.Add(ts.swt)) {
 				ts.join = t + 1
-				s.pushEvent(&s.evJoin, tevent{at: t + 1, ts: ts})
+				s.pushEvent(evKindJoin, tevent{at: t + 1, ts: ts})
 				continue
 			}
 			s.joinNow(ts)
@@ -792,7 +826,7 @@ func (s *Scheduler) Step() {
 
 	// Enactments due now: non-increases first so that freed capacity can be
 	// claimed by increases policed under (W) in the same slot.
-	if due := s.collectDue(&s.evEnact, t, func(ts *taskState) bool {
+	if due := s.collectDue(evKindEnact, t, func(ts *taskState) bool {
 		e := ts.enact
 		return e != nil && e.waitD == nil && e.at == t && !ts.left
 	}); len(due) > 0 {
@@ -814,7 +848,7 @@ func (s *Scheduler) Step() {
 						// enactment having landed, so the new epoch cannot start
 						// early; it still waits for D(I_SW, T_j) + b(T_j).
 						e.at = t + 1
-						s.pushEvent(&s.evEnact, tevent{at: t + 1, ts: ts})
+						s.pushEvent(evKindEnact, tevent{at: t + 1, ts: ts})
 						continue
 					}
 				}
@@ -836,7 +870,7 @@ func (s *Scheduler) Step() {
 				}
 				if e.releaseWithEnact {
 					ts.nextRel = pendingRelease{at: t, epochStart: true}
-					s.pushEvent(&s.evRelease, tevent{at: t, ts: ts})
+					s.pushEvent(evKindRelease, tevent{at: t, ts: ts})
 				} else {
 					// Rule I(i): the release was scheduled independently (at
 					// D(I_SW, T_j) + b(T_j)); a policing deferral may have pushed
@@ -848,7 +882,7 @@ func (s *Scheduler) Step() {
 						}
 					} else if ts.nextRel.at != noTime && ts.nextRel.at < t {
 						ts.nextRel.at = t
-						s.pushEvent(&s.evRelease, tevent{at: t, ts: ts})
+						s.pushEvent(evKindRelease, tevent{at: t, ts: ts})
 					}
 				}
 				ts.enact = nil
@@ -867,7 +901,7 @@ func (s *Scheduler) Step() {
 	// times) and the ER calendar (a predecessor completed last slot).
 	s.markGen++
 	for {
-		e, ok := s.evRelease.popDue(t)
+		e, ok := s.calendar(evKindRelease).popDue(t)
 		if !ok {
 			break
 		}
@@ -877,7 +911,7 @@ func (s *Scheduler) Step() {
 		}
 	}
 	for {
-		e, ok := s.evER.popDue(t)
+		e, ok := s.calendar(evKindER).popDue(t)
 		if !ok {
 			break
 		}
@@ -896,7 +930,7 @@ func (s *Scheduler) Step() {
 			// still pending (policing can defer the enactment past the release
 			// time the D-waiter resolved to); retry next slot.
 			if ts.nextRel.epochStart && ts.enact != nil {
-				s.pushEvent(&s.evRelease, tevent{at: t + 1, ts: ts})
+				s.pushEvent(evKindRelease, tevent{at: t + 1, ts: ts})
 				continue
 			}
 			switch {
@@ -917,7 +951,7 @@ func (s *Scheduler) Step() {
 	// at its deadline; validation replicates the scan's one-generation
 	// chain walk (a subtask trimmed out of the chain is never reported).
 	for {
-		e, ok := s.evMiss.popDue(t)
+		e, ok := s.calendar(evKindMiss).popDue(t)
 		if !ok {
 			break
 		}
@@ -1023,7 +1057,7 @@ func (s *Scheduler) Step() {
 		// makes the task a speculation candidate next slot.
 		s.updateOffer(ts)
 		if s.cfg.EarlyRelease {
-			s.pushEvent(&s.evER, tevent{at: t + 1, ts: ts})
+			s.pushEvent(evKindER, tevent{at: t + 1, ts: ts})
 		}
 	}
 	// Preemption accounting: a task that ran in slot t-1 and has eligible
@@ -1049,7 +1083,7 @@ func (s *Scheduler) Step() {
 	// Ideal-schedule accrual for slot t is lazy (see lazy.go); only
 	// forecast waiter resolutions run now, with the affected task's
 	// accrual materialized through slot t so D(I_SW,·) is known.
-	if due := s.collectDue(&s.evResolve, t, func(ts *taskState) bool {
+	if due := s.collectDue(evKindResolve, t, func(ts *taskState) bool {
 		return (ts.enact != nil && ts.enact.waitD != nil) || ts.nextRel.waitD != nil
 	}); len(due) > 0 {
 		for _, ts := range due {
@@ -1062,10 +1096,12 @@ func (s *Scheduler) Step() {
 	s.now = t + 1
 }
 
-// collectDue pops every event due at or before t from the calendar, keeps
-// the tasks passing the validation predicate (deduplicated, in task-id
-// order) in s.dueBuf and returns it. Callers must resetDue afterwards.
-func (s *Scheduler) collectDue(h *eventHeap, t model.Time, valid func(*taskState) bool) []*taskState {
+// collectDue pops every event due at or before t from the calendar of
+// the given kind, keeps the tasks passing the validation predicate
+// (deduplicated, in task-id order) in s.dueBuf and returns it. Callers
+// must resetDue afterwards.
+func (s *Scheduler) collectDue(k eventKind, t model.Time, valid func(*taskState) bool) []*taskState {
+	h := s.calendar(k)
 	s.markGen++
 	for {
 		e, ok := h.popDue(t)
@@ -1230,15 +1266,15 @@ func (s *Scheduler) release(ts *taskState, t model.Time) {
 	ts.live = append(ts.live, sub)
 	// Normal successor release per Eqn (4); reweighting events override it.
 	ts.nextRel = pendingRelease{at: model.NextRelease(d, b, 0)}
-	s.pushEvent(&s.evRelease, tevent{at: ts.nextRel.at, ts: ts})
+	s.pushEvent(evKindRelease, tevent{at: ts.nextRel.at, ts: ts})
 	if !sub.absent {
-		s.pushEvent(&s.evMiss, tevent{at: sub.deadline, ts: ts, sub: sub, stamp: sub.stamp})
+		s.pushEvent(evKindMiss, tevent{at: sub.deadline, ts: ts, sub: sub, stamp: sub.stamp})
 	} else if s.cfg.EarlyRelease {
 		// An absent subtask is complete at release, so the task becomes an
 		// ERfair speculation candidate next slot. Next *wall-clock* slot:
 		// for a speculative release t is the nominal (future) release time,
 		// but the scan would reconsider the task at s.now+1 already.
-		s.pushEvent(&s.evER, tevent{at: s.now + 1, ts: ts})
+		s.pushEvent(evKindER, tevent{at: s.now + 1, ts: ts})
 	}
 	s.updateOffer(ts)
 	if epochStart {
@@ -1293,12 +1329,12 @@ func (s *Scheduler) resolveWaiters(ts *taskState) {
 	if e := ts.enact; e != nil && e.waitD != nil && e.waitD.swDone {
 		e.at = maxTime(e.clamp, e.waitD.swDoneTime+e.addB)
 		e.waitD = nil
-		s.pushEvent(&s.evEnact, tevent{at: e.at, ts: ts})
+		s.pushEvent(evKindEnact, tevent{at: e.at, ts: ts})
 	}
 	if r := &ts.nextRel; r.waitD != nil && r.waitD.swDone {
 		r.at = maxTime(r.clamp, r.waitD.swDoneTime+r.addB)
 		r.waitD = nil
-		s.pushEvent(&s.evRelease, tevent{at: r.at, ts: ts})
+		s.pushEvent(evKindRelease, tevent{at: r.at, ts: ts})
 	}
 }
 
