@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json figures demos lint check clean
+.PHONY: all build test test-race bench bench-json bench-check serve-smoke figures demos lint check clean
 
 all: build test
 
@@ -26,6 +26,18 @@ bench:
 bench-json:
 	$(GO) test -bench 'SchedulerSlot|ReweightStorm' -benchtime=1s -run XXX . \
 		| $(GO) run ./cmd/benchjson -out BENCH_core.json
+
+# Perf regression gate: rerun the hot-path benchmarks and fail if any is
+# more than 25% slower than the committed BENCH_core.json numbers. Never
+# writes the file.
+bench-check:
+	$(GO) test -bench 'SchedulerSlot|ReweightStorm' -benchtime=1s -run XXX . \
+		| $(GO) run ./cmd/benchjson -check -out BENCH_core.json
+
+# Serve-layer smoke: race-instrumented pd2d + pd2load closed loop,
+# SIGTERM drain, snapshot, restore (scripts/serve_smoke.sh; the CI gate).
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Regenerate every evaluation artifact with the paper's 61-run protocol.
 figures:

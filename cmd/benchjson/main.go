@@ -10,6 +10,11 @@
 // verbatim and per-benchmark speedups against it are recomputed; the fresh
 // numbers land in "current". To re-baseline, delete the file (the next run
 // seeds "baseline" from its own "current" numbers).
+//
+// With -check the file is never written: fresh numbers on stdin are
+// compared against the committed current_ns_per_op section and the exit
+// status is non-zero if any shared benchmark is more than -max-regress
+// percent slower (`make bench-check`, the CI perf gate).
 package main
 
 import (
@@ -33,6 +38,8 @@ type report struct {
 func main() {
 	out := flag.String("out", "BENCH_core.json", "output JSON path")
 	note := flag.String("note", "", "optional note stored in the report")
+	check := flag.Bool("check", false, "compare stdin against -out read-only; exit non-zero on ns/op regression beyond -max-regress")
+	maxRegress := flag.Float64("max-regress", 25, "with -check: percent ns/op slowdown tolerated per benchmark")
 	flag.Parse()
 
 	cur, err := parseBench(os.Stdin)
@@ -43,6 +50,9 @@ func main() {
 	if len(cur) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *check {
+		os.Exit(checkAgainst(*out, cur, *maxRegress))
 	}
 
 	rep := report{Current: cur}
@@ -86,6 +96,65 @@ func main() {
 	for _, name := range names {
 		fmt.Printf("%-40s %12.0f ns/op  %s\n", name, cur[name], rep.Speedup[name])
 	}
+}
+
+// checkAgainst is the CI regression gate: it compares the fresh numbers
+// against the committed report in path (read-only — the file is never
+// rewritten) and returns 1 if any benchmark present in both is more than
+// maxRegress percent slower than the committed current_ns_per_op number.
+// Benchmarks missing on either side are reported but do not fail the
+// gate; a renamed benchmark should fail review, not the build.
+func checkAgainst(path string, cur map[string]float64, maxRegress float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: -check: %v\n", err)
+		return 1
+	}
+	var prev report
+	if err := json.Unmarshal(data, &prev); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: -check: decoding %s: %v\n", path, err)
+		return 1
+	}
+	committed := prev.Current
+	if len(committed) == 0 {
+		committed = prev.Baseline
+	}
+	if len(committed) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: -check: %s has no numbers to compare against\n", path)
+		return 1
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	matched := 0
+	for _, name := range names {
+		base, ok := committed[name]
+		if !ok || base <= 0 {
+			fmt.Printf("%-40s %12.0f ns/op  (no committed number; skipped)\n", name, cur[name])
+			continue
+		}
+		matched++
+		delta := (cur[name] - base) / base * 100
+		verdict := "ok"
+		if delta > maxRegress {
+			verdict = fmt.Sprintf("REGRESSION (limit +%.0f%%)", maxRegress)
+			failed = true
+		}
+		fmt.Printf("%-40s %12.0f ns/op  vs %12.0f  %+6.1f%%  %s\n", name, cur[name], base, delta, verdict)
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: -check: no benchmark on stdin matches a committed number in %s\n", path)
+		return 1
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: -check: ns/op regressed more than %.0f%% against %s\n", maxRegress, path)
+		return 1
+	}
+	return 0
 }
 
 // parseBench extracts "BenchmarkName-P  iters  ns ns/op" lines.

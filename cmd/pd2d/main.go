@@ -1,0 +1,203 @@
+// Command pd2d serves PD² engine shards over HTTP: joins, leaves, and
+// reweights are admitted against property (W), batched per slot, and
+// applied atomically at slot boundaries (see internal/serve and
+// docs/SERVE.md). The daemon owns everything the deterministic serve
+// layer must not touch: the listener, the wall-clock ticker that
+// advances shards in real time, signal handling, and snapshot files.
+//
+// On SIGTERM/SIGINT it shuts the HTTP side down, drains every shard
+// mailbox, and (with -snapshot-dir) writes one snapshot per shard; a
+// restart with the same -snapshot-dir restores them, verifying each
+// engine digest.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/frac"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8377", "listen address")
+		shards       = flag.Int("shards", 8, "number of engine shards")
+		m            = flag.Int("m", 4, "processors per shard")
+		policy       = flag.String("policy", "oi", "reweighting policy: oi, lj, hybrid")
+		oiThreshold  = flag.String("oi-threshold", "1/8", "hybrid only: |to-from| below this uses rules O/I (exact rational)")
+		earlyRelease = flag.Bool("early-release", false, "enable the ERfair early-release extension")
+		recordSched  = flag.Bool("record-schedule", false, "record per-slot schedules (needed for byte-exact state dumps; unbounded memory)")
+		tick         = flag.Duration("tick", 0, "advance every shard one slot per tick (0 disables; slots then advance only on request)")
+		mailbox      = flag.Int("mailbox", 256, "mailbox capacity per shard")
+		retryAfter   = flag.Int("retry-after", 1, "Retry-After seconds advertised on 429")
+		snapshotDir  = flag.String("snapshot-dir", "", "directory for shard snapshots (empty disables persistence)")
+	)
+	flag.Parse()
+	if err := run(*addr, *shards, *m, *policy, *oiThreshold, *earlyRelease, *recordSched,
+		*tick, *mailbox, *retryAfter, *snapshotDir); err != nil {
+		log.Fatalf("pd2d: %v", err)
+	}
+}
+
+func run(addr string, shards, m int, policy, oiThreshold string, earlyRelease, recordSched bool,
+	tick time.Duration, mailbox, retryAfter int, snapshotDir string) error {
+	th, err := frac.Parse(oiThreshold)
+	if err != nil {
+		return fmt.Errorf("-oi-threshold: %w", err)
+	}
+	opts := serve.Options{
+		Shards: shards,
+		Config: serve.ShardConfig{
+			M:              m,
+			Policy:         policy,
+			OIThreshold:    th,
+			EarlyRelease:   earlyRelease,
+			RecordSchedule: recordSched,
+		},
+		MailboxCap:        mailbox,
+		RetryAfterSeconds: retryAfter,
+	}
+	if snapshotDir != "" {
+		snaps, err := loadSnapshots(snapshotDir)
+		if err != nil {
+			return err
+		}
+		if len(snaps) > 0 {
+			log.Printf("restoring %d shard(s) from %s", len(snaps), snapshotDir)
+		}
+		opts.Snapshots = snaps
+	}
+	srv, err := serve.New(opts)
+	if err != nil {
+		return err
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Wall-clock slot ticker. serve itself never reads a clock; real time
+	// enters the system only here. Ticks are delivered non-blocking, so a
+	// shard busy with a long advance coalesces them instead of queueing.
+	var ticker *time.Ticker
+	tickDone := make(chan struct{})
+	if tick > 0 {
+		ticker = time.NewTicker(tick)
+		go func() {
+			defer close(tickDone)
+			for range ticker.C {
+				for i := 0; i < srv.NumShards(); i++ {
+					select {
+					case srv.ShardTick(i) <- struct{}{}:
+					default:
+					}
+				}
+			}
+		}()
+	} else {
+		close(tickDone)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- httpSrv.ListenAndServe()
+	}()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	log.Printf("pd2d listening on %s: %d shard(s), M=%d, policy=%s, tick=%s", addr, shards, m, policy, tick)
+	select {
+	case err := <-errc:
+		return fmt.Errorf("listen on %s: %w", addr, err)
+	case sig := <-sigc:
+		log.Printf("received %s; draining", sig)
+	}
+
+	// Orderly teardown: quiesce HTTP first so nothing submits to the
+	// mailboxes, stop the ticker, then drain and stop the shards.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if serveErr := <-errc; !errors.Is(serveErr, http.ErrServerClosed) {
+		log.Printf("serve loop: %v", serveErr)
+	}
+	if ticker != nil {
+		ticker.Stop()
+	}
+	srv.Stop()
+
+	if snapshotDir != "" {
+		if err := writeSnapshots(snapshotDir, srv.Snapshots()); err != nil {
+			return fmt.Errorf("writing snapshots: %w", err)
+		}
+		log.Printf("snapshotted %d shard(s) to %s", srv.NumShards(), snapshotDir)
+	}
+	log.Printf("clean shutdown")
+	return nil
+}
+
+// snapshotPath names shard i's snapshot file.
+func snapshotPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d.json", shard))
+}
+
+// loadSnapshots reads every shard-*.json in dir. A missing directory or
+// an empty one means a fresh start.
+func loadSnapshots(dir string) ([]*serve.Snapshot, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "shard-*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var snaps []*serve.Snapshot
+	for _, path := range matches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var snap serve.Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("decoding %s: %w", path, err)
+		}
+		snaps = append(snaps, &snap)
+	}
+	return snaps, nil
+}
+
+// writeSnapshots persists one file per shard, via a temp file + rename
+// so a crash mid-write never leaves a truncated snapshot behind.
+func writeSnapshots(dir string, snaps []*serve.Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, snap := range snaps {
+		data, err := json.MarshalIndent(snap, "", " ")
+		if err != nil {
+			return err
+		}
+		path := snapshotPath(dir, snap.Shard)
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+// Command pd2load is a closed-loop load generator for pd2d. It joins a
+// population of tasks on every shard, then drives a stream of reweight
+// commands (optionally batched per request, optionally interleaved with
+// advances) from N workers, each waiting for every reply before sending
+// the next request. Backpressure (429) is honoured by retrying after a
+// short pause — backpressured commands are retried, never dropped.
+//
+// With -strict it exits non-zero unless the run was admission-clean:
+// no property-(W) rejections, no engine invariant violations, no failed
+// applies, no server errors — the serve-smoke CI gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+type workerStats struct {
+	sent          int64 // commands queued by the server
+	posts         int64 // HTTP requests issued (excluding retries)
+	retries       int64 // 429 retry attempts
+	rejected      int64 // per-command rejections (409/404/400)
+	serverErrors  int64 // 5xx responses
+	transportErrs int64 // connection-level failures
+}
+
+func main() {
+	var (
+		base     = flag.String("addr", "http://127.0.0.1:8377", "pd2d base URL")
+		shards   = flag.Int("shards", 8, "number of shards to target")
+		workers  = flag.Int("workers", 8, "concurrent closed-loop workers")
+		requests = flag.Int("requests", 50000, "total commands to send across all workers")
+		batch    = flag.Int("batch", 8, "commands per HTTP request")
+		tasks    = flag.Int("tasks", 16, "tasks to join per shard during setup")
+		advEvery = flag.Int("advance-every", 64, "per worker, advance the target shard one slot every N posts (0 never)")
+		seed     = flag.Int64("seed", 1, "RNG seed for the weight stream")
+		prefix   = flag.String("prefix", "L", "task-name prefix (shard names are never reusable; pick a fresh prefix when rerunning against a restored daemon)")
+		strict   = flag.Bool("strict", false, "exit non-zero unless the run is admission-clean")
+	)
+	flag.Parse()
+	if err := run(*base, *shards, *workers, *requests, *batch, *tasks, *advEvery, *seed, *prefix, *strict); err != nil {
+		log.Fatalf("pd2load: %v", err)
+	}
+}
+
+func run(base string, shards, workers, requests, batch, tasks, advEvery int, seed int64, prefix string, strict bool) error {
+	if shards < 1 || workers < 1 || batch < 1 || tasks < 1 {
+		return fmt.Errorf("shards, workers, batch, tasks must all be >= 1")
+	}
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        workers * 2,
+			MaxIdleConnsPerHost: workers * 2,
+		},
+		Timeout: 30 * time.Second,
+	}
+
+	if err := setup(client, base, prefix, shards, tasks); err != nil {
+		return fmt.Errorf("setup: %w", err)
+	}
+
+	// Closed loop: each worker owns a slice of the total command budget
+	// and a distinct stats slot (the results[i] worker-pool idiom).
+	stats := make([]workerStats, workers)
+	perWorker := requests / workers
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stats[w] = drive(client, base, prefix, w, shards, perWorker, batch, tasks, advEvery, seed)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var tot workerStats
+	for _, s := range stats {
+		tot.sent += s.sent
+		tot.posts += s.posts
+		tot.retries += s.retries
+		tot.rejected += s.rejected
+		tot.serverErrors += s.serverErrors
+		tot.transportErrs += s.transportErrs
+	}
+	rate := float64(tot.sent) / elapsed.Seconds()
+	fmt.Printf("pd2load: %d commands in %.2fs = %.0f commands/s (%d posts, %d retries, %d rejected, %d 5xx, %d transport errors)\n",
+		tot.sent, elapsed.Seconds(), rate, tot.posts, tot.retries, tot.rejected, tot.serverErrors, tot.transportErrs)
+
+	// Flush: one final advance per shard applies any still-staged batch,
+	// so the audit sees applied == accepted for an admission-clean run.
+	for s := 0; s < shards; s++ {
+		if code, body, err := post(client, fmt.Sprintf("%s/v1/shards/%d/advance", base, s), map[string]int{"slots": 1}); err != nil || code != http.StatusOK {
+			return fmt.Errorf("final advance shard %d: %d %s: %v", s, code, body, err)
+		}
+	}
+
+	clean, err := audit(client, base, shards)
+	if err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	if strict {
+		ok := clean && tot.rejected == 0 && tot.serverErrors == 0 && tot.transportErrs == 0
+		if !ok {
+			fmt.Println("pd2load: STRICT FAIL")
+			os.Exit(1)
+		}
+		fmt.Println("pd2load: strict checks passed (admission-clean, zero failed applies, zero violations)")
+	}
+	return nil
+}
+
+// taskName is the canonical load-task name for (shard, index).
+func taskName(prefix string, shard, i int) string { return fmt.Sprintf("%s%d_%d", prefix, shard, i) }
+
+// command mirrors serve's wire command (kept local so the generator
+// shares no code with the system under test).
+type command struct {
+	Op     string `json:"op"`
+	Task   string `json:"task"`
+	Weight string `json:"weight,omitempty"`
+}
+
+// setup joins the task population on every shard and advances one slot
+// so the joins are applied before the load starts.
+func setup(client *http.Client, base, prefix string, shards, tasks int) error {
+	for s := 0; s < shards; s++ {
+		cmds := make([]command, tasks)
+		for i := range cmds {
+			// 1/64 each: even 16 tasks later reweighted up to 1/32 total
+			// only 1/2, far inside any M >= 1 — the load stays
+			// admission-clean by construction.
+			cmds[i] = command{Op: "join", Task: taskName(prefix, s, i), Weight: "1/64"}
+		}
+		code, body, err := post(client, fmt.Sprintf("%s/v1/shards/%d/commands", base, s), cmds)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("shard %d setup joins: %d: %s", s, code, body)
+		}
+		var results []struct {
+			Status string `json:"status"`
+			Reason string `json:"reason"`
+		}
+		if err := json.Unmarshal(body, &results); err != nil {
+			return err
+		}
+		for i, r := range results {
+			if r.Status != "queued" {
+				return fmt.Errorf("shard %d setup join %d: %s (%s)", s, i, r.Status, r.Reason)
+			}
+		}
+		if code, body, err = post(client, fmt.Sprintf("%s/v1/shards/%d/advance", base, s), map[string]int{"slots": 1}); err != nil || code != http.StatusOK {
+			return fmt.Errorf("shard %d setup advance: %d %s: %v", s, code, body, err)
+		}
+	}
+	return nil
+}
+
+// drive is one worker's closed loop.
+func drive(client *http.Client, base, prefix string, w, shards, budget, batch, tasks, advEvery int, seed int64) workerStats {
+	var st workerStats
+	rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+	shard := w % shards
+	cmds := make([]command, 0, batch)
+	var buf bytes.Buffer
+	for st.sent < int64(budget) {
+		n := batch
+		if rest := int64(budget) - st.sent; rest < int64(n) {
+			n = int(rest)
+		}
+		cmds = cmds[:0]
+		for i := 0; i < n; i++ {
+			// Reweight a random task between 1/64 and 1/32 — always within
+			// the admitted budget, so a 409 here is a server-side bug.
+			cmds = append(cmds, command{
+				Op:     "reweight",
+				Task:   taskName(prefix, shard, rng.Intn(tasks)),
+				Weight: fmt.Sprintf("%d/64", 1+rng.Intn(2)),
+			})
+		}
+		buf.Reset()
+		if err := json.NewEncoder(&buf).Encode(cmds); err != nil {
+			st.transportErrs++
+			return st
+		}
+		url := fmt.Sprintf("%s/v1/shards/%d/commands", base, shard)
+		st.posts++
+		for {
+			resp, err := client.Post(url, "application/json", bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				st.transportErrs++
+				return st
+			}
+			body, rerr := io.ReadAll(resp.Body)
+			cerr := resp.Body.Close()
+			if rerr != nil || cerr != nil {
+				st.transportErrs++
+				return st
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				st.retries++
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if resp.StatusCode >= 500 {
+				st.serverErrors++
+				break
+			}
+			if resp.StatusCode != http.StatusOK {
+				st.rejected += int64(n)
+				break
+			}
+			var results []struct {
+				Status string `json:"status"`
+			}
+			if err := json.Unmarshal(body, &results); err != nil {
+				st.transportErrs++
+				return st
+			}
+			for _, r := range results {
+				if r.Status == "queued" {
+					st.sent++
+				} else {
+					st.rejected++
+				}
+			}
+			break
+		}
+		if advEvery > 0 && st.posts%int64(advEvery) == 0 {
+			code, _, err := post(client, fmt.Sprintf("%s/v1/shards/%d/advance", base, shard), map[string]int{"slots": 1})
+			if err != nil {
+				st.transportErrs++
+				return st
+			}
+			if code >= 500 {
+				st.serverErrors++
+			}
+		}
+		// Spread workers across shards over time so every shard sees load
+		// even when workers < shards.
+		if shards > 1 && st.posts%13 == 0 {
+			shard = (shard + 1) % shards
+		}
+	}
+	return st
+}
+
+// audit fetches every shard's status and reports whether the run was
+// admission-clean server-side.
+func audit(client *http.Client, base string, shards int) (bool, error) {
+	clean := true
+	for s := 0; s < shards; s++ {
+		resp, err := client.Get(fmt.Sprintf("%s/v1/shards/%d", base, s))
+		if err != nil {
+			return false, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); cerr != nil {
+			return false, cerr
+		}
+		if rerr != nil {
+			return false, rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return false, fmt.Errorf("shard %d status: %d: %s", s, resp.StatusCode, body)
+		}
+		var st struct {
+			Now           int64 `json:"now"`
+			RejectedW     int64 `json:"rejected_weight"`
+			FailedApplies int64 `json:"failed_applies"`
+			Violations    int64 `json:"violations"`
+			Accepted      int64 `json:"accepted"`
+			Applied       int64 `json:"applied"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return false, err
+		}
+		fmt.Printf("pd2load: shard %d: now=%d accepted=%d applied=%d rejectedW=%d failed=%d violations=%d\n",
+			s, st.Now, st.Accepted, st.Applied, st.RejectedW, st.FailedApplies, st.Violations)
+		if st.RejectedW != 0 || st.FailedApplies != 0 || st.Violations != 0 {
+			clean = false
+		}
+	}
+	return clean, nil
+}
+
+// post marshals v and POSTs it, returning status and body.
+func post(client *http.Client, url string, v any) (int, []byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, nil, err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		return 0, nil, cerr
+	}
+	if rerr != nil {
+		return 0, nil, rerr
+	}
+	return resp.StatusCode, body, nil
+}

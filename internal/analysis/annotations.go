@@ -132,6 +132,17 @@ var poolTable = []poolSpec{
 		},
 		Why: "calendar events outlive slots; only stamped tevents and the owning chain may hold subtask pointers",
 	},
+	{
+		Pkg:        "repro/internal/serve",
+		Alloc:      "newPending",
+		Free:       "freePending",
+		Elem:       "pending",
+		StampField: "stamp",
+		OwnerFields: []string{
+			"pendingPool.free", // the free list
+		},
+		Why: "mailbox records are recycled across requests; the stamp generation catches an HTTP handler touching a record after freePending recycled it",
+	},
 	// Fixture entry (internal/analysis/testdata/src/poolescape).
 	{
 		Pkg:        "repro/internal/analysis/testdata/src/poolescape",

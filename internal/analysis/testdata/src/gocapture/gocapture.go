@@ -136,3 +136,62 @@ func suppressedShared(done chan struct{}) {
 		sink(1)
 	}
 }
+
+// ---------------------------------------------------------------------
+// Mailbox single-writer (the internal/serve shard pattern).
+
+type mboxReq struct {
+	delta int
+	reply chan int
+}
+
+// okMailboxSingleWriter owns all mutable state inside one consumer
+// goroutine; callers communicate by message, never by shared write —
+// internal/serve's shard loop in miniature. The accumulator lives
+// inside the closure, so nothing is captured mutably, and the spawner's
+// own writes touch only variables the goroutine never sees.
+func okMailboxSingleWriter(reqs []int) int {
+	mbox := make(chan mboxReq, 4)
+	done := make(chan struct{})
+	go func() {
+		total := 0 // owned by this goroutine alone
+		for r := range mbox {
+			total += r.delta
+			r.reply <- total
+		}
+		sink(total)
+		close(done)
+	}()
+	last := 0
+	reply := make(chan int, 1)
+	for _, d := range reqs {
+		mbox <- mboxReq{delta: d, reply: reply}
+		last = <-reply
+	}
+	close(mbox)
+	<-done
+	return last
+}
+
+// badTwoConsumers breaks the single-writer rule: two goroutines drain
+// the same mailbox and both write the captured accumulator.
+func badTwoConsumers(reqs []int) int {
+	mbox := make(chan int, 4)
+	total := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range mbox {
+				total += d
+			}
+		}()
+	}
+	for _, d := range reqs {
+		mbox <- d
+	}
+	close(mbox)
+	wg.Wait()
+	return total
+}

@@ -434,6 +434,11 @@ func (s *Scheduler) AllMetrics() []TaskMetrics {
 var (
 	ErrUnknownTask = errors.New("core: unknown task")
 	ErrNotActive   = errors.New("core: task is not active")
+	// ErrLeaveTooEarly reports a Leave attempted before rule L permits it
+	// (now < d(T_i) + b(T_i) for the last scheduled subtask). Callers that
+	// queue departures — internal/serve defers such leaves to a later slot
+	// boundary — match it with errors.Is.
+	ErrLeaveTooEarly = errors.New("core: leave violates rule L")
 )
 
 // Initiate requests a weight change for the named task, effective at the
@@ -781,8 +786,8 @@ func (s *Scheduler) Leave(name string) error {
 	}
 	if lastSched != nil {
 		if s.now < lastSched.deadline+lastSched.bbit {
-			return fmt.Errorf("core: leave %s at %d violates rule L (needs t >= %d)",
-				name, s.now, lastSched.deadline+lastSched.bbit)
+			return fmt.Errorf("%w: %s at %d (needs t >= %d)",
+				ErrLeaveTooEarly, name, s.now, lastSched.deadline+lastSched.bbit)
 		}
 	}
 	for _, sub := range pending {

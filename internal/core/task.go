@@ -252,6 +252,10 @@ type TaskMetrics struct {
 	// task ran, still had eligible work the next slot, but was not chosen.
 	Migrations  int64
 	Preemptions int64
+	// Active reports whether the task has joined and not yet left —
+	// whether it still occupies scheduling weight. Admission layers
+	// rebuilding their books from a restored scheduler key off this.
+	Active bool
 }
 
 // PercentOfIdeal returns A(S)/A(I_PS) as a float (1.0 == exactly the ideal
@@ -280,5 +284,6 @@ func (ts *taskState) metrics() TaskMetrics {
 		Misses:      ts.misses,
 		Migrations:  ts.migrations,
 		Preemptions: ts.preemptions,
+		Active:      ts.joined && !ts.left,
 	}
 }

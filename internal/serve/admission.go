@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/frac"
+)
+
+// admission holds the property-(W) books for one shard. It is owned by
+// the shard goroutine — no locking — and tracks *requested* weights:
+// the weight each admitted task asked for, independent of the
+// scheduling weight the engine is transiently carrying while a change
+// awaits enactment. Admitting against requested weights is what makes
+// the 409 headroom meaningful to clients ("how much may I still ask
+// for?") and guarantees every admitted command eventually applies: the
+// engine's scheduling weight decays to the requested weight as changes
+// enact, so a join deferred by condition J fits once earlier weight
+// drains.
+type admission struct {
+	m frac.Rat // capacity: the shard's processor count
+
+	// names holds every task name ever admitted for a join. The engine
+	// rejects re-joining a departed name (its accounting is retained), so
+	// admission must too.
+	names map[string]bool
+	// req maps live tasks (admitted join not yet fully left) to their
+	// requested weight. total is the sum of req.
+	req   map[string]frac.Rat
+	total frac.Rat
+	// pendingJoin marks tasks whose admitted join has not yet been
+	// applied to the engine. Reweights and leaves for them are refused
+	// (409 conflict) so an admitted mutation can never hit an engine that
+	// does not know the task yet.
+	pendingJoin map[string]bool
+	// leaving marks tasks with an admitted leave. Their weight stays
+	// counted until the engine leave actually succeeds (rule L may defer
+	// it), keeping the headroom conservative.
+	leaving map[string]bool
+}
+
+func newAdmission(m int) *admission {
+	return &admission{
+		m:           frac.FromInt(int64(m)),
+		names:       make(map[string]bool),
+		req:         make(map[string]frac.Rat),
+		pendingJoin: make(map[string]bool),
+		leaving:     make(map[string]bool),
+	}
+}
+
+// headroom returns M minus the admitted total — how much weight a new
+// request may still claim.
+func (a *admission) headroom() frac.Rat { return a.m.Sub(a.total) }
+
+// admissionError is a structured admission rejection; kind is one of
+// the err* wire constants and maps to the HTTP status in resultFor.
+type admissionError struct {
+	kind     string
+	reason   string
+	headroom frac.Rat
+}
+
+func (e *admissionError) Error() string { return e.kind + ": " + e.reason }
+
+func rejectWeight(headroom frac.Rat, format string, args ...any) *admissionError {
+	return &admissionError{kind: errWeight, reason: fmt.Sprintf(format, args...), headroom: headroom}
+}
+
+func reject(kind, format string, args ...any) *admissionError {
+	return &admissionError{kind: kind, reason: fmt.Sprintf(format, args...)}
+}
+
+// admitJoin reserves name and weight for a joining task.
+func (a *admission) admitJoin(name string, w frac.Rat) *admissionError {
+	if a.names[name] {
+		return reject(errConflict, "task name %q was already used on this shard", name)
+	}
+	if a.headroom().Less(w) {
+		return rejectWeight(a.headroom(),
+			"join %s at weight %s exceeds property (W): headroom %s of M=%s", name, w, a.headroom(), a.m)
+	}
+	a.names[name] = true
+	a.req[name] = w
+	a.total = a.total.Add(w)
+	a.pendingJoin[name] = true
+	return nil
+}
+
+// admitReweight reserves the weight delta for an admitted, non-leaving
+// task.
+func (a *admission) admitReweight(name string, w frac.Rat) *admissionError {
+	cur, live := a.req[name]
+	if !live {
+		if a.names[name] {
+			return reject(errConflict, "task %q has left this shard", name)
+		}
+		return reject(errUnknown, "task %q never joined this shard", name)
+	}
+	if a.pendingJoin[name] {
+		return reject(errConflict, "task %q has a join still pending; retry next slot", name)
+	}
+	if a.leaving[name] {
+		return reject(errConflict, "task %q is leaving", name)
+	}
+	next := a.total.Sub(cur).Add(w)
+	if a.m.Less(next) {
+		return rejectWeight(a.headroom().Add(cur),
+			"reweight %s from %s to %s exceeds property (W): total would be %s > M=%s", name, cur, w, next, a.m)
+	}
+	a.req[name] = w
+	a.total = next
+	return nil
+}
+
+// admitLeave marks an admitted task as leaving. Its weight is freed by
+// completeLeave once the engine leave succeeds.
+func (a *admission) admitLeave(name string) *admissionError {
+	if _, live := a.req[name]; !live {
+		if a.names[name] {
+			return reject(errConflict, "task %q has already left this shard", name)
+		}
+		return reject(errUnknown, "task %q never joined this shard", name)
+	}
+	if a.pendingJoin[name] {
+		return reject(errConflict, "task %q has a join still pending; retry next slot", name)
+	}
+	if a.leaving[name] {
+		return reject(errConflict, "task %q is already leaving", name)
+	}
+	a.leaving[name] = true
+	return nil
+}
+
+// joinApplied clears the pending-join mark once the engine join
+// succeeded.
+func (a *admission) joinApplied(name string) { delete(a.pendingJoin, name) }
+
+// abortJoin unwinds an admitted join the engine unexpectedly refused:
+// the weight is released but the name stays burned (the engine may have
+// partially recorded it, and names are never reusable anyway).
+func (a *admission) abortJoin(name string) {
+	delete(a.pendingJoin, name)
+	if w, live := a.req[name]; live {
+		a.total = a.total.Sub(w)
+		delete(a.req, name)
+	}
+}
+
+// completeLeave frees the task's weight after the engine leave
+// succeeded.
+func (a *admission) completeLeave(name string) {
+	if w, live := a.req[name]; live {
+		a.total = a.total.Sub(w)
+		delete(a.req, name)
+	}
+	delete(a.leaving, name)
+}
+
+// state serializes the books for a snapshot; restore rebuilds the maps
+// from it. Slices are sorted so snapshots are byte-stable.
+type admissionState struct {
+	Names     []string     `json:"names"`
+	Requested []taskWeight `json:"requested"`
+	Pending   []string     `json:"pending_joins,omitempty"`
+	Leaving   []string     `json:"leaving,omitempty"`
+}
+
+type taskWeight struct {
+	Task   string   `json:"task"`
+	Weight frac.Rat `json:"weight"`
+}
+
+func (a *admission) state() admissionState {
+	st := admissionState{
+		Names:   make([]string, 0, len(a.names)),
+		Pending: sortedKeys(a.pendingJoin),
+		Leaving: sortedKeys(a.leaving),
+	}
+	for name := range a.names {
+		st.Names = append(st.Names, name)
+	}
+	sort.Strings(st.Names)
+	for task := range a.req {
+		st.Requested = append(st.Requested, taskWeight{Task: task, Weight: a.req[task]})
+	}
+	sort.Slice(st.Requested, func(i, j int) bool { return st.Requested[i].Task < st.Requested[j].Task })
+	return st
+}
+
+func (a *admission) restore(st admissionState) {
+	for _, name := range st.Names {
+		a.names[name] = true
+	}
+	for _, tw := range st.Requested {
+		a.req[tw.Task] = tw.Weight
+		a.total = a.total.Add(tw.Weight)
+	}
+	for _, name := range st.Pending {
+		a.pendingJoin[name] = true
+	}
+	for _, name := range st.Leaving {
+		a.leaving[name] = true
+	}
+}
+
+func sortedKeys(set map[string]bool) []string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,40 @@
+// Package serve hosts the PD² reweighting engine as a sharded online
+// service. It is the serving discipline around internal/core: many
+// independent engine shards, each owned by a single-writer goroutine
+// that consumes a bounded mailbox of requests, batches same-slot
+// mutations, and applies them atomically at the next slot boundary.
+//
+// The design follows three rules that keep the batch engine's formal
+// guarantees intact under concurrent traffic:
+//
+//   - Single writer. A shard's *core.Scheduler is touched by exactly one
+//     goroutine (the shard loop). HTTP handlers never reach the engine;
+//     they park a request in the shard's mailbox and wait for the reply.
+//     Reads (status, state dumps, snapshots) flow through the same
+//     mailbox, so they observe slot-boundary-consistent state.
+//
+//   - Admission before mutation. Property (W) — the sum of admitted task
+//     weights may not exceed the processor count M — is enforced at the
+//     mailbox, not discovered in the engine. A join or reweight that
+//     would break (W) is rejected with the exact rational headroom left;
+//     an admitted command is guaranteed to apply (leaves blocked by rule
+//     L and joins blocked by condition J are deferred and retried at
+//     each boundary, never dropped). The shard's failed-apply counter
+//     stays zero by construction; tests assert it.
+//
+//   - Bounded queues. The mailbox is a fixed-capacity channel. When it
+//     is full the handler answers 429 with Retry-After instead of
+//     queueing unboundedly — backpressure is explicit and lossless.
+//
+// Snapshot/restore rides on the engine's determinism: a shard is fully
+// described by its seed system plus the log of commands actually
+// applied (core.Replay). A Snapshot additionally carries the admission
+// books and the not-yet-applied pending commands so a restored shard
+// resumes mid-stream without losing admitted work; the engine-state
+// digest recorded at snapshot time is re-verified after replay.
+//
+// The package is deliberately deterministic (no wall clock, no global
+// randomness — enforced by pd2lint): time advances only by explicit
+// advance requests or by ticks injected from outside (cmd/pd2d owns the
+// wall-clock ticker). docs/SERVE.md documents the wire format.
+package serve

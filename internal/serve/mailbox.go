@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/frac"
+)
+
+// The mailbox is the only channel between HTTP handlers and a shard's
+// single-writer goroutine: a bounded chan of *pending records drawn
+// from a shard-local pool (registered in internal/analysis's poolescape
+// table — handlers must not retain a record past freePending). A full
+// mailbox is surfaced to the client as 429 + Retry-After; the shard
+// side never blocks handlers and never drops a dequeued record without
+// replying.
+
+// pendingOp is a parsed wire mutation.
+//
+//lint:exhaustive -- the three admitted wire mutations
+type pendingOp uint8
+
+const (
+	opJoin pendingOp = iota
+	opLeave
+	opReweight
+)
+
+// pendingKind discriminates what a mailbox record asks the shard to do.
+//
+//lint:exhaustive -- every mailbox request the shard loop must answer
+type pendingKind uint8
+
+const (
+	// pendCommands carries a batch of parsed mutations for admission.
+	pendCommands pendingKind = iota
+	// pendAdvance asks the shard to step its clock.
+	pendAdvance
+	// pendQuery asks for a ShardStatus.
+	pendQuery
+	// pendState asks for the canonical engine-state dump and digest.
+	pendState
+	// pendSnapshot asks for a full serialized Snapshot.
+	pendSnapshot
+)
+
+// wireCmd is one parsed, admission-ready command inside a pending.
+type wireCmd struct {
+	op     pendingOp
+	task   string
+	weight frac.Rat
+	group  string
+}
+
+// pending is one pooled mailbox record. The reply channel is buffered
+// (capacity 1) and reused across generations: the shard sends exactly
+// one reply per dequeued record, the handler receives it and returns
+// the record to the pool. stamp counts generations for the poolescape
+// discipline; a handler holding a record across freePending would
+// observe the bump.
+type pending struct {
+	stamp uint64
+	kind  pendingKind
+
+	cmds      []wireCmd // pendCommands
+	slots     int64     // pendAdvance
+	withTasks bool      // pendQuery: include per-task status rows
+
+	reply chan reply
+}
+
+// reply is the shard's answer to one pending record.
+type reply struct {
+	results []CommandResult // pendCommands: one per cmds entry
+	now     int64           // engine clock after handling
+	status  *ShardStatus    // pendQuery
+	state   []byte          // pendState (WriteState text), pendSnapshot (JSON)
+	digest  uint64          // pendState
+	err     error           // request-level failure (draining)
+}
+
+// pendingPool recycles pending records. Access is mutex-guarded: the
+// allocating side is any HTTP handler goroutine, the freeing side is
+// whichever handler received the reply.
+type pendingPool struct {
+	mu   sync.Mutex
+	free []*pending
+}
+
+// newPending returns a zeroed record with a live reply channel.
+func (pp *pendingPool) newPending() *pending {
+	pp.mu.Lock()
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free = pp.free[:n-1]
+		pp.mu.Unlock()
+		return p
+	}
+	pp.mu.Unlock()
+	return &pending{reply: make(chan reply, 1)}
+}
+
+// freePending returns a record to the pool. The caller must have
+// received the record's reply (the channel must be empty) and must not
+// touch the record afterwards.
+func (pp *pendingPool) freePending(p *pending) {
+	p.stamp++
+	p.kind = 0
+	p.cmds = p.cmds[:0]
+	p.slots = 0
+	p.withTasks = false
+	pp.mu.Lock()
+	pp.free = append(pp.free, p)
+	pp.mu.Unlock()
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+)
+
+// counters is the shard's lock-free observability surface: monotone
+// atomics bumped by whichever side owns the event (the shard loop for
+// engine-side events, handlers for backpressure) plus a gauge snapshot
+// republished by the shard loop at every slot boundary. The /metrics
+// handler reads these without touching the mailbox, so scraping never
+// competes with traffic for the single writer.
+type counters struct {
+	accepted      atomic.Int64 // commands admitted (property (W) passed)
+	rejectedW     atomic.Int64 // 409s carrying weight headroom
+	rejectedOther atomic.Int64 // 404/409 conflicts and unknowns
+	backpressured atomic.Int64 // 429s from a full mailbox
+	applied       atomic.Int64 // commands applied to the engine
+	deferred      atomic.Int64 // boundary deferrals (rules L / J)
+	failedApplies atomic.Int64 // engine refusals of admitted commands (must stay 0)
+	advances      atomic.Int64 // slots stepped
+	queries       atomic.Int64 // status queries served
+
+	gauge atomic.Pointer[ShardStatus]
+}
+
+// fill copies the counter values into a wire status.
+func (c *counters) fill(st *ShardStatus) {
+	st.Accepted = c.accepted.Load()
+	st.RejectedW = c.rejectedW.Load()
+	st.RejectedOther = c.rejectedOther.Load()
+	st.Backpressured = c.backpressured.Load()
+	st.Applied = c.applied.Load()
+	st.Deferred = c.deferred.Load()
+	st.FailedApplies = c.failedApplies.Load()
+	st.Advances = c.advances.Load()
+	st.Queries = c.queries.Load()
+}
+
+// writeMetrics renders all shards in the Prometheus text exposition
+// format (counters as *_total, gauges bare). Shards print in index
+// order, so the output is stable.
+func writeMetrics(w io.Writer, shards []*Shard) error {
+	var b strings.Builder
+	for _, sh := range shards {
+		c := &sh.ctr
+		id := sh.id
+		for _, kv := range []struct {
+			name string
+			v    int64
+		}{
+			{"pd2d_commands_accepted_total", c.accepted.Load()},
+			{"pd2d_commands_rejected_weight_total", c.rejectedW.Load()},
+			{"pd2d_commands_rejected_other_total", c.rejectedOther.Load()},
+			{"pd2d_commands_backpressured_total", c.backpressured.Load()},
+			{"pd2d_commands_applied_total", c.applied.Load()},
+			{"pd2d_commands_deferred_total", c.deferred.Load()},
+			{"pd2d_commands_failed_applies_total", c.failedApplies.Load()},
+			{"pd2d_slots_advanced_total", c.advances.Load()},
+			{"pd2d_queries_total", c.queries.Load()},
+		} {
+			fmt.Fprintf(&b, "%s{shard=\"%d\"} %d\n", kv.name, id, kv.v)
+		}
+		st := c.gauge.Load()
+		if st == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "pd2d_shard_now{shard=\"%d\"} %d\n", id, st.Now)
+		fmt.Fprintf(&b, "pd2d_shard_active_tasks{shard=\"%d\"} %d\n", id, st.ActiveTasks)
+		fmt.Fprintf(&b, "pd2d_shard_misses{shard=\"%d\"} %d\n", id, st.Misses)
+		fmt.Fprintf(&b, "pd2d_shard_holes{shard=\"%d\"} %d\n", id, st.Holes)
+		fmt.Fprintf(&b, "pd2d_shard_overhead_slots{shard=\"%d\"} %d\n", id, st.OverheadSlots)
+		fmt.Fprintf(&b, "pd2d_shard_violations{shard=\"%d\"} %d\n", id, st.Violations)
+		fmt.Fprintf(&b, "pd2d_shard_deferred_joins{shard=\"%d\"} %d\n", id, st.DeferredJoins)
+		fmt.Fprintf(&b, "pd2d_shard_deferred_leaves{shard=\"%d\"} %d\n", id, st.DeferredLeaves)
+		fmt.Fprintf(&b, "pd2d_shard_total_sched_weight{shard=\"%d\"} %g\n", id, st.TotalSchedWtFloat)
+		fmt.Fprintf(&b, "pd2d_shard_max_abs_drift{shard=\"%d\"} %g\n", id, st.MaxAbsDriftFloat)
+		fmt.Fprintf(&b, "pd2d_shard_sum_abs_lag{shard=\"%d\"} %g\n", id, st.SumAbsLagFloat)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,383 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Shards is the number of independent engine shards (>= 1).
+	Shards int
+	// Config is the per-shard engine configuration.
+	Config ShardConfig
+	// MailboxCap bounds each shard's mailbox; a full mailbox answers 429.
+	// Default 256.
+	MailboxCap int
+	// RetryAfterSeconds is advertised in the Retry-After header of 429
+	// responses. Default 1.
+	RetryAfterSeconds int
+	// Snapshots optionally restores shards from a previous run. Each
+	// snapshot's Shard index must be in [0, Shards); missing indices
+	// start fresh.
+	Snapshots []*Snapshot
+}
+
+// Server owns the shard set and the HTTP surface. It does not own a
+// listener or the wall clock: cmd/pd2d wires Handler() into an
+// http.Server and pumps shard ticks. Lifecycle is New → Start → (serve
+// traffic) → quiesce HTTP → Stop → Snapshots.
+type Server struct {
+	shards     []*Shard
+	mux        *http.ServeMux
+	retryAfter string
+	stopping   atomic.Bool
+}
+
+// New builds a stopped server.
+func New(opts Options) (*Server, error) {
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("serve: need at least one shard, got %d", opts.Shards)
+	}
+	if opts.MailboxCap == 0 {
+		opts.MailboxCap = 256
+	}
+	if opts.RetryAfterSeconds < 1 {
+		opts.RetryAfterSeconds = 1
+	}
+	restore := make(map[int]*Snapshot, len(opts.Snapshots))
+	for _, snap := range opts.Snapshots {
+		if snap.Shard < 0 || snap.Shard >= opts.Shards {
+			return nil, fmt.Errorf("serve: snapshot for shard %d outside [0,%d)", snap.Shard, opts.Shards)
+		}
+		if _, dup := restore[snap.Shard]; dup {
+			return nil, fmt.Errorf("serve: duplicate snapshot for shard %d", snap.Shard)
+		}
+		restore[snap.Shard] = snap
+	}
+	s := &Server{
+		shards:     make([]*Shard, opts.Shards),
+		retryAfter: strconv.Itoa(opts.RetryAfterSeconds),
+	}
+	for i := range s.shards {
+		var (
+			sh  *Shard
+			err error
+		)
+		if snap, ok := restore[i]; ok {
+			sh, err = restoreShard(snap, opts.MailboxCap)
+		} else {
+			sh, err = newShard(i, opts.Config, opts.MailboxCap)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = sh
+	}
+	s.mux = s.buildMux()
+	return s, nil
+}
+
+// Start launches every shard's single-writer loop.
+func (s *Server) Start() {
+	for _, sh := range s.shards {
+		sh.start()
+	}
+}
+
+// Stop drains and stops every shard. The HTTP side must be quiesced
+// first (http.Server.Shutdown); in-flight handlers unblock via the
+// shard done channels.
+func (s *Server) Stop() {
+	s.stopping.Store(true)
+	for _, sh := range s.shards {
+		sh.stop()
+	}
+}
+
+// Snapshots serializes every shard. Call after Stop.
+func (s *Server) Snapshots() []*Snapshot {
+	out := make([]*Snapshot, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.buildSnapshot()
+	}
+	return out
+}
+
+// NumShards returns the shard count.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// ShardTick returns shard i's tick channel for the external clock.
+func (s *Server) ShardTick(i int) chan<- struct{} { return s.shards[i].TickC() }
+
+// Handler returns the HTTP surface: the /v1 API, /metrics, /healthz,
+// and /debug/pprof.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/shards/{shard}/commands", s.handleCommands)
+	mux.HandleFunc("POST /v1/shards/{shard}/advance", s.handleAdvance)
+	mux.HandleFunc("GET /v1/shards/{shard}", s.handleQuery)
+	mux.HandleFunc("GET /v1/shards/{shard}/state", s.handleState)
+	mux.HandleFunc("GET /v1/shards/{shard}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/shards", s.handleList)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// shardFrom resolves the {shard} path segment; replies and returns nil
+// on failure.
+func (s *Server) shardFrom(w http.ResponseWriter, r *http.Request) *Shard {
+	id, err := strconv.Atoi(r.PathValue("shard"))
+	if err != nil || id < 0 || id >= len(s.shards) {
+		writeError(w, http.StatusNotFound, errBadShard,
+			fmt.Sprintf("shard %q not in [0,%d)", r.PathValue("shard"), len(s.shards)))
+		return nil
+	}
+	return s.shards[id]
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // client gone; nothing useful to do with a short write
+}
+
+func writeError(w http.ResponseWriter, code int, kind, reason string) {
+	writeJSON(w, code, ErrorResponse{Error: kind, Reason: reason})
+}
+
+// exchange submits p to sh and waits for the reply. It owns p's
+// lifecycle: on every return path the record has been freed or
+// deliberately abandoned (shutdown race), and the reply (ok=true) is
+// safe to use.
+func (s *Server) exchange(w http.ResponseWriter, sh *Shard, p *pending) (reply, bool) {
+	if s.stopping.Load() {
+		sh.pool.freePending(p)
+		writeError(w, http.StatusServiceUnavailable, errDraining, "server is shutting down")
+		return reply{}, false
+	}
+	if !sh.submit(p) {
+		sh.pool.freePending(p)
+		sh.ctr.backpressured.Add(1)
+		w.Header().Set("Retry-After", s.retryAfter)
+		writeError(w, http.StatusTooManyRequests, errFull, "shard mailbox is full; retry later")
+		return reply{}, false
+	}
+	select {
+	case rep := <-p.reply:
+		sh.pool.freePending(p)
+		return rep, true
+	case <-sh.done:
+		// The loop exited. It may have replied just before exiting, or the
+		// record may still sit in the dead mailbox.
+		select {
+		case rep := <-p.reply:
+			sh.pool.freePending(p)
+			return rep, true
+		default:
+			// Unreplied and unreachable: abandon the record (its reply
+			// channel may yet receive nothing; reusing it would be unsound).
+			writeError(w, http.StatusServiceUnavailable, errDraining, "shard stopped before replying")
+			return reply{}, false
+		}
+	}
+}
+
+// handleCommands accepts one command object or an array of them. The
+// whole body is parsed and validated before anything reaches the shard,
+// so a malformed batch is rejected atomically with 400.
+func (s *Server) handleCommands(w http.ResponseWriter, r *http.Request) {
+	sh := s.shardFrom(w, r)
+	if sh == nil {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errInvalid, "reading body: "+err.Error())
+		return
+	}
+	var (
+		reqs  []CommandRequest
+		batch bool
+	)
+	if isJSONArray(body) {
+		batch = true
+		if err := json.Unmarshal(body, &reqs); err != nil {
+			writeError(w, http.StatusBadRequest, errInvalid, "decoding command array: "+err.Error())
+			return
+		}
+	} else {
+		var one CommandRequest
+		if err := json.Unmarshal(body, &one); err != nil {
+			writeError(w, http.StatusBadRequest, errInvalid, "decoding command: "+err.Error())
+			return
+		}
+		reqs = []CommandRequest{one}
+	}
+	if len(reqs) == 0 {
+		writeError(w, http.StatusBadRequest, errInvalid, "empty command batch")
+		return
+	}
+	// Parse the whole batch before touching the pool: a pooled record is
+	// only acquired once the request is known to be well-formed, so no
+	// error path ever holds a record that must be freed mid-function.
+	cmds := make([]wireCmd, 0, len(reqs))
+	for i := range reqs {
+		op, weight, perr := parseCommand(reqs[i])
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, errInvalid,
+				fmt.Sprintf("command %d: %v", i, perr))
+			return
+		}
+		cmds = append(cmds, wireCmd{op: op, task: reqs[i].Task, weight: weight, group: reqs[i].Group})
+	}
+	p := sh.pool.newPending()
+	p.kind = pendCommands
+	p.cmds = append(p.cmds, cmds...)
+	rep, ok := s.exchange(w, sh, p)
+	if !ok {
+		return
+	}
+	if batch {
+		writeJSON(w, http.StatusOK, rep.results)
+		return
+	}
+	res := rep.results[0]
+	code := http.StatusOK
+	if res.Code != 0 {
+		code = res.Code
+	}
+	writeJSON(w, code, res)
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	sh := s.shardFrom(w, r)
+	if sh == nil {
+		return
+	}
+	var req AdvanceRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errInvalid, "reading body: "+err.Error())
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, errInvalid, "decoding advance: "+err.Error())
+			return
+		}
+	}
+	if req.Slots < 0 || req.Slots > 1<<20 {
+		writeError(w, http.StatusBadRequest, errInvalid,
+			fmt.Sprintf("slots %d outside [0, 2^20]", req.Slots))
+		return
+	}
+	p := sh.pool.newPending()
+	p.kind = pendAdvance
+	p.slots = req.Slots
+	rep, ok := s.exchange(w, sh, p)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, AdvanceResponse{Now: rep.now})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sh := s.shardFrom(w, r)
+	if sh == nil {
+		return
+	}
+	p := sh.pool.newPending()
+	p.kind = pendQuery
+	p.withTasks = r.URL.Query().Get("tasks") != ""
+	rep, ok := s.exchange(w, sh, p)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, rep.status)
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	sh := s.shardFrom(w, r)
+	if sh == nil {
+		return
+	}
+	p := sh.pool.newPending()
+	p.kind = pendState
+	rep, ok := s.exchange(w, sh, p)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, StateResponse{
+		Shard:  sh.id,
+		Now:    rep.now,
+		Digest: rep.digest,
+		State:  string(rep.state),
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sh := s.shardFrom(w, r)
+	if sh == nil {
+		return
+	}
+	p := sh.pool.newPending()
+	p.kind = pendSnapshot
+	rep, ok := s.exchange(w, sh, p)
+	if !ok {
+		return
+	}
+	if rep.err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot", rep.err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(rep.state)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	type shardInfo struct {
+		Shard  int    `json:"shard"`
+		Policy string `json:"policy"`
+		M      int    `json:"m"`
+	}
+	out := make([]shardInfo, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = shardInfo{Shard: sh.id, Policy: sh.cfg.policyName(), M: sh.cfg.M}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = writeMetrics(w, s.shards) // client gone; nothing useful to do
+}
+
+// isJSONArray reports whether the body's first significant byte opens
+// an array.
+func isJSONArray(body []byte) bool {
+	for _, c := range body {
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			continue
+		}
+		return c == '['
+	}
+	return false
+}

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Stop()
+	})
+	return srv, ts
+}
+
+func TestCommandEndpointCodes(t *testing.T) {
+	_, ts := testServer(t, Options{Shards: 1, Config: ShardConfig{M: 1}})
+	url := ts.URL + "/v1/shards/0/commands"
+
+	code, body := postJSON(t, url, CommandRequest{Op: "join", Task: "A", Weight: "1/2"})
+	if code != http.StatusOK || !strings.Contains(string(body), `"queued"`) {
+		t.Fatalf("join: %d: %s", code, body)
+	}
+	// Property (W): headroom is 1/2, a 1/2 join fits exactly...
+	code, body = postJSON(t, url, CommandRequest{Op: "join", Task: "B", Weight: "1/2"})
+	if code != http.StatusOK {
+		t.Fatalf("exact-fit join: %d: %s", code, body)
+	}
+	// ...and the next one is rejected with zero headroom attached.
+	code, body = postJSON(t, url, CommandRequest{Op: "join", Task: "C", Weight: "1/4"})
+	if code != http.StatusConflict {
+		t.Fatalf("over-capacity join: %d: %s", code, body)
+	}
+	var res CommandResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != errWeight || res.Headroom != "0" {
+		t.Fatalf("weight rejection: %+v", res)
+	}
+	// Duplicate name.
+	if code, _ = postJSON(t, url, CommandRequest{Op: "join", Task: "A", Weight: "1/8"}); code != http.StatusConflict {
+		t.Fatalf("duplicate join: %d", code)
+	}
+	// Unknown task.
+	if code, _ = postJSON(t, url, CommandRequest{Op: "reweight", Task: "zz", Weight: "1/8"}); code != http.StatusNotFound {
+		t.Fatalf("unknown reweight: %d", code)
+	}
+	// Malformed: bad op, heavy weight, missing weight, bad rational.
+	for _, bad := range []CommandRequest{
+		{Op: "detach", Task: "A"},
+		{Op: "join", Task: "H", Weight: "3/4"},
+		{Op: "join", Task: "H"},
+		{Op: "join", Task: "H", Weight: "x/y"},
+		{Op: "join", Weight: "1/8"},
+	} {
+		if code, body = postJSON(t, url, bad); code != http.StatusBadRequest {
+			t.Fatalf("bad request %+v: %d: %s", bad, code, body)
+		}
+	}
+	// Unknown shard.
+	if code, _ = postJSON(t, ts.URL+"/v1/shards/9/commands", CommandRequest{Op: "leave", Task: "A"}); code != http.StatusNotFound {
+		t.Fatalf("unknown shard: %d", code)
+	}
+	// Wrong method.
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on commands: %d", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := testServer(t, Options{Shards: 1, Config: ShardConfig{M: 2}})
+	url := ts.URL + "/v1/shards/0/commands"
+	code, body := postJSON(t, url, []CommandRequest{
+		{Op: "join", Task: "A", Weight: "1/4"},
+		{Op: "join", Task: "A", Weight: "1/4"}, // dup inside the same batch
+		{Op: "join", Task: "B", Weight: "1/4"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d: %s", code, body)
+	}
+	var results []CommandResult
+	if err := json.Unmarshal(body, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0].Status != "queued" || results[1].Status != "rejected" || results[2].Status != "queued" {
+		t.Fatalf("batch results: %+v", results)
+	}
+	// A batch with a malformed entry is rejected whole, before admission.
+	code, _ = postJSON(t, url, []CommandRequest{
+		{Op: "join", Task: "C", Weight: "1/4"},
+		{Op: "frobnicate", Task: "C"},
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("malformed batch: %d", code)
+	}
+	// C must not have been admitted by the rejected batch.
+	code, _ = postJSON(t, url, CommandRequest{Op: "join", Task: "C", Weight: "1/4"})
+	if code != http.StatusOK {
+		t.Fatalf("C was admitted by a rejected batch: %d", code)
+	}
+}
+
+func TestBackpressure429(t *testing.T) {
+	srv, err := New(Options{Shards: 1, Config: ShardConfig{M: 1}, MailboxCap: 2, RetryAfterSeconds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shards deliberately not started: fill the mailbox by hand.
+	sh := srv.shards[0]
+	for i := 0; i < 2; i++ {
+		p := sh.pool.newPending()
+		p.kind = pendQuery
+		if !sh.submit(p) {
+			t.Fatalf("fill submit %d failed", i)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	data := strings.NewReader(`{"op":"join","task":"A","weight":"1/4"}`)
+	resp, err := http.Post(ts.URL+"/v1/shards/0/commands", "application/json", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full mailbox: %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want 3", got)
+	}
+	if !strings.Contains(string(body), errFull) {
+		t.Fatalf("429 body: %s", body)
+	}
+	if sh.ctr.backpressured.Load() != 1 {
+		t.Fatalf("backpressured counter = %d", sh.ctr.backpressured.Load())
+	}
+}
+
+func TestStoppedServerAnswers503(t *testing.T) {
+	srv, err := New(Options{Shards: 1, Config: ShardConfig{M: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Stop()
+	code, body := postJSON(t, ts.URL+"/v1/shards/0/commands", CommandRequest{Op: "join", Task: "A", Weight: "1/4"})
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), errDraining) {
+		t.Fatalf("post after stop: %d: %s", code, body)
+	}
+}
+
+func TestAdvanceQueryMetricsEndpoints(t *testing.T) {
+	_, ts := testServer(t, Options{Shards: 2, Config: ShardConfig{M: 2}})
+	if code, body := postJSON(t, ts.URL+"/v1/shards/1/commands", CommandRequest{Op: "join", Task: "A", Weight: "1/4"}); code != http.StatusOK {
+		t.Fatalf("join: %d: %s", code, body)
+	}
+	var adv AdvanceResponse
+	code, body := postJSON(t, ts.URL+"/v1/shards/1/advance", AdvanceRequest{Slots: 5})
+	if code != http.StatusOK {
+		t.Fatalf("advance: %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &adv); err != nil {
+		t.Fatal(err)
+	}
+	if adv.Now != 5 {
+		t.Fatalf("now = %d, want 5", adv.Now)
+	}
+	var st ShardStatus
+	getJSON(t, ts.URL+"/v1/shards/1?tasks=1", &st)
+	if st.Now != 5 || st.ActiveTasks != 1 || len(st.Tasks) != 1 {
+		t.Fatalf("status: %+v", st)
+	}
+	if st.Tasks[0].Name != "A" || !st.Tasks[0].Active {
+		t.Fatalf("task row: %+v", st.Tasks[0])
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`pd2d_commands_accepted_total{shard="1"} 1`,
+		`pd2d_slots_advanced_total{shard="1"} 5`,
+		`pd2d_shard_now{shard="1"} 5`,
+		`pd2d_shard_active_tasks{shard="1"} 1`,
+		`pd2d_commands_accepted_total{shard="0"} 0`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	for _, path := range []string{"/healthz", "/debug/pprof/", "/v1/shards"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestTickerAdvancesShard(t *testing.T) {
+	srv, ts := testServer(t, Options{Shards: 1, Config: ShardConfig{M: 1}})
+	select {
+	case srv.ShardTick(0) <- struct{}{}:
+	case <-time.After(time.Second):
+		t.Fatal("tick channel never accepted")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var st ShardStatus
+		getJSON(t, ts.URL+"/v1/shards/0", &st)
+		if st.Now >= 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard clock still at %d after tick", st.Now)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

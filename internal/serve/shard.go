@@ -1,0 +1,429 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// ShardConfig is the serializable per-shard engine configuration. It is
+// recorded in snapshots so a restore rebuilds an identically configured
+// engine (the digest check would catch a mismatch).
+type ShardConfig struct {
+	// M is the shard's processor count.
+	M int `json:"m"`
+	// Policy selects the reweighting scheme: "oi" (default), "lj", or
+	// "hybrid".
+	Policy string `json:"policy,omitempty"`
+	// OIThreshold drives the hybrid policy: a change with |to-from|
+	// below the threshold uses rules O/I, anything larger leave/join.
+	// Exact rational, so the hybrid decision is deterministic.
+	OIThreshold frac.Rat `json:"oi_threshold"`
+	// EarlyRelease enables the ERfair extension.
+	EarlyRelease bool `json:"early_release,omitempty"`
+	// RecordSchedule keeps the per-slot schedule log; required for the
+	// byte-exact differential tests, costly over long horizons.
+	RecordSchedule bool `json:"record_schedule,omitempty"`
+}
+
+func parsePolicy(s string) (core.PolicyKind, error) {
+	switch s {
+	case "", "oi":
+		return core.PolicyOI, nil
+	case "lj":
+		return core.PolicyLJ, nil
+	case "hybrid":
+		return core.PolicyHybrid, nil
+	}
+	return 0, fmt.Errorf("serve: policy %q is not one of oi, lj, hybrid", s)
+}
+
+func (c ShardConfig) policyName() string {
+	if c.Policy == "" {
+		return "oi"
+	}
+	return c.Policy
+}
+
+// coreConfig resolves the wire config into an engine config. Policing
+// is always on — property (W) is the service's admission contract — and
+// invariant checking is always on so violations are observable on the
+// status endpoint.
+func (c ShardConfig) coreConfig() (core.Config, error) {
+	pol, err := parsePolicy(c.Policy)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if c.M < 1 {
+		return core.Config{}, fmt.Errorf("serve: shard needs M >= 1, got %d", c.M)
+	}
+	cfg := core.Config{
+		M:               c.M,
+		Policy:          pol,
+		Police:          true,
+		CheckInvariants: true,
+		EarlyRelease:    c.EarlyRelease,
+		RecordSchedule:  c.RecordSchedule,
+	}
+	if pol == core.PolicyHybrid {
+		th := c.OIThreshold
+		cfg.UseOI = func(task string, from, to frac.Rat) bool {
+			return to.Sub(from).Abs().Less(th)
+		}
+	}
+	return cfg, nil
+}
+
+// Shard is one independently scheduled engine instance. All fields
+// below the channel block are owned by the run goroutine between Start
+// and the close of done; the HTTP side communicates exclusively through
+// the mailbox (see mailbox.go) and the atomic counters in ctr.
+type Shard struct {
+	id  int
+	cfg ShardConfig
+
+	mbox  chan *pending
+	pool  pendingPool
+	tickc chan struct{}
+	quit  chan struct{}
+	done  chan struct{}
+
+	// Single-writer state (run goroutine only).
+	eng       *core.Scheduler
+	adm       *admission
+	seed      model.System
+	log       []core.Command // commands actually applied, in order
+	batch     []wireCmd      // admitted this slot, applies at next boundary
+	defJoins  []wireCmd      // admitted joins awaiting condition-J headroom
+	defLeaves []string       // admitted leaves awaiting rule L
+
+	ctr counters
+}
+
+// newShard builds a stopped shard with an empty engine. Tasks arrive
+// through commands.
+func newShard(id int, cfg ShardConfig, mailboxCap int) (*Shard, error) {
+	ccfg, err := cfg.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	seed := model.System{M: cfg.M}
+	eng, err := core.New(ccfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	if mailboxCap < 1 {
+		mailboxCap = 1
+	}
+	sh := &Shard{
+		id:    id,
+		cfg:   cfg,
+		mbox:  make(chan *pending, mailboxCap),
+		tickc: make(chan struct{}, 1),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+		eng:   eng,
+		adm:   newAdmission(cfg.M),
+		seed:  seed,
+	}
+	sh.publishStatus()
+	return sh, nil
+}
+
+// start launches the single-writer loop.
+func (sh *Shard) start() { go sh.run() }
+
+// stop asks the loop to drain the mailbox and exit, and waits for it.
+// The caller must have stopped the HTTP side first: nothing may submit
+// to the mailbox once draining begins.
+func (sh *Shard) stop() {
+	close(sh.quit)
+	<-sh.done
+}
+
+// submit offers a record to the mailbox without blocking. A false
+// return is backpressure: the caller answers 429 and frees the record.
+func (sh *Shard) submit(p *pending) bool {
+	select {
+	case sh.mbox <- p:
+		return true
+	default:
+		return false
+	}
+}
+
+// TickC is the shard's advance-tick input: a non-blocking send here
+// advances the shard one slot. The channel is buffered (capacity 1) so
+// a slow shard coalesces ticks instead of queueing them. The wall-clock
+// side lives in cmd/pd2d; serve itself never reads a clock.
+func (sh *Shard) TickC() chan<- struct{} { return sh.tickc }
+
+// run is the shard's single-writer loop: every engine and admission
+// mutation happens here, serialized by the mailbox.
+func (sh *Shard) run() {
+	defer close(sh.done)
+	for {
+		select {
+		case p := <-sh.mbox:
+			sh.handle(p)
+		case <-sh.tickc:
+			sh.advance(1)
+		case <-sh.quit:
+			// The server has quiesced the submitters, so the mailbox can
+			// only shrink: drain it, answer everything, then exit.
+			for {
+				select {
+				case p := <-sh.mbox:
+					sh.handle(p)
+				default:
+					sh.publishStatus()
+					return
+				}
+			}
+		}
+	}
+}
+
+// handle answers one mailbox record. Every dequeued record gets exactly
+// one reply.
+func (sh *Shard) handle(p *pending) {
+	switch p.kind {
+	case pendCommands:
+		results := make([]CommandResult, len(p.cmds))
+		for i := range p.cmds {
+			results[i] = sh.admit(p.cmds[i])
+		}
+		p.reply <- reply{results: results, now: sh.eng.Now()}
+	case pendAdvance:
+		sh.advance(p.slots)
+		p.reply <- reply{now: sh.eng.Now()}
+	case pendQuery:
+		sh.ctr.queries.Add(1)
+		st := sh.status(p.withTasks)
+		p.reply <- reply{status: st, now: sh.eng.Now()}
+	case pendState:
+		var b strings.Builder
+		_ = sh.eng.WriteState(&b) // strings.Builder writes cannot fail
+		p.reply <- reply{state: []byte(b.String()), digest: sh.eng.StateDigest(), now: sh.eng.Now()}
+	case pendSnapshot:
+		data, err := json.Marshal(sh.buildSnapshot())
+		p.reply <- reply{state: data, err: err, now: sh.eng.Now()}
+	default:
+		panic(fmt.Sprintf("serve: unhandled pending kind %d", p.kind))
+	}
+}
+
+// admit runs the property-(W) admission decision for one command and,
+// on success, stages it for the next slot boundary.
+func (sh *Shard) admit(c wireCmd) CommandResult {
+	var aerr *admissionError
+	switch c.op {
+	case opJoin:
+		aerr = sh.adm.admitJoin(c.task, c.weight)
+	case opReweight:
+		aerr = sh.adm.admitReweight(c.task, c.weight)
+	case opLeave:
+		aerr = sh.adm.admitLeave(c.task)
+	default:
+		panic(fmt.Sprintf("serve: unhandled pending op %d", c.op))
+	}
+	if aerr != nil {
+		return sh.rejected(aerr)
+	}
+	sh.batch = append(sh.batch, c)
+	sh.ctr.accepted.Add(1)
+	return CommandResult{Status: "queued", Slot: sh.eng.Now()}
+}
+
+// rejected maps an admission error to its wire result and counters.
+func (sh *Shard) rejected(aerr *admissionError) CommandResult {
+	res := CommandResult{Status: "rejected", Error: aerr.kind, Reason: aerr.reason}
+	switch aerr.kind {
+	case errWeight:
+		res.Code = 409
+		res.Headroom = aerr.headroom.String()
+		sh.ctr.rejectedW.Add(1)
+	case errUnknown:
+		res.Code = 404
+		sh.ctr.rejectedOther.Add(1)
+	default: // errConflict and anything future
+		res.Code = 409
+		sh.ctr.rejectedOther.Add(1)
+	}
+	return res
+}
+
+// advance steps the clock n slots, flushing the staged batch at each
+// boundary first so same-slot mutations apply atomically before the
+// slot is scheduled.
+func (sh *Shard) advance(n int64) {
+	if n < 1 {
+		n = 1
+	}
+	for i := int64(0); i < n; i++ {
+		sh.flush()
+		sh.eng.Step()
+		sh.ctr.advances.Add(1)
+	}
+	sh.publishStatus()
+}
+
+// engineFits reports whether condition J admits weight w right now:
+// the engine's transient scheduling-weight total plus w stays within M.
+func (sh *Shard) engineFits(w frac.Rat) bool {
+	return !frac.FromInt(int64(sh.cfg.M)).Less(sh.eng.TotalSchedWeight().Add(w))
+}
+
+// flush applies the staged work at the current slot boundary, in three
+// passes that preserve admission order: deferred leaves (rule L may
+// finally permit them, freeing weight), deferred joins (strict FIFO —
+// the queue head blocks younger joins so admission order is never
+// inverted), then this slot's batch in arrival order. Admission
+// guarantees each apply succeeds or defers; anything else is counted in
+// failedApplies, which tests pin to zero.
+func (sh *Shard) flush() {
+	now := sh.eng.Now()
+
+	kept := sh.defLeaves[:0]
+	for _, name := range sh.defLeaves {
+		c := core.Command{At: now, Op: core.OpLeave, Task: name}
+		err := sh.eng.Apply(c)
+		switch {
+		case err == nil:
+			sh.log = append(sh.log, c)
+			sh.adm.completeLeave(name)
+			sh.ctr.applied.Add(1)
+		case errors.Is(err, core.ErrLeaveTooEarly):
+			kept = append(kept, name)
+		default:
+			sh.ctr.failedApplies.Add(1)
+			sh.adm.completeLeave(name)
+		}
+	}
+	sh.defLeaves = kept
+
+	for len(sh.defJoins) > 0 {
+		c := sh.defJoins[0]
+		if !sh.engineFits(c.weight) {
+			break
+		}
+		sh.applyJoin(c)
+		sh.defJoins = sh.defJoins[1:]
+	}
+
+	for _, c := range sh.batch {
+		switch c.op {
+		case opJoin:
+			if len(sh.defJoins) > 0 || !sh.engineFits(c.weight) {
+				sh.defJoins = append(sh.defJoins, c)
+				sh.ctr.deferred.Add(1)
+				continue
+			}
+			sh.applyJoin(c)
+		case opReweight:
+			cc := core.Command{At: now, Op: core.OpReweight, Task: c.task, Weight: c.weight}
+			if err := sh.eng.Apply(cc); err != nil {
+				sh.ctr.failedApplies.Add(1)
+			} else {
+				sh.log = append(sh.log, cc)
+				sh.ctr.applied.Add(1)
+			}
+		case opLeave:
+			cc := core.Command{At: now, Op: core.OpLeave, Task: c.task}
+			err := sh.eng.Apply(cc)
+			switch {
+			case err == nil:
+				sh.log = append(sh.log, cc)
+				sh.adm.completeLeave(c.task)
+				sh.ctr.applied.Add(1)
+			case errors.Is(err, core.ErrLeaveTooEarly):
+				sh.defLeaves = append(sh.defLeaves, c.task)
+				sh.ctr.deferred.Add(1)
+			default:
+				sh.ctr.failedApplies.Add(1)
+				sh.adm.completeLeave(c.task)
+			}
+		default:
+			panic(fmt.Sprintf("serve: unhandled pending op %d", c.op))
+		}
+	}
+	sh.batch = sh.batch[:0]
+}
+
+// applyJoin applies an admitted join whose condition-J check passed.
+func (sh *Shard) applyJoin(c wireCmd) {
+	cc := core.Command{At: sh.eng.Now(), Op: core.OpJoin, Task: c.task, Weight: c.weight, Group: c.group}
+	if err := sh.eng.Apply(cc); err != nil {
+		sh.ctr.failedApplies.Add(1)
+		sh.adm.abortJoin(c.task)
+		return
+	}
+	sh.log = append(sh.log, cc)
+	sh.adm.joinApplied(c.task)
+	sh.ctr.applied.Add(1)
+}
+
+// status assembles the shard's wire status from engine and admission
+// state. Run-goroutine only.
+func (sh *Shard) status(withTasks bool) *ShardStatus {
+	st := &ShardStatus{
+		Shard:             sh.id,
+		Now:               sh.eng.Now(),
+		Policy:            sh.cfg.policyName(),
+		M:                 sh.cfg.M,
+		TotalSchedWt:      sh.eng.TotalSchedWeight().String(),
+		TotalSchedWtFloat: sh.eng.TotalSchedWeight().Float64(),
+		RequestedWt:       sh.adm.total.String(),
+		Headroom:          sh.adm.headroom().String(),
+		Misses:            int64(len(sh.eng.Misses())),
+		Holes:             sh.eng.Holes(),
+		OverheadSlots:     sh.eng.OverheadSlots(),
+		Violations:        len(sh.eng.Violations()),
+		PendingBatch:      len(sh.batch),
+		DeferredJoins:     len(sh.defJoins),
+		DeferredLeaves:    len(sh.defLeaves),
+	}
+	sh.ctr.fill(st)
+	active := 0
+	maxDrift := frac.Rat{}
+	sumLag := frac.Rat{}
+	for _, m := range sh.eng.AllMetrics() {
+		if m.Active {
+			active++
+			sumLag = sumLag.Add(m.Lag.Abs())
+		}
+		maxDrift = frac.Max(maxDrift, m.MaxAbsDrift)
+		if withTasks {
+			st.Tasks = append(st.Tasks, TaskStatus{
+				Name:        m.Name,
+				Weight:      m.Weight.String(),
+				SchedWeight: m.SchedWeight.String(),
+				Active:      m.Active,
+				Scheduled:   m.Scheduled,
+				Drift:       m.Drift.String(),
+				DriftFloat:  m.Drift.Float64(),
+				MaxAbsDrift: m.MaxAbsDrift.String(),
+				Lag:         m.Lag.String(),
+				LagFloat:    m.Lag.Float64(),
+				Misses:      m.Misses,
+			})
+		}
+	}
+	st.ActiveTasks = active
+	st.MaxAbsDrift = maxDrift.String()
+	st.MaxAbsDriftFloat = maxDrift.Float64()
+	st.SumAbsLag = sumLag.String()
+	st.SumAbsLagFloat = sumLag.Float64()
+	return st
+}
+
+// publishStatus refreshes the lock-free gauge the /metrics handler
+// reads. Called at every boundary and at loop exit.
+func (sh *Shard) publishStatus() {
+	sh.ctr.gauge.Store(sh.status(false))
+}

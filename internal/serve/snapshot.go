@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/frac"
+	"repro/internal/model"
+)
+
+// A Snapshot is the complete durable state of one shard. It leans on
+// the engine's determinism: instead of serializing the scheduler's
+// internal heaps, it records the seed system plus the log of commands
+// actually applied — core.Replay rebuilds the engine byte-for-byte, and
+// Digest (the engine's state digest at snapshot time) proves it did.
+// Admitted-but-unapplied work (the slot batch and the rule-L/J deferral
+// queues) and the admission books ride along so a restart loses no
+// admitted command.
+type Snapshot struct {
+	Version int            `json:"version"`
+	Shard   int            `json:"shard"`
+	Config  ShardConfig    `json:"config"`
+	Now     int64          `json:"now"`
+	Seed    model.System   `json:"seed"`
+	Log     []core.Command `json:"log"`
+
+	Batch          []pendingCmd   `json:"batch,omitempty"`
+	DeferredJoins  []pendingCmd   `json:"deferred_joins,omitempty"`
+	DeferredLeaves []string       `json:"deferred_leaves,omitempty"`
+	Admission      admissionState `json:"admission"`
+
+	Digest uint64 `json:"digest"`
+}
+
+// snapshotVersion guards the wire format; bump on incompatible change.
+const snapshotVersion = 1
+
+// pendingCmd is the serialized form of an admitted-but-unapplied
+// command.
+type pendingCmd struct {
+	Op     string   `json:"op"`
+	Task   string   `json:"task"`
+	Weight frac.Rat `json:"weight"`
+	Group  string   `json:"group,omitempty"`
+}
+
+func toPendingCmds(cmds []wireCmd) []pendingCmd {
+	if len(cmds) == 0 {
+		return nil
+	}
+	out := make([]pendingCmd, len(cmds))
+	for i, c := range cmds {
+		out[i] = pendingCmd{Op: opName(c.op), Task: c.task, Weight: c.weight, Group: c.group}
+	}
+	return out
+}
+
+func fromPendingCmds(cmds []pendingCmd) ([]wireCmd, error) {
+	if len(cmds) == 0 {
+		return nil, nil
+	}
+	out := make([]wireCmd, len(cmds))
+	for i, c := range cmds {
+		op, err := opFromName(c.Op)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = wireCmd{op: op, task: c.Task, weight: c.Weight, group: c.Group}
+	}
+	return out, nil
+}
+
+func opName(op pendingOp) string {
+	switch op {
+	case opJoin:
+		return "join"
+	case opLeave:
+		return "leave"
+	case opReweight:
+		return "reweight"
+	default:
+		panic(fmt.Sprintf("serve: unhandled pending op %d", op))
+	}
+}
+
+func opFromName(name string) (pendingOp, error) {
+	switch name {
+	case "join":
+		return opJoin, nil
+	case "leave":
+		return opLeave, nil
+	case "reweight":
+		return opReweight, nil
+	}
+	return 0, fmt.Errorf("serve: snapshot names unknown op %q", name)
+}
+
+// buildSnapshot serializes the shard. Run-goroutine only (or after the
+// loop has exited).
+func (sh *Shard) buildSnapshot() *Snapshot {
+	logCopy := make([]core.Command, len(sh.log))
+	copy(logCopy, sh.log)
+	return &Snapshot{
+		Version:        snapshotVersion,
+		Shard:          sh.id,
+		Config:         sh.cfg,
+		Now:            sh.eng.Now(),
+		Seed:           sh.seed,
+		Log:            logCopy,
+		Batch:          toPendingCmds(sh.batch),
+		DeferredJoins:  toPendingCmds(sh.defJoins),
+		DeferredLeaves: append([]string(nil), sh.defLeaves...),
+		Admission:      sh.adm.state(),
+		Digest:         sh.eng.StateDigest(),
+	}
+}
+
+// restoreShard rebuilds a stopped shard from a snapshot: replay the log
+// over the seed to the recorded clock, verify the engine digest, then
+// reinstate the admission books and the pending queues. The returned
+// shard is not started.
+func restoreShard(snap *Snapshot, mailboxCap int) (*Shard, error) {
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("serve: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	ccfg, err := snap.Config.coreConfig()
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard %d snapshot: %w", snap.Shard, err)
+	}
+	eng, err := core.Replay(ccfg, snap.Seed, snap.Log, snap.Now)
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard %d restore replay: %w", snap.Shard, err)
+	}
+	if got := eng.StateDigest(); got != snap.Digest {
+		return nil, fmt.Errorf("serve: shard %d restore digest mismatch: replayed %016x, snapshot %016x",
+			snap.Shard, got, snap.Digest)
+	}
+	batch, err := fromPendingCmds(snap.Batch)
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard %d snapshot batch: %w", snap.Shard, err)
+	}
+	defJoins, err := fromPendingCmds(snap.DeferredJoins)
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard %d snapshot joins: %w", snap.Shard, err)
+	}
+	if mailboxCap < 1 {
+		mailboxCap = 1
+	}
+	adm := newAdmission(snap.Config.M)
+	adm.restore(snap.Admission)
+	sh := &Shard{
+		id:        snap.Shard,
+		cfg:       snap.Config,
+		mbox:      make(chan *pending, mailboxCap),
+		tickc:     make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		eng:       eng,
+		adm:       adm,
+		seed:      snap.Seed,
+		log:       append([]core.Command(nil), snap.Log...),
+		batch:     batch,
+		defJoins:  defJoins,
+		defLeaves: append([]string(nil), snap.DeferredLeaves...),
+	}
+	sh.publishStatus()
+	return sh, nil
+}
