@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json bench-check serve-smoke figures demos lint check clean
+.PHONY: all build test test-race bench bench-json bench-check lint-bench serve-smoke figures demos lint check clean
 
 all: build test
 
@@ -34,6 +34,17 @@ bench-check:
 	$(GO) test -bench 'SchedulerSlot|ReweightStorm' -benchtime=1s -run XXX . \
 		| $(GO) run ./cmd/benchjson -check -out BENCH_core.json
 
+# Lint-suite perf gate: one warm full-module pd2lint pass (load,
+# typecheck, all 12 checks, interprocedural call graph included) must
+# stay within 50% of the committed LintModule ns/op in BENCH_core.json.
+# 3 iterations so the process-wide stdlib import cache is warm — the
+# load-once architecture is exactly what this benchmark guards. The
+# wider margin (vs bench-check's 25%) absorbs the higher variance of a
+# full-module load. Never writes the file.
+lint-bench:
+	$(GO) test -bench LintModule -benchtime=3x -run XXX ./internal/analysis \
+		| $(GO) run ./cmd/benchjson -check -max-regress 50 -out BENCH_core.json
+
 # Serve-layer smoke: race-instrumented pd2d + pd2load closed loop,
 # SIGTERM drain, snapshot, restore (scripts/serve_smoke.sh; the CI gate).
 serve-smoke:
@@ -47,10 +58,11 @@ figures:
 demos:
 	$(GO) run ./cmd/pd2trace
 
-# Invariant checks (all nine: exact arithmetic, determinism, error
-# handling, plus the dataflow checks poolescape/heapkey/gocapture/
-# eventexhaust — see docs/LINT.md). Strict mode also flags stale
-# //lint:allow directives so the allowlist cannot rot.
+# Invariant checks (all twelve: the AST pattern checks, the dataflow
+# checks poolescape/heapkey/gocapture/eventexhaust, and the
+# interprocedural checks hotalloc/detflow/lockorder — see docs/LINT.md).
+# Strict mode also flags stale //lint:allow directives so the allowlist
+# cannot rot.
 lint:
 	$(GO) run ./cmd/pd2lint -strict-suppress ./...
 

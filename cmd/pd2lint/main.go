@@ -9,6 +9,7 @@
 //	pd2lint internal/core          # lint one directory (all checks apply)
 //	pd2lint -checks errdrop ./...  # run a subset of the checks
 //	pd2lint -json ./...            # machine-readable diagnostics
+//	pd2lint -sarif ./...           # SARIF 2.1.0 (code-scanning upload format)
 //	pd2lint -strict-suppress ./... # also flag stale //lint:allow comments
 //	pd2lint -list                  # describe the available checks
 //
@@ -51,14 +52,19 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pd2lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log")
 	checkList := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := fs.Bool("list", false, "list the available checks and exit")
 	strict := fs.Bool("strict-suppress", false, "report //lint:allow directives that suppress nothing")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: pd2lint [-json] [-checks list] [-strict-suppress] [-list] ./... | dir...\n")
+		fmt.Fprintf(stderr, "usage: pd2lint [-json|-sarif] [-checks list] [-strict-suppress] [-list] ./... | dir...\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "pd2lint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -121,14 +127,20 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	for i := range diags {
 		diags[i].File = relPath(loader.ModRoot, diags[i].File)
 	}
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(diags); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		if err := writeSARIF(stdout, checks, diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 // writeTree lays out a temp module from a map of relative path -> body.
@@ -153,6 +156,102 @@ func TestJSONOutput(t *testing.T) {
 	}
 	if !strings.Contains(stdout, `"check": "floatcmp"`) {
 		t.Fatalf("JSON output missing check field:\n%s", stdout)
+	}
+}
+
+// TestSARIFOutput decodes the -sarif log and checks the slice of the
+// schema consumers depend on: version, driver name, a rules entry per
+// selected check, and one result per diagnostic with a forward-slash
+// URI and a 1-based region.
+func TestSARIFOutput(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":     tmpGoMod,
+		"dirty/a.go": dirtyGo,
+	})
+	code, stdout, _ := runCLI(t, "-sarif", filepath.Join(root, "dirty"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("decoding SARIF: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, %d runs; want 2.1.0 with 1 run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "pd2lint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	if got, want := len(run.Tool.Driver.Rules), len(analysis.All()); got != want {
+		t.Errorf("%d rules, want %d (one per check)", got, want)
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("no results for a dirty package")
+	}
+	r := run.Results[0]
+	if r.RuleID != "floatcmp" || r.Level != "error" {
+		t.Errorf("result rule=%q level=%q, want floatcmp/error", r.RuleID, r.Level)
+	}
+	if len(r.Locations) != 1 {
+		t.Fatalf("%d locations, want 1", len(r.Locations))
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if strings.Contains(loc.ArtifactLocation.URI, "\\") {
+		t.Errorf("URI %q not forward-slash", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine < 1 || loc.Region.StartColumn < 1 {
+		t.Errorf("region %+v not 1-based", loc.Region)
+	}
+}
+
+// TestSARIFCleanRun: a clean run still emits a complete, decodable log
+// with an empty results array — the code-scanning upload contract.
+func TestSARIFCleanRun(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":     tmpGoMod,
+		"clean/a.go": cleanGo,
+	})
+	code, stdout, _ := runCLI(t, "-sarif", filepath.Join(root, "clean"))
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if !strings.Contains(stdout, `"results": []`) {
+		t.Fatalf("clean SARIF log missing empty results array:\n%s", stdout)
+	}
+}
+
+func TestJSONAndSARIFExclusive(t *testing.T) {
+	if code, _, stderr := runCLI(t, "-json", "-sarif", "."); code != 2 || !strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("exit %d, stderr %q; want 2 with mutually-exclusive error", code, stderr)
 	}
 }
 

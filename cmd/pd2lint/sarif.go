@@ -1,0 +1,121 @@
+package main
+
+// SARIF 2.1.0 output: the interchange format GitHub code scanning and
+// most editor lint panels ingest. Only the slice of the (large) SARIF
+// schema pd2lint actually populates is modeled here; the field names
+// and nesting follow the OASIS spec so the output validates against
+// https://json.schemastore.org/sarif-2.1.0.json.
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name string `json:"name"`
+	// InformationURI must be an absolute URI per the spec, so it is
+	// omitted rather than pointed at the in-repo docs/LINT.md.
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// writeSARIF renders the diagnostics as one SARIF run. The rules array
+// describes every check that was selected — not only the ones that
+// fired — so a consumer can distinguish "ran clean" from "did not run".
+// Stale-suppression findings (check "suppress") are not a selectable
+// analyzer; their rule is appended on demand.
+func writeSARIF(w io.Writer, checks []*analysis.Analyzer, diags []analysis.Diagnostic) error {
+	rules := make([]sarifRule, 0, len(checks)+1)
+	index := make(map[string]int, len(checks)+1)
+	for _, a := range checks {
+		index[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := index[d.Check]
+		if !ok {
+			idx = len(rules)
+			index[d.Check] = idx
+			rules = append(rules, sarifRule{ID: d.Check,
+				ShortDescription: sarifText{Text: "a //lint:allow directive that suppressed nothing"}})
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Check,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifText{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(d.File)},
+				Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "pd2lint",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -17,11 +17,12 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"math/rand"
 	"net/http"
 	"os"
 	"sync"
 	"time"
+
+	"repro/internal/stats"
 )
 
 type workerStats struct {
@@ -171,7 +172,11 @@ func setup(client *http.Client, base, prefix string, shards, tasks int) error {
 // drive is one worker's closed loop.
 func drive(client *http.Client, base, prefix string, w, shards, budget, batch, tasks, advEvery int, seed int64) workerStats {
 	var st workerStats
-	rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+	// One deterministic stats.RNG stream per worker: the command
+	// sequence of a given (-seed, worker) pair is reproducible, and
+	// Bounded keeps the per-command draw cost to a single multiply
+	// (Lemire's nearly-divisionless mapping — see internal/stats).
+	rng := stats.NewStream(uint64(seed), uint64(w))
 	shard := w % shards
 	cmds := make([]command, 0, batch)
 	var buf bytes.Buffer
@@ -186,8 +191,8 @@ func drive(client *http.Client, base, prefix string, w, shards, budget, batch, t
 			// the admitted budget, so a 409 here is a server-side bug.
 			cmds = append(cmds, command{
 				Op:     "reweight",
-				Task:   taskName(prefix, shard, rng.Intn(tasks)),
-				Weight: fmt.Sprintf("%d/64", 1+rng.Intn(2)),
+				Task:   taskName(prefix, shard, rng.Bounded(tasks)),
+				Weight: fmt.Sprintf("%d/64", 1+rng.Bounded(2)),
 			})
 		}
 		buf.Reset()

@@ -11,7 +11,10 @@
 // reproduced figures. This package turns those implicit rules into
 // machine-checked ones.
 //
-// Five checks are provided (see docs/LINT.md for the full rationale):
+// Twelve checks are provided (see docs/LINT.md for the full
+// rationale), in three layers:
+//
+// AST pattern matchers:
 //
 //   - fracexact:   no float arithmetic/comparison/conversion inside the
 //     exact-arithmetic packages (internal/core, internal/agis,
@@ -24,6 +27,22 @@
 //     command code.
 //   - panicdoc:    panics in library packages must carry a message that
 //     names the violated invariant (or propagate an error value).
+//
+// Intraprocedural dataflow (dataflow.go):
+//
+//   - poolescape:  pooled records never escape their slot unstamped.
+//   - heapkey:     heap ordering keys are written only by their owners.
+//   - gocapture:   goroutine closures do not race on captured state.
+//   - eventexhaust: switches over //lint:exhaustive enums stay total.
+//
+// Interprocedural, on the run-wide call graph (interp.go):
+//
+//   - hotalloc:  //lint:noalloc functions are transitively
+//     allocation-free, up to //lint:allocok boundaries.
+//   - detflow:   no time/rand/map-order taint reaches the registered
+//     replay sinks (core.Apply, ReplayLog, WriteState, StateDigest).
+//   - lockorder: one global lock-acquisition order, and no blocking
+//     operation while a lock is held.
 //
 // Diagnostics can be suppressed per line with
 //
@@ -65,6 +84,11 @@ func (d Diagnostic) String() string {
 type Pass struct {
 	Pkg   *Package
 	facts *packageFacts
+	// interp is the run-wide interprocedural layer (call graph + effect
+	// summaries), shared by every pass of one RunChecks invocation so the
+	// graph is built once. Nil for a standalone pass; interpFacts()
+	// falls back to a single-package graph then.
+	interp *interp
 }
 
 // report appends a diagnostic for node n.
@@ -100,7 +124,8 @@ type Analyzer struct {
 }
 
 // All is the full pd2lint suite in reporting order: the five v1
-// AST-pattern checks followed by the four v2 dataflow checks.
+// AST-pattern checks, the four v2 dataflow checks, and the three v3
+// interprocedural checks built on the call-graph layer (interp.go).
 func All() []*Analyzer {
 	return []*Analyzer{
 		FracExact(),
@@ -112,6 +137,9 @@ func All() []*Analyzer {
 		HeapKey(),
 		GoCapture(),
 		EventExhaust(),
+		HotAlloc(),
+		DetFlow(),
+		LockOrder(),
 	}
 }
 
@@ -224,8 +252,10 @@ func RunChecksOpts(pkgs []*Package, checks []*Analyzer, opts RunOptions) []Diagn
 		known[a.Name] = true
 	}
 	var diags []Diagnostic
+	ip := newInterp(pkgs)
 	for _, pkg := range pkgs {
 		pass := newPass(pkg)
+		pass.interp = ip
 		ran := make(map[string]bool)
 		for _, a := range checks {
 			if !opts.IgnoreScope && a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {

@@ -170,6 +170,119 @@ func poolSpecsFor(pkgPath string) []poolSpec {
 }
 
 // ---------------------------------------------------------------------
+// detflow annotations: the replayable command surface.
+
+// replaySinkSpec registers the functions of one package that form the
+// replayable command surface: everything that feeds them must be
+// deterministic, because a replay re-executes the logged commands and
+// compares state digests byte for byte.
+type replaySinkSpec struct {
+	Pkg   string
+	Funcs []string // "Recv.Method" / "Func" names, as in funcInfo.Name
+	Why   string
+}
+
+// replaySinkTable registers the engine's command surface and the
+// self-test fixture. Keep in sync with docs/LINT.md.
+var replaySinkTable = []replaySinkSpec{
+	{
+		Pkg: "repro/internal/core",
+		Funcs: []string{
+			"Scheduler.Apply",
+			"Scheduler.ReplayLog",
+			"Replay",
+			"Scheduler.WriteState",
+			"Scheduler.StateDigest",
+		},
+		Why: "Apply/ReplayLog/Replay re-execute the command log and WriteState/StateDigest certify the result; a wall-clock read or unseeded draw on any path into them breaks bit-exact replay (ROADMAP item 4)",
+	},
+	// Fixture entry (internal/analysis/testdata/src/detflow).
+	{
+		Pkg:   "repro/internal/analysis/testdata/src/detflow",
+		Funcs: []string{"Apply", "Digest", "Stamp"},
+		Why:   "fixture: miniature command log with a digest",
+	},
+}
+
+// replaySinkSpecsFor returns the table entries applying to pkgPath.
+func replaySinkSpecsFor(pkgPath string) []replaySinkSpec {
+	var out []replaySinkSpec
+	for _, s := range replaySinkTable {
+		if s.Pkg == pkgPath {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// isReplaySink reports whether the qualified name ("importpath.Recv.
+// Method") is a registered replay sink.
+func isReplaySink(qname string) bool {
+	for _, s := range replaySinkTable {
+		for _, f := range s.Funcs {
+			if qname == s.Pkg+"."+f {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isReplaySinkObj is isReplaySink for a callee resolved outside the
+// current run (a partial-module invocation still tracks calls into the
+// registered surface).
+func isReplaySinkObj(obj *types.Func) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	name := obj.Name()
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if rn := recvBareName(sig); rn != "" {
+			name = rn + "." + name
+		}
+	}
+	return isReplaySink(obj.Pkg().Path() + "." + name)
+}
+
+// ---------------------------------------------------------------------
+// hotalloc annotations: externals proven allocation-free.
+
+// allocFreeTable lists callees outside the lint run (standard library)
+// that hotalloc accepts on a //lint:noalloc path. Keys are
+// "importpath.Func" or "importpath.Recv.Method" (pointer receivers
+// without the star). Keep every entry justified: an entry here is a
+// trusted axiom the check cannot verify.
+var allocFreeTable = map[string]string{
+	"strconv.AppendInt":         "appends into the caller's buffer; allocates only on growth, amortized by reuse",
+	"strconv.AppendUint":        "appends into the caller's buffer; allocates only on growth, amortized by reuse",
+	"sync.Mutex.Lock":           "uncontended fast path is a CAS; never allocates",
+	"sync.Mutex.Unlock":         "atomic store; never allocates",
+	"sync.RWMutex.RLock":        "atomic counter; never allocates",
+	"sync.RWMutex.RUnlock":      "atomic counter; never allocates",
+	"math/bits.Mul64":           "compiler intrinsic; pure register arithmetic",
+	"sort.Search":               "binary search over caller state; no allocation",
+	"sync/atomic.Int64.Add":     "hardware atomic; never allocates",
+	"sync/atomic.Int64.Load":    "hardware atomic; never allocates",
+	"sync/atomic.Int64.Store":   "hardware atomic; never allocates",
+	"sync/atomic.Uint64.Add":    "hardware atomic; never allocates",
+	"sync/atomic.Uint64.Load":   "hardware atomic; never allocates",
+	"sync/atomic.Pointer.Load":  "hardware atomic on a pointer slot; never allocates",
+	"sync/atomic.Pointer.Store": "hardware atomic on a pointer slot; never allocates",
+	"errors.Is":                 "walks the existing error chain; allocates nothing",
+}
+
+// isAllocFree reports whether a callee outside the run is a registered
+// allocation-free axiom.
+func isAllocFree(obj *types.Func) bool {
+	key := externKey(obj)
+	if key == "" {
+		return false
+	}
+	_, ok := allocFreeTable[key]
+	return ok
+}
+
+// ---------------------------------------------------------------------
 // Table validation (shared by heapkey and poolescape).
 
 // lookupStruct resolves a package-scope struct type by name.

@@ -55,7 +55,15 @@ func (p *Pass) Funcs() []*funcInfo {
 		return p.facts.funcs
 	}
 	p.facts.funcsBuilt = true
-	for _, f := range p.Pkg.Files {
+	p.facts.funcs = collectFuncs(p.Pkg)
+	return p.facts.funcs
+}
+
+// collectFuncs lists the package's top-level declarations in file order.
+// Shared by the per-package fact cache and the interprocedural layer.
+func collectFuncs(pkg *Package) []*funcInfo {
+	var out []*funcInfo
+	for _, f := range pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -68,10 +76,10 @@ func (p *Pass) Funcs() []*funcInfo {
 					fi.Name = fi.Recv + "." + fd.Name.Name
 				}
 			}
-			p.facts.funcs = append(p.facts.funcs, fi)
+			out = append(out, fi)
 		}
 	}
-	return p.facts.funcs
+	return out
 }
 
 // recvTypeName extracts the bare type name of a receiver expression,

@@ -1,0 +1,134 @@
+// The hotalloc check: functions annotated //lint:noalloc must be
+// transitively allocation-free.
+//
+// The engine's throughput claims rest on steady-state zero allocation
+// in three paths — the slot loop (core.Scheduler.Step), the mailbox
+// drain (serve.Shard.run), and the digest writer — and until now that
+// was enforced only by runtime AllocsPerRun assertions, which test one
+// configuration of one path. hotalloc makes the property structural:
+// every function reachable from a //lint:noalloc root through static
+// call edges is checked for the full intrinsic allocation catalog
+// (escaping composites, make/new, fresh-buffer append growth, interface
+// boxing, string conversion/concatenation, closures, go statements),
+// and edges the analysis cannot see through — dynamic calls, calls into
+// standard-library functions not in allocFreeTable — are themselves
+// diagnostics: "unknown callee" and "allocation-free" cannot coexist.
+//
+// Two escape hatches, both annotations reviewed like code:
+//
+//	//lint:noalloc [reason]   on a function declaration makes it a root.
+//	//lint:allocok [reason]   marks a deliberate allocation boundary: the
+//	                          callee is priced in (pool growth, error
+//	                          paths) and traversal stops there.
+//
+// An //lint:allocok that no noalloc root reaches is reported as stale,
+// the same discipline the annotation tables get, so the escape hatches
+// cannot rot.
+package analysis
+
+import "go/ast"
+
+// HotAlloc returns the hotalloc analyzer.
+func HotAlloc() *Analyzer {
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc:  "functions annotated //lint:noalloc must be transitively allocation-free",
+		Run: func(p *Pass) []Diagnostic {
+			ip := p.interpFacts()
+			return ip.hotallocBuckets()[p.Pkg.Path]
+		},
+	}
+}
+
+// hotallocBuckets computes the check once per run and buckets the
+// diagnostics by the package owning each reported site (so per-package
+// suppression applies where the code is).
+func (ip *interp) hotallocBuckets() map[string][]Diagnostic {
+	if ip.hotalloc != nil {
+		return ip.hotalloc
+	}
+	out := make(map[string][]Diagnostic)
+	add := func(pkg *Package, n ast.Node, format string, args ...any) {
+		pass := &Pass{Pkg: pkg}
+		var ds []Diagnostic
+		pass.report(&ds, "hotalloc", n, format, args...)
+		out[pkg.Path] = append(out[pkg.Path], ds...)
+	}
+	ip.hotalloc = out
+
+	fns := ip.byQname()
+
+	// Annotation hygiene first: the two directives contradict each
+	// other on one declaration.
+	for _, fn := range fns {
+		if fn.noalloc && fn.allocok {
+			add(fn.pkg, fn.fi.Decl.Name,
+				"%s is annotated both //lint:noalloc and //lint:allocok; a function cannot be a checked root and an accepted boundary at once", fn.short)
+		}
+	}
+
+	// Walk from each root in qualified-name order. One global visited
+	// set: a function's sites are reported once, attributed to the
+	// first root (in that order) that reaches them.
+	reported := make(map[ast.Node]bool)
+	visited := make(map[*interpFn]bool)
+	shielded := make(map[*interpFn]bool) // allocok boundaries actually reached
+
+	var visit func(fn, root *interpFn)
+	visit = func(fn, root *interpFn) {
+		if visited[fn] {
+			return
+		}
+		visited[fn] = true
+		for _, a := range fn.allocs {
+			if reported[a.node] {
+				continue
+			}
+			reported[a.node] = true
+			add(fn.pkg, a.node, "%s on a //lint:noalloc path (root %s)", a.kind, root.short)
+		}
+		for _, cs := range fn.calls {
+			// Failure paths are about to panic and goroutine spawns are
+			// already priced as the go statement's own allocation.
+			if cs.inPanic || cs.spawned {
+				continue
+			}
+			if cs.dynamic {
+				if !reported[cs.call] {
+					reported[cs.call] = true
+					add(fn.pkg, cs.call,
+						"dynamic call (interface or function value) cannot be proven allocation-free on a //lint:noalloc path (root %s)", root.short)
+				}
+				continue
+			}
+			callee := ip.fnOf(cs.callee)
+			if callee == nil {
+				if !isAllocFree(cs.callee) && !reported[cs.call] {
+					reported[cs.call] = true
+					add(fn.pkg, cs.call,
+						"call to %s, which is not proven allocation-free, on a //lint:noalloc path (root %s)", externName(cs.callee), root.short)
+				}
+				continue
+			}
+			if callee.allocok {
+				shielded[callee] = true
+				continue
+			}
+			visit(callee, root)
+		}
+	}
+	for _, fn := range fns {
+		if fn.noalloc && !fn.allocok {
+			visit(fn, fn)
+		}
+	}
+
+	// Stale boundaries: an //lint:allocok nobody reaches guards nothing.
+	for _, fn := range fns {
+		if fn.allocok && !fn.noalloc && !shielded[fn] {
+			add(fn.pkg, fn.fi.Decl.Name,
+				"//lint:allocok on %s is stale: no //lint:noalloc root reaches it", fn.short)
+		}
+	}
+	return out
+}

@@ -55,47 +55,162 @@ func copyModuleSource(t *testing.T) string {
 	return dst
 }
 
-// TestSeededMutationsAreCaught is the acceptance test for the v2
-// dataflow checks: reintroducing each of the silent-corruption bugs the
-// checks were built for — deleting the reuse-stamp guard, mutating a
-// heap ordering key in place, dropping an event kind from the dispatch
-// switch, racing a worker pool on captured state — must produce a
+// srcEdit is one string replacement applied to a module-relative file
+// of the temp copy. A mutation is a list of edits so a seeded bug can
+// span an import block plus the code that needs it.
+type srcEdit struct {
+	file string // module-relative, forward slashes
+	old  string
+	new  string
+}
+
+// applyEdits applies a mutation's edits under the temp module root. An
+// anchor that no longer matches fails the test: the mutation table must
+// track the engine sources it mutates.
+func applyEdits(t *testing.T, root string, edits []srcEdit) {
+	t.Helper()
+	for _, e := range edits {
+		target := filepath.Join(root, filepath.FromSlash(e.file))
+		src, err := os.ReadFile(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutated := strings.Replace(string(src), e.old, e.new, 1)
+		if mutated == string(src) {
+			t.Fatalf("mutation anchor %q not found in %s; keep the mutation test in sync with the engine", e.old, e.file)
+		}
+		if err := os.WriteFile(target, []byte(mutated), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSeededMutationsAreCaught is the acceptance test for the dataflow
+// and call-graph checks: reintroducing each of the silent-corruption
+// bugs the checks were built for — deleting the reuse-stamp guard,
+// mutating a heap ordering key in place, dropping an event kind from
+// the dispatch switch, racing a worker pool on captured state, hiding
+// an allocation in the digest hot path, feeding the wall clock into the
+// replayable command surface, inverting a lock order — must produce a
 // diagnostic from the corresponding check on the real engine sources.
 func TestSeededMutationsAreCaught(t *testing.T) {
 	cases := []struct {
 		name  string
 		check string
-		file  string // module-relative, forward slashes
-		old   string
-		new   string
+		load  string // module-relative package dir to analyze
+		edits []srcEdit
 	}{
 		{
 			name:  "delete-stamp-guard",
 			check: "poolescape",
-			file:  "internal/core/scheduler.go",
-			old:   "sub: sub, stamp: sub.stamp}",
-			new:   "sub: sub}",
+			load:  "internal/core",
+			edits: []srcEdit{{
+				file: "internal/core/scheduler.go",
+				old:  "sub: sub, stamp: sub.stamp}",
+				new:  "sub: sub}",
+			}},
 		},
 		{
 			name:  "mutate-heap-key-in-place",
 			check: "heapkey",
-			file:  "internal/core/scheduler.go",
-			old:   "s.runBuf = append(s.runBuf, ts.offer)",
-			new:   "ts.offer.deadline = 0\n\t\ts.runBuf = append(s.runBuf, ts.offer)",
+			load:  "internal/core",
+			edits: []srcEdit{{
+				file: "internal/core/scheduler.go",
+				old:  "s.runBuf = append(s.runBuf, ts.offer)",
+				new:  "ts.offer.deadline = 0\n\t\ts.runBuf = append(s.runBuf, ts.offer)",
+			}},
 		},
 		{
 			name:  "drop-calendar-case",
 			check: "eventexhaust",
-			file:  "internal/core/scheduler.go",
-			old:   "\tcase evKindResolve:\n\t\treturn &s.evResolve\n",
-			new:   "",
+			load:  "internal/core",
+			edits: []srcEdit{{
+				file: "internal/core/scheduler.go",
+				old:  "\tcase evKindResolve:\n\t\treturn &s.evResolve\n",
+				new:  "",
+			}},
 		},
 		{
 			name:  "unguarded-shared-write",
 			check: "gocapture",
-			file:  "internal/expr/expr.go",
-			old:   "results[i], errs[i] = RunWhisperCfg(pp, rc)",
-			new:   "results[i], errs[i] = RunWhisperCfg(pp, rc)\n\t\t\t\tresults = results[:1]",
+			load:  "internal/expr",
+			edits: []srcEdit{{
+				file: "internal/expr/expr.go",
+				old:  "results[i], errs[i] = RunWhisperCfg(pp, rc)",
+				new:  "results[i], errs[i] = RunWhisperCfg(pp, rc)\n\t\t\t\tresults = results[:1]",
+			}},
+		},
+		// The v3 interprocedural checks. Each seeds the exact bug class
+		// the check exists for, at the place it would realistically creep
+		// in.
+		{
+			// A "quick fix" swaps the hand-rolled integer render for
+			// fmt.Sprintf deep inside the digest path: every slot now
+			// allocates under pd2d status reporting. hotalloc sees the
+			// extern call on the //lint:noalloc appendState root.
+			name:  "hidden-alloc-in-digest",
+			check: "hotalloc",
+			load:  "internal/core",
+			edits: []srcEdit{
+				{
+					file: "internal/core/digest.go",
+					old:  "import \"io\"",
+					new:  "import (\n\t\"fmt\"\n\t\"io\"\n)",
+				},
+				{
+					file: "internal/core/digest.go",
+					old:  "dst = appendInt(dst, int64(s.now))",
+					new:  "dst = append(dst, fmt.Sprintf(\"%d\", s.now)...)",
+				},
+			},
+		},
+		{
+			// The flush boundary stamps commands with the wall clock
+			// instead of the engine clock: the log still applies, but a
+			// replay at a different wall time diverges. detflow sees
+			// time.Now taint reaching the registered core.Scheduler.Apply
+			// sink.
+			name:  "wallclock-feeds-apply",
+			check: "detflow",
+			load:  "internal/serve",
+			edits: []srcEdit{
+				{
+					file: "internal/serve/shard.go",
+					old:  "\t\"strings\"\n\n\t\"repro/internal/core\"",
+					new:  "\t\"strings\"\n\t\"time\"\n\n\t\"repro/internal/core\"",
+				},
+				{
+					file: "internal/serve/shard.go",
+					old:  "now := sh.eng.Now()\n\n\tkept := sh.defLeaves[:0]",
+					new:  "now := model.Time(time.Now().UnixNano())\n\n\tkept := sh.defLeaves[:0]",
+				},
+			},
+		},
+		{
+			// A stats counter bolted onto the pending pool acquires its
+			// new mutex in opposite orders on the alloc and free sides —
+			// the classic incremental-change deadlock. lockorder sees the
+			// mu -> statsMu -> mu cycle.
+			name:  "inverted-lock-order",
+			check: "lockorder",
+			load:  "internal/serve",
+			edits: []srcEdit{
+				{
+					file: "internal/serve/mailbox.go",
+					old:  "type pendingPool struct {\n\tmu   sync.Mutex\n\tfree []*pending\n}",
+					new:  "type pendingPool struct {\n\tmu      sync.Mutex\n\tstatsMu sync.Mutex\n\tgets    int64\n\tfree    []*pending\n}",
+				},
+				{
+					file: "internal/serve/mailbox.go",
+					old:  "\tpp.mu.Lock()\n\tif n := len(pp.free); n > 0 {",
+					new:  "\tpp.mu.Lock()\n\tpp.statsMu.Lock()\n\tpp.gets++\n\tpp.statsMu.Unlock()\n\tif n := len(pp.free); n > 0 {",
+				},
+				{
+					file: "internal/serve/mailbox.go",
+					old:  "\tpp.mu.Lock()\n\tpp.free = append(pp.free, p)\n\tpp.mu.Unlock()",
+					new:  "\tpp.statsMu.Lock()\n\tpp.mu.Lock()\n\tpp.free = append(pp.free, p)\n\tpp.mu.Unlock()\n\tpp.statsMu.Unlock()",
+				},
+			},
 		},
 	}
 	byName := make(map[string]*Analyzer)
@@ -105,24 +220,13 @@ func TestSeededMutationsAreCaught(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			dst := copyModuleSource(t)
-			target := filepath.Join(dst, filepath.FromSlash(tc.file))
-			src, err := os.ReadFile(target)
-			if err != nil {
-				t.Fatal(err)
-			}
-			mutated := strings.Replace(string(src), tc.old, tc.new, 1)
-			if mutated == string(src) {
-				t.Fatalf("mutation anchor %q not found in %s; keep the mutation test in sync with the engine", tc.old, tc.file)
-			}
-			if err := os.WriteFile(target, []byte(mutated), 0o644); err != nil {
-				t.Fatal(err)
-			}
+			applyEdits(t, dst, tc.edits)
 
 			loader, err := NewLoader(dst)
 			if err != nil {
 				t.Fatalf("NewLoader: %v", err)
 			}
-			pkgDir := filepath.Dir(target)
+			pkgDir := filepath.Join(dst, filepath.FromSlash(tc.load))
 			pkg, err := loader.LoadDir(pkgDir)
 			if err != nil {
 				t.Fatalf("LoadDir(%s): %v", pkgDir, err)

@@ -1,0 +1,92 @@
+// Fixture for the detflow check: a miniature command log whose Apply/
+// Digest/Stamp functions are registered replay sinks in replaySinkTable.
+// True positives cover all three taint sources (wall clock, unseeded
+// rand, map order) and the sink-itself case; true negatives cover
+// taint that never reaches a sink, sink calls with deterministic
+// inputs, and the lowest-meeting-point rule.
+package detflow
+
+import (
+	"math/rand"
+	"time"
+)
+
+type entry struct {
+	op  string
+	arg int64
+}
+
+type log struct {
+	entries []entry
+	seq     int64
+}
+
+// Apply is the fixture's replay sink (see replaySinkTable).
+func Apply(l *log, e entry) {
+	l.entries = append(l.entries, e)
+	l.seq++
+}
+
+// Digest is the second sink: it certifies replayed state.
+func Digest(l *log) int64 {
+	var h int64
+	for _, e := range l.entries {
+		h = h*31 + e.arg
+	}
+	return h
+}
+
+// Stamp is a sink that reads the clock itself — the report lands on the
+// sink, not on its callers.
+func Stamp(l *log) {
+	Apply(l, entry{op: "stamp", arg: time.Now().UnixNano()}) // TP: sink reads time
+}
+
+// recordNow feeds a wall-clock read into the sink.
+func recordNow(l *log) {
+	Apply(l, entry{op: "tick", arg: time.Now().UnixNano()}) // TP: time -> Apply
+}
+
+// driver calls recordNow; the meeting point is recordNow, so driver
+// itself is clean (TN: lowest meeting point).
+func driver(l *log) {
+	recordNow(l)
+}
+
+// jitter is tainted but sink-free (TN on its own).
+func jitter() int64 {
+	return rand.Int63()
+}
+
+// recordJitter is where jitter's taint meets the sink.
+func recordJitter(l *log) {
+	Apply(l, entry{op: "jit", arg: jitter()}) // TP: rand -> Apply via helper
+}
+
+// recordAll logs map values in iteration order.
+func recordAll(l *log, m map[string]int64) {
+	var vals []int64
+	for _, v := range m { // TP: map order -> Apply
+		vals = append(vals, v)
+	}
+	for _, v := range vals {
+		Apply(l, entry{op: "fold", arg: v})
+	}
+	_ = Digest(l)
+}
+
+// sample is tainted but never reaches a sink (TN).
+func sample() int64 {
+	return time.Now().UnixNano() + rand.Int63()
+}
+
+// recordFixed reaches the sink with deterministic input (TN).
+func recordFixed(l *log) {
+	Apply(l, entry{op: "fixed", arg: 42})
+}
+
+// recordEnv would be a true positive, suppressed for the fixture's
+// suppression coverage.
+func recordEnv(l *log) {
+	Apply(l, entry{op: "env", arg: time.Now().Unix()}) //lint:allow detflow fixture: suppression coverage
+}

@@ -1,0 +1,89 @@
+// Fixture for the hotalloc check: a miniature slot loop annotated
+// //lint:noalloc, with true positives across the allocation catalog and
+// true negatives for every accepted idiom (reused buffers, parameter
+// buffers, allocation-free externals, allocok boundaries).
+package hotalloc
+
+import "strconv"
+
+type record struct{ v int }
+
+type state struct {
+	n    int
+	name string
+	buf  []int
+	recs []*record
+	out  []byte
+	cb   func() int
+	m    map[int]int
+	box  any
+}
+
+// step is the fixture's hot loop.
+//
+//lint:noalloc fixture root: the steady-state loop
+func step(s *state) {
+	s.buf = append(s.buf, s.n) // TN: append into a retained field buffer
+	kept := s.recs[:0]         // TN: local aliasing a field buffer
+	kept = append(kept, nil)   // TN: the alias keeps the field's capacity
+	s.recs = kept
+	s.out = strconv.AppendInt(s.out, int64(s.n), 10) // TN: allocFreeTable external
+	s.n = twice(s.n)                                 // TN: pure callee
+
+	r := &record{v: s.n} // TP: escaping composite literal
+	s.recs = append(s.recs, r)
+	s.name += "!"                    // TP: string concatenation
+	s.out = []byte(s.name)           // TP: string conversion copies
+	s.box = any(s.n)                 // TP: conversion to interface boxes
+	s.n += s.cb()                    // TP: dynamic call through a function value
+	s.name = strconv.Itoa(s.n)       // TP: external not proven allocation-free
+	s.cb = func() int { return s.n } // TP: stored closure
+	go tick(s)                       // TP: go statement (spawned body not traversed)
+
+	grow(s)   // descend: TP inside grow
+	refill(s) // TN: allocok boundary, priced in
+	if fresh() {
+		s.n++
+	}
+	s.name = s.name + "?" //lint:allow hotalloc fixture: suppression keeps this concat out of the golden
+}
+
+// twice is allocation-free and reachable from the root.
+func twice(n int) int { return n * 2 }
+
+// grow allocates two calls below the root.
+func grow(s *state) {
+	s.m = make(map[int]int, 4) // TP: make on a noalloc path
+}
+
+// fresh appends into a buffer born in this frame.
+func fresh() bool {
+	var tmp []int
+	tmp = append(tmp, 1) // TP: append to a fresh (non-reused) buffer
+	return len(tmp) == 1
+}
+
+// tick runs on its own goroutine; its body is not part of the loop.
+func tick(s *state) {
+	s.recs = append(s.recs, new(record)) // TN: unreachable from the root on this goroutine
+}
+
+// refill is a deliberate allocation boundary: pool growth is priced in.
+//
+//lint:allocok fixture boundary: pool growth is amortized
+func refill(s *state) {
+	s.recs = append(s.recs, new(record))
+}
+
+// orphan carries a boundary annotation no root ever reaches.
+//
+//lint:allocok fixture: stale boundary
+func orphan() []int {
+	return make([]int, 1) // the stale annotation is the diagnostic, not this line
+}
+
+// confused carries both directives at once.
+//
+//lint:noalloc fixture conflict
+//lint:allocok fixture conflict
+func confused() {}

@@ -1,0 +1,108 @@
+// Fixture for the lockorder check: a pair of mutexes taken in opposite
+// orders in two functions (an intra-function cycle), a second cycle
+// closed through a callee's lock summary, and blocking operations
+// performed while holding a mutex. True negatives cover a consistent
+// two-lock hierarchy and blocking after release.
+package lockorder
+
+import "sync"
+
+type box struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	ch chan int
+	v  int
+}
+
+// forward takes a then b; reversed takes b then a — a deadlock cycle.
+func forward(x *box) {
+	x.a.Lock()
+	x.b.Lock() // TP: a -> b, counter-ordered by reversed
+	x.v++
+	x.b.Unlock()
+	x.a.Unlock()
+}
+
+func reversed(x *box) {
+	x.b.Lock()
+	x.a.Lock() // TP: b -> a, counter-ordered by forward
+	x.v++
+	x.a.Unlock()
+	x.b.Unlock()
+}
+
+type pair struct {
+	c sync.Mutex
+	d sync.Mutex
+	n int
+}
+
+// lockD acquires d; viaCall holds c across the call, so the graph gains
+// c -> d interprocedurally.
+func lockD(p *pair) {
+	p.d.Lock()
+	p.n++
+	p.d.Unlock()
+}
+
+func viaCall(p *pair) {
+	p.c.Lock()
+	lockD(p) // TP: c -> d through the callee's lock summary
+	p.c.Unlock()
+}
+
+func dThenC(p *pair) {
+	p.d.Lock()
+	p.c.Lock() // TP: d -> c closes the cycle with viaCall
+	p.n++
+	p.c.Unlock()
+	p.d.Unlock()
+}
+
+// sendLocked blocks on a channel while holding a mutex.
+func sendLocked(x *box) {
+	x.a.Lock()
+	x.ch <- 1 // TP: channel send under lock
+	x.a.Unlock()
+}
+
+// waitRecv blocks; recvLocked calls it with the lock held.
+func waitRecv(x *box) int {
+	return <-x.ch
+}
+
+func recvLocked(x *box) {
+	x.a.Lock()
+	x.v = waitRecv(x) // TP: call to a blocking function under lock
+	x.a.Unlock()
+}
+
+type ordered struct {
+	e sync.Mutex
+	f sync.Mutex
+	n int
+}
+
+// consistent nests e -> f and nothing ever orders f -> e (TN).
+func consistent(o *ordered) {
+	o.e.Lock()
+	o.f.Lock()
+	o.n++
+	o.f.Unlock()
+	o.e.Unlock()
+}
+
+// sendUnlocked blocks only after releasing the lock (TN).
+func sendUnlocked(x *box) {
+	x.a.Lock()
+	x.v++
+	x.a.Unlock()
+	x.ch <- 2
+}
+
+// sendAllowed is a true positive suppressed for suppression coverage.
+func sendAllowed(x *box) {
+	x.a.Lock()
+	x.ch <- 3 //lint:allow lockorder fixture: suppression coverage
+	x.a.Unlock()
+}

@@ -145,8 +145,15 @@ func (h *eventHeap) siftDown(i int) {
 // pop sequence — and with it the schedule — is deterministic regardless of
 // operation history.
 type readyHeap struct {
-	ts   []*taskState
-	less func(a, b *taskState) bool
+	ts []*taskState
+	// sched owns the PD² priority order; holding the scheduler (rather
+	// than a comparison closure) keeps the sift paths' calls static, so
+	// hotalloc can verify the slot loop end to end.
+	sched *Scheduler
+}
+
+func (h *readyHeap) less(a, b *taskState) bool {
+	return h.sched.higherPriority(a.offer, b.offer)
 }
 
 func (h *readyHeap) len() int { return len(h.ts) }

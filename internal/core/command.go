@@ -107,6 +107,8 @@ func (c Command) String() string {
 // The command's At must equal Now(): a command log replays against the
 // same slots it was recorded against, or the schedule it produces is a
 // different schedule.
+//
+//lint:allocok command application allocates task state and log entries; the cost is per command, not per slot
 func (s *Scheduler) Apply(c Command) error {
 	if c.At != s.now {
 		return fmt.Errorf("core: command %s applied at t=%d (log and clock disagree)", c, s.now)

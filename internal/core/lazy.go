@@ -77,6 +77,7 @@ func (s *Scheduler) syncAccrual(ts *taskState, upTo model.Time) {
 			}
 			if s.cfg.CheckInvariants && (alloc.Sign() < 0 || w.Less(alloc)) {
 				s.violations = append(s.violations,
+					//lint:allow hotalloc CheckInvariants diagnostic mode formats violations; off by default in production
 					fmt.Sprintf("t=%d: (AF1) violated for %s: per-slot allocation %s outside [0,%s]", start, sub, alloc, w))
 			}
 			cum = cum.Add(alloc)

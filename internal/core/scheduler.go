@@ -39,6 +39,9 @@ func (p PolicyKind) String() string {
 // a negative value if task a should be scheduled first, positive if b
 // should, and 0 to fall back to task-id order. The paper's examples fix
 // such tie-breaks ("all ties are broken in favor of tasks from C").
+//
+// Implementations run inside the slot loop's priority comparisons and
+// must be allocation-free (the loop is //lint:noalloc; see docs/LINT.md).
 type TieBreak func(aName, aGroup, bName, bGroup string) int
 
 // FavorGroup returns a TieBreak that prefers tasks in the named group.
@@ -196,11 +199,12 @@ type Scheduler struct {
 
 	ready readyHeap // tasks with an offered (eligible) subtask
 
-	dueBuf  []*taskState // scratch: tasks due in the current phase
-	missBuf []tevent     // scratch: validated miss events of the slot
-	runBuf  []*subtask   // scratch: the slot's scheduled subtasks
-	prevRan []*taskState // tasks scheduled in the previous slot
-	curRan  []*taskState // tasks scheduled in the current slot
+	dueBuf   []*taskState // scratch: tasks due in the current phase
+	missBuf  []tevent     // scratch: validated miss events of the slot
+	runBuf   []*subtask   // scratch: the slot's scheduled subtasks
+	prevRan  []*taskState // tasks scheduled in the previous slot
+	curRan   []*taskState // tasks scheduled in the current slot
+	stateBuf []byte       // scratch: retained canonical-state render (digest.go)
 
 	subPool []*subtask // free list of retired subtask records
 }
@@ -223,7 +227,7 @@ func New(cfg Config, sys model.System) (*Scheduler, error) {
 		byName: make(map[string]*taskState, len(sys.Tasks)),
 		drifts: make(map[string][]DriftEvent),
 	}
-	s.ready.less = func(a, b *taskState) bool { return s.higherPriority(a.offer, b.offer) }
+	s.ready.sched = s
 	for _, spec := range sys.Tasks {
 		if err := checkAdmissibleWeight(spec.Weight, cfg.AllowHeavy); err != nil {
 			return nil, fmt.Errorf("core: task %s: %w", spec.Name, err)
@@ -810,6 +814,8 @@ func (s *Scheduler) Leave(name string) error {
 // preserved in internal/core/reference), so stale or duplicate events are
 // dropped and the phases process exactly the tasks the scan would have —
 // in the same (task-id) order.
+//
+//lint:noalloc the slot loop; steady state must not allocate (TestStepSteadyStateAllocs)
 func (s *Scheduler) Step() {
 	t := s.now
 
@@ -1000,7 +1006,7 @@ func (s *Scheduler) Step() {
 	// queue). The stolen quantum occupies the highest-numbered processor,
 	// so affinity/migration accounting sees it as busy.
 	if s.cpuBusy == nil {
-		s.cpuBusy = make([]bool, s.cfg.M)
+		s.cpuBusy = make([]bool, s.cfg.M) //lint:allow hotalloc one-time scratch warmup before the first slot; steady state reuses it
 	}
 	for c := range s.cpuBusy {
 		s.cpuBusy[c] = false
@@ -1055,6 +1061,7 @@ func (s *Scheduler) Step() {
 		ts.lastCPU = sub.schedCPU
 		ts.lastRunSlot = t
 		if s.cfg.RecordSchedule {
+			//lint:allow hotalloc RecordSchedule diagnostic mode retains per-slot rows by design
 			row = append(row, SlotEntry{Task: ts.name, Subtask: sub.abs, CPU: sub.schedCPU})
 		}
 		// The completed quantum advances the task's offer (possibly to an
@@ -1114,6 +1121,7 @@ func (s *Scheduler) collectDue(k eventKind, t model.Time, valid func(*taskState)
 			break
 		}
 		ts := e.ts
+		//lint:allow hotalloc the phase predicates are stateless closures the compiler keeps off the heap (TestStepSteadyStateAllocs)
 		if ts.mark == s.markGen || !valid(ts) {
 			continue
 		}
@@ -1145,17 +1153,18 @@ func sortTasksByID(ts []*taskState) {
 // sortMisses orders validated miss events like the original chain scan:
 // tasks in id order, and within a task the newest subtask first.
 func sortMisses(ev []tevent) {
-	less := func(a, b tevent) bool {
-		if a.ts.id != b.ts.id {
-			return a.ts.id < b.ts.id
-		}
-		return a.sub.abs > b.sub.abs
-	}
 	for i := 1; i < len(ev); i++ {
-		for j := i; j > 0 && less(ev[j], ev[j-1]); j-- {
+		for j := i; j > 0 && missEventLess(ev[j], ev[j-1]); j-- {
 			ev[j], ev[j-1] = ev[j-1], ev[j]
 		}
 	}
+}
+
+func missEventLess(a, b tevent) bool {
+	if a.ts.id != b.ts.id {
+		return a.ts.id < b.ts.id
+	}
+	return a.sub.abs > b.sub.abs
 }
 
 // updateOffer recomputes the subtask the task offers to the PD² queue and
@@ -1257,10 +1266,12 @@ func (s *Scheduler) release(ts *taskState, t model.Time) {
 		if p := sub.prev; p != nil && t < p.deadline-p.bbit {
 			if !p.swDone || p.swDoneTime > t {
 				s.violations = append(s.violations,
+					//lint:allow hotalloc CheckInvariants diagnostic mode formats violations; off by default in production
 					fmt.Sprintf("t=%d: (V) violated for %s: early release but D(I_SW)=%d", t, p, p.swDoneTime))
 			}
 			if !p.completeInS(t + 1) {
 				s.violations = append(s.violations,
+					//lint:allow hotalloc CheckInvariants diagnostic mode formats violations; off by default in production
 					fmt.Sprintf("t=%d: (V) violated for %s: early release but incomplete in S", t, p))
 			}
 		}
@@ -1289,6 +1300,8 @@ func (s *Scheduler) release(ts *taskState, t model.Time) {
 
 // newSubtask takes a record from the free list (or allocates one),
 // preserving its reuse stamp.
+//
+//lint:allocok pool growth: allocates only on a free-list miss, amortized to zero in steady state
 func (s *Scheduler) newSubtask() *subtask {
 	if n := len(s.subPool); n > 0 {
 		sub := s.subPool[n-1]
@@ -1357,6 +1370,7 @@ func (s *Scheduler) higherPriority(a, b *subtask) bool {
 		return a.groupDeadline > b.groupDeadline
 	}
 	if s.cfg.TieBreak != nil {
+		//lint:allow hotalloc TieBreak is a config plugin point; implementations must be allocation-free (documented on Config)
 		if c := s.cfg.TieBreak(a.task.name, a.task.group, b.task.name, b.task.group); c != 0 {
 			return c < 0
 		}

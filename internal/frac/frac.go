@@ -304,6 +304,20 @@ func (r Rat) String() string {
 	return strconv.FormatInt(r.num, 10) + "/" + strconv.FormatInt(r.Den(), 10)
 }
 
+// Append appends String's exact bytes to dst and returns the extended
+// slice, for allocation-free formatting on hot paths (the state-digest
+// writer); TestAppendMatchesString pins the byte equivalence.
+//
+//lint:noalloc digest path formatter
+func (r Rat) Append(dst []byte) []byte {
+	dst = strconv.AppendInt(dst, r.num, 10)
+	if den := r.Den(); den != 1 {
+		dst = append(dst, '/')
+		dst = strconv.AppendInt(dst, den, 10)
+	}
+	return dst
+}
+
 // Parse parses "a/b" or "a" into a Rat.
 func Parse(s string) (Rat, error) {
 	s = strings.TrimSpace(s)

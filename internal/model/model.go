@@ -48,6 +48,8 @@ var (
 var MaxLightWeight = frac.Half
 
 // CheckWeight validates a Pfair weight: 0 < w <= 1.
+//
+//lint:allocok error construction on the rejection path only; the accept path is allocation-free
 func CheckWeight(w frac.Rat) error {
 	if w.Sign() <= 0 {
 		return fmt.Errorf("%w (got %s)", ErrWeightNonPositive, w)

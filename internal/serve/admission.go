@@ -63,10 +63,12 @@ type admissionError struct {
 
 func (e *admissionError) Error() string { return e.kind + ": " + e.reason }
 
+//lint:allocok error construction on the rejection path only; the accept path returns nil
 func rejectWeight(headroom frac.Rat, format string, args ...any) *admissionError {
 	return &admissionError{kind: errWeight, reason: fmt.Sprintf(format, args...), headroom: headroom}
 }
 
+//lint:allocok error construction on the rejection path only; the accept path returns nil
 func reject(kind, format string, args ...any) *admissionError {
 	return &admissionError{kind: kind, reason: fmt.Sprintf(format, args...)}
 }

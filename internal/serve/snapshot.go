@@ -97,6 +97,8 @@ func opFromName(name string) (pendingOp, error) {
 
 // buildSnapshot serializes the shard. Run-goroutine only (or after the
 // loop has exited).
+//
+//lint:allocok snapshots copy the full log and task set by design; rare administrative operation
 func (sh *Shard) buildSnapshot() *Snapshot {
 	logCopy := make([]core.Command, len(sh.log))
 	copy(logCopy, sh.log)
