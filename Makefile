@@ -20,18 +20,21 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem -run XXX ./...
 
-# Refresh BENCH_core.json with the scheduler hot-path numbers. The file's
-# committed baseline_ns_per_op section (the pre-event-engine per-slot loop)
-# is preserved; only current_ns_per_op and the speedups are rewritten.
+# Refresh BENCH_core.json with the scheduler and wire hot-path numbers.
+# The file's committed baseline_ns_per_op section (the pre-event-engine
+# per-slot loop) is preserved; only current_ns_per_op and the speedups
+# are rewritten.
 bench-json:
-	$(GO) test -bench 'SchedulerSlot|ReweightStorm' -benchtime=1s -run XXX . \
+	{ $(GO) test -bench 'SchedulerSlot|ReweightStorm' -benchtime=1s -run XXX . ; \
+	  $(GO) test -bench WirePath -benchtime=1s -run XXX ./internal/serve ; } \
 		| $(GO) run ./cmd/benchjson -out BENCH_core.json
 
 # Perf regression gate: rerun the hot-path benchmarks and fail if any is
 # more than 25% slower than the committed BENCH_core.json numbers. Never
 # writes the file.
 bench-check:
-	$(GO) test -bench 'SchedulerSlot|ReweightStorm' -benchtime=1s -run XXX . \
+	{ $(GO) test -bench 'SchedulerSlot|ReweightStorm' -benchtime=1s -run XXX . ; \
+	  $(GO) test -bench WirePath -benchtime=1s -run XXX ./internal/serve ; } \
 		| $(GO) run ./cmd/benchjson -check -out BENCH_core.json
 
 # Lint-suite perf gate: one warm full-module pd2lint pass (load,

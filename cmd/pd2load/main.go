@@ -1,9 +1,17 @@
 // Command pd2load is a closed-loop load generator for pd2d. It joins a
 // population of tasks on every shard, then drives a stream of reweight
-// commands (optionally batched per request, optionally interleaved with
-// advances) from N workers, each waiting for every reply before sending
-// the next request. Backpressure (429) is honoured by retrying after a
-// short pause — backpressured commands are retried, never dropped.
+// commands (batched per request, optionally interleaved with advances)
+// from N workers. Each worker owns one persistent TCP connection and
+// keeps up to -pipeline requests in flight on it (HTTP/1.1 pipelining:
+// pd2d frames every hot-path response with an explicit Content-Length,
+// so responses are read back in order without chunked parsing).
+// Backpressure (429) is honoured by retrying after a capped exponential
+// backoff floored at the server's Retry-After hint — backpressured
+// commands are retried, never dropped.
+//
+// The total -requests budget is split across workers with the remainder
+// distributed one-per-worker, so exactly -requests commands are
+// delivered for any (requests, workers) pair.
 //
 // With -strict it exits non-zero unless the run was admission-clean:
 // no property-(W) rejections, no engine invariant violations, no failed
@@ -11,14 +19,18 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
+	"net/url"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -26,12 +38,13 @@ import (
 )
 
 type workerStats struct {
-	sent          int64 // commands queued by the server
-	posts         int64 // HTTP requests issued (excluding retries)
-	retries       int64 // 429 retry attempts
-	rejected      int64 // per-command rejections (409/404/400)
-	serverErrors  int64 // 5xx responses
-	transportErrs int64 // connection-level failures
+	sent          int64         // commands queued by the server
+	posts         int64         // HTTP requests issued (excluding retries)
+	retries       int64         // 429 retry attempts
+	rejected      int64         // per-command rejections (409/404/400)
+	serverErrors  int64         // 5xx responses
+	transportErrs int64         // connection-level failures
+	backoff       time.Duration // total time slept honouring backpressure
 }
 
 func main() {
@@ -41,6 +54,7 @@ func main() {
 		workers  = flag.Int("workers", 8, "concurrent closed-loop workers")
 		requests = flag.Int("requests", 50000, "total commands to send across all workers")
 		batch    = flag.Int("batch", 8, "commands per HTTP request")
+		pipeline = flag.Int("pipeline", 4, "requests in flight per worker connection (1 = strict closed loop)")
 		tasks    = flag.Int("tasks", 16, "tasks to join per shard during setup")
 		advEvery = flag.Int("advance-every", 64, "per worker, advance the target shard one slot every N posts (0 never)")
 		seed     = flag.Int64("seed", 1, "RNG seed for the weight stream")
@@ -48,14 +62,25 @@ func main() {
 		strict   = flag.Bool("strict", false, "exit non-zero unless the run is admission-clean")
 	)
 	flag.Parse()
-	if err := run(*base, *shards, *workers, *requests, *batch, *tasks, *advEvery, *seed, *prefix, *strict); err != nil {
+	if _, err := run(*base, *shards, *workers, *requests, *batch, *tasks, *advEvery, *pipeline, *seed, *prefix, *strict); err != nil {
 		log.Fatalf("pd2load: %v", err)
 	}
 }
 
-func run(base string, shards, workers, requests, batch, tasks, advEvery int, seed int64, prefix string, strict bool) error {
+func run(base string, shards, workers, requests, batch, tasks, advEvery, pipeline int, seed int64, prefix string, strict bool) (workerStats, error) {
+	var tot workerStats
 	if shards < 1 || workers < 1 || batch < 1 || tasks < 1 {
-		return fmt.Errorf("shards, workers, batch, tasks must all be >= 1")
+		return tot, fmt.Errorf("shards, workers, batch, tasks must all be >= 1")
+	}
+	if pipeline < 1 || pipeline > 64 {
+		// The client writes a full window before reading any response;
+		// an unbounded window could deadlock against kernel socket
+		// buffers once window bytes outgrow them.
+		return tot, fmt.Errorf("pipeline must be in [1, 64]")
+	}
+	addr, host, err := parseBase(base)
+	if err != nil {
+		return tot, err
 	}
 	client := &http.Client{
 		Transport: &http.Transport{
@@ -66,49 +91,51 @@ func run(base string, shards, workers, requests, batch, tasks, advEvery int, see
 	}
 
 	if err := setup(client, base, prefix, shards, tasks); err != nil {
-		return fmt.Errorf("setup: %w", err)
+		return tot, fmt.Errorf("setup: %w", err)
 	}
 
-	// Closed loop: each worker owns a slice of the total command budget
-	// and a distinct stats slot (the results[i] worker-pool idiom).
-	stats := make([]workerStats, workers)
-	perWorker := requests / workers
+	// Each worker owns a slice of the total command budget and a
+	// distinct stats slot (the results[i] worker-pool idiom).
+	budgets := splitBudget(requests, workers)
+	st := make([]workerStats, workers)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			stats[w] = drive(client, base, prefix, w, shards, perWorker, batch, tasks, advEvery, seed)
+			pc := &pconn{addr: addr, host: host}
+			defer pc.close()
+			st[w] = drive(pc, prefix, w, shards, budgets[w], batch, tasks, advEvery, pipeline, seed)
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var tot workerStats
-	for _, s := range stats {
+	for _, s := range st {
 		tot.sent += s.sent
 		tot.posts += s.posts
 		tot.retries += s.retries
 		tot.rejected += s.rejected
 		tot.serverErrors += s.serverErrors
 		tot.transportErrs += s.transportErrs
+		tot.backoff += s.backoff
 	}
 	rate := float64(tot.sent) / elapsed.Seconds()
-	fmt.Printf("pd2load: %d commands in %.2fs = %.0f commands/s (%d posts, %d retries, %d rejected, %d 5xx, %d transport errors)\n",
-		tot.sent, elapsed.Seconds(), rate, tot.posts, tot.retries, tot.rejected, tot.serverErrors, tot.transportErrs)
+	fmt.Printf("pd2load: %d commands in %.2fs = %.0f commands/s (%d posts, %d retries, %d rejected, %d 5xx, %d transport errors, %.3fs backoff)\n",
+		tot.sent, elapsed.Seconds(), rate, tot.posts, tot.retries, tot.rejected, tot.serverErrors, tot.transportErrs, tot.backoff.Seconds())
 
 	// Flush: one final advance per shard applies any still-staged batch,
 	// so the audit sees applied == accepted for an admission-clean run.
 	for s := 0; s < shards; s++ {
 		if code, body, err := post(client, fmt.Sprintf("%s/v1/shards/%d/advance", base, s), map[string]int{"slots": 1}); err != nil || code != http.StatusOK {
-			return fmt.Errorf("final advance shard %d: %d %s: %v", s, code, body, err)
+			return tot, fmt.Errorf("final advance shard %d: %d %s: %v", s, code, body, err)
 		}
 	}
 
 	clean, err := audit(client, base, shards)
 	if err != nil {
-		return fmt.Errorf("audit: %w", err)
+		return tot, fmt.Errorf("audit: %w", err)
 	}
 	if strict {
 		ok := clean && tot.rejected == 0 && tot.serverErrors == 0 && tot.transportErrs == 0
@@ -118,7 +145,60 @@ func run(base string, shards, workers, requests, batch, tasks, advEvery int, see
 		}
 		fmt.Println("pd2load: strict checks passed (admission-clean, zero failed applies, zero violations)")
 	}
-	return nil
+	return tot, nil
+}
+
+// splitBudget divides requests across workers so the parts sum exactly
+// to requests: the first requests%workers workers carry one extra.
+func splitBudget(requests, workers int) []int {
+	parts := make([]int, workers)
+	per, extra := requests/workers, requests%workers
+	for i := range parts {
+		parts[i] = per
+		if i < extra {
+			parts[i]++
+		}
+	}
+	return parts
+}
+
+// parseBase extracts the dial address and Host header from the base URL.
+func parseBase(base string) (addr, host string, err error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return "", "", fmt.Errorf("parsing -addr: %w", err)
+	}
+	if u.Scheme != "http" {
+		return "", "", fmt.Errorf("pipelined client speaks plain http, got scheme %q", u.Scheme)
+	}
+	if u.Host == "" {
+		return "", "", fmt.Errorf("-addr %q has no host", base)
+	}
+	addr = u.Host
+	if u.Port() == "" {
+		addr = net.JoinHostPort(u.Hostname(), "80")
+	}
+	return addr, u.Host, nil
+}
+
+const maxBackoff = 250 * time.Millisecond
+
+// backoffDelay is the sleep before the attempt-th consecutive 429
+// retry: exponential from 1ms, floored at the server's Retry-After
+// hint, capped at maxBackoff, plus up to 25% jitter drawn from the
+// worker's own RNG stream so runs stay reproducible per (seed, worker).
+func backoffDelay(attempt int, hint time.Duration, rng *stats.RNG) time.Duration {
+	if attempt > 10 {
+		attempt = 10
+	}
+	d := time.Millisecond << attempt
+	if hint > d {
+		d = hint
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	return d + time.Duration(rng.Bounded(int(d/4)+1))
 }
 
 // taskName is the canonical load-task name for (shard, index).
@@ -169,8 +249,23 @@ func setup(client *http.Client, base, prefix string, shards, tasks int) error {
 	return nil
 }
 
-// drive is one worker's closed loop.
-func drive(client *http.Client, base, prefix string, w, shards, budget, batch, tasks, advEvery int, seed int64) workerStats {
+// wireReq is one encoded request awaiting its response: the batch body
+// and how many commands it carries (so retries keep the budget exact).
+type wireReq struct {
+	path string
+	body []byte
+	n    int
+}
+
+// queuedMarker counts accepted commands in a batch reply without a JSON
+// decode. Safe here because the generator only sends reweights of its
+// own alphanumeric task names, so the marker cannot appear inside a
+// rejection reason.
+var queuedMarker = []byte(`"status":"queued"`)
+
+// drive is one worker's loop: keep up to `pipeline` batch requests in
+// flight on one connection, read replies in order, retry 429s.
+func drive(pc *pconn, prefix string, w, shards, budget, batch, tasks, advEvery, pipeline int, seed int64) workerStats {
 	var st workerStats
 	// One deterministic stats.RNG stream per worker: the command
 	// sequence of a given (-seed, worker) pair is reproducible, and
@@ -178,88 +273,405 @@ func drive(client *http.Client, base, prefix string, w, shards, budget, batch, t
 	// (Lemire's nearly-divisionless mapping — see internal/stats).
 	rng := stats.NewStream(uint64(seed), uint64(w))
 	shard := w % shards
-	cmds := make([]command, 0, batch)
-	var buf bytes.Buffer
-	for st.sent < int64(budget) {
-		n := batch
-		if rest := int64(budget) - st.sent; rest < int64(n) {
-			n = int(rest)
+	cmdPaths := make([]string, shards)
+	advPaths := make([]string, shards)
+	for s := range cmdPaths {
+		cmdPaths[s] = fmt.Sprintf("/v1/shards/%d/commands", s)
+		advPaths[s] = fmt.Sprintf("/v1/shards/%d/advance", s)
+	}
+	window := make([]wireReq, 0, pipeline)
+	var retryQ []wireReq
+	var free [][]byte
+	attempt := 0
+	var advancesDone int64
+	for st.sent < int64(budget) || len(retryQ) > 0 {
+		// Assemble the window: queued retries first, then fresh batches
+		// up to the part of the budget not already in flight or queued.
+		window = window[:0]
+		nr := len(retryQ)
+		if nr > pipeline {
+			nr = pipeline
 		}
-		cmds = cmds[:0]
-		for i := 0; i < n; i++ {
-			// Reweight a random task between 1/64 and 1/32 — always within
-			// the admitted budget, so a 409 here is a server-side bug.
-			cmds = append(cmds, command{
-				Op:     "reweight",
-				Task:   taskName(prefix, shard, rng.Bounded(tasks)),
-				Weight: fmt.Sprintf("%d/64", 1+rng.Bounded(2)),
-			})
+		window = append(window, retryQ[:nr]...)
+		retryQ = retryQ[:copy(retryQ, retryQ[nr:])]
+		pendingCmds := 0
+		for _, it := range retryQ {
+			pendingCmds += it.n
 		}
-		buf.Reset()
-		if err := json.NewEncoder(&buf).Encode(cmds); err != nil {
+		for _, it := range window {
+			pendingCmds += it.n
+		}
+		for len(window) < pipeline {
+			need := budget - int(st.sent) - pendingCmds
+			if need <= 0 {
+				break
+			}
+			n := batch
+			if need < n {
+				n = need
+			}
+			var body []byte
+			if len(free) > 0 {
+				body, free = free[len(free)-1], free[:len(free)-1]
+			}
+			body = appendBatch(body[:0], prefix, shard, n, tasks, rng)
+			window = append(window, wireReq{path: cmdPaths[shard], body: body, n: n})
+			pendingCmds += n
+			st.posts++
+			// Spread workers across shards over time so every shard
+			// sees load even when workers < shards.
+			if shards > 1 && st.posts%13 == 0 {
+				shard = (shard + 1) % shards
+			}
+		}
+		if len(window) == 0 {
+			break
+		}
+		if err := pc.ensure(); err != nil {
 			st.transportErrs++
 			return st
 		}
-		url := fmt.Sprintf("%s/v1/shards/%d/commands", base, shard)
-		st.posts++
-		for {
-			resp, err := client.Post(url, "application/json", bytes.NewReader(buf.Bytes()))
+		for i := range window {
+			if err := pc.writeReq(window[i].path, window[i].body); err != nil {
+				st.transportErrs++
+				return st
+			}
+		}
+		if err := pc.flush(); err != nil {
+			st.transportErrs++
+			return st
+		}
+		var hint time.Duration
+		got429 := false
+		for i := range window {
+			resp, err := pc.readResp()
 			if err != nil {
 				st.transportErrs++
+				pc.close()
 				return st
 			}
-			body, rerr := io.ReadAll(resp.Body)
-			cerr := resp.Body.Close()
-			if rerr != nil || cerr != nil {
-				st.transportErrs++
-				return st
-			}
-			if resp.StatusCode == http.StatusTooManyRequests {
+			it := window[i]
+			switch {
+			case resp.status == http.StatusTooManyRequests:
 				st.retries++
-				time.Sleep(time.Millisecond)
-				continue
-			}
-			if resp.StatusCode >= 500 {
+				got429 = true
+				if resp.retryAfter > hint {
+					hint = resp.retryAfter
+				}
+				retryQ = append(retryQ, it)
+			case resp.status >= 500:
 				st.serverErrors++
-				break
+				free = append(free, it.body)
+			case resp.status != http.StatusOK:
+				st.rejected += int64(it.n)
+				free = append(free, it.body)
+			default:
+				q := bytes.Count(resp.body, queuedMarker)
+				st.sent += int64(q)
+				st.rejected += int64(it.n - q)
+				free = append(free, it.body)
 			}
-			if resp.StatusCode != http.StatusOK {
-				st.rejected += int64(n)
-				break
-			}
-			var results []struct {
-				Status string `json:"status"`
-			}
-			if err := json.Unmarshal(body, &results); err != nil {
-				st.transportErrs++
-				return st
-			}
-			for _, r := range results {
-				if r.Status == "queued" {
-					st.sent++
-				} else {
-					st.rejected++
+		}
+		if got429 {
+			d := backoffDelay(attempt, hint, rng)
+			attempt++
+			st.backoff += d
+			time.Sleep(d)
+		} else {
+			attempt = 0
+		}
+		if advEvery > 0 {
+			for due := st.posts / int64(advEvery); advancesDone < due; advancesDone++ {
+				if err := pc.ensure(); err != nil {
+					st.transportErrs++
+					return st
+				}
+				if err := pc.writeReq(advPaths[shard], []byte(`{"slots":1}`)); err != nil {
+					st.transportErrs++
+					return st
+				}
+				if err := pc.flush(); err != nil {
+					st.transportErrs++
+					return st
+				}
+				resp, err := pc.readResp()
+				if err != nil {
+					st.transportErrs++
+					pc.close()
+					return st
+				}
+				if resp.status >= 500 {
+					st.serverErrors++
 				}
 			}
-			break
-		}
-		if advEvery > 0 && st.posts%int64(advEvery) == 0 {
-			code, _, err := post(client, fmt.Sprintf("%s/v1/shards/%d/advance", base, shard), map[string]int{"slots": 1})
-			if err != nil {
-				st.transportErrs++
-				return st
-			}
-			if code >= 500 {
-				st.serverErrors++
-			}
-		}
-		// Spread workers across shards over time so every shard sees load
-		// even when workers < shards.
-		if shards > 1 && st.posts%13 == 0 {
-			shard = (shard + 1) % shards
 		}
 	}
 	return st
+}
+
+// appendBatch encodes n reweight commands as a JSON array. Weights move
+// between 1/64 and 1/32 — always within the admitted budget, so a 409
+// under load is a server-side bug. Assumes an alphanumeric prefix (the
+// names are embedded without JSON escaping).
+func appendBatch(b []byte, prefix string, shard, n, tasks int, rng *stats.RNG) []byte {
+	b = append(b, '[')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"op":"reweight","task":"`...)
+		b = append(b, prefix...)
+		b = strconv.AppendInt(b, int64(shard), 10)
+		b = append(b, '_')
+		b = strconv.AppendInt(b, int64(rng.Bounded(tasks)), 10)
+		b = append(b, `","weight":"`...)
+		b = strconv.AppendInt(b, int64(1+rng.Bounded(2)), 10)
+		b = append(b, `/64"}`...)
+	}
+	return append(b, ']')
+}
+
+// pconn is a persistent HTTP/1.1 connection with request pipelining:
+// write up to a window of requests, flush once, read the responses back
+// in order. pd2d sends explicit Content-Length on the hot path; chunked
+// framing is parsed as a fallback for other handlers.
+type pconn struct {
+	addr string
+	host string
+	c    net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	body []byte
+}
+
+type wireResp struct {
+	status     int
+	retryAfter time.Duration
+	body       []byte // valid until the next readResp
+}
+
+func (p *pconn) ensure() error {
+	if p.c != nil {
+		return nil
+	}
+	c, err := net.DialTimeout("tcp", p.addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	p.c = c
+	if p.br == nil {
+		p.br = bufio.NewReaderSize(c, 64<<10)
+		p.bw = bufio.NewWriterSize(c, 64<<10)
+	} else {
+		p.br.Reset(c)
+		p.bw.Reset(c)
+	}
+	return nil
+}
+
+func (p *pconn) close() {
+	if p.c != nil {
+		_ = p.c.Close() // best effort; the conn is being abandoned
+		p.c = nil
+	}
+}
+
+// writeReq buffers one request. bufio errors are sticky, so the
+// intermediate write errors are dropped and flush reports them.
+func (p *pconn) writeReq(path string, body []byte) error {
+	_ = p.c.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	var tmp [20]byte
+	_, _ = p.bw.WriteString("POST ")
+	_, _ = p.bw.WriteString(path)
+	_, _ = p.bw.WriteString(" HTTP/1.1\r\nHost: ")
+	_, _ = p.bw.WriteString(p.host)
+	_, _ = p.bw.WriteString("\r\nContent-Type: application/json\r\nContent-Length: ")
+	_, _ = p.bw.Write(strconv.AppendInt(tmp[:0], int64(len(body)), 10))
+	_, _ = p.bw.WriteString("\r\n\r\n")
+	_, err := p.bw.Write(body)
+	return err
+}
+
+func (p *pconn) flush() error { return p.bw.Flush() }
+
+func (p *pconn) readResp() (wireResp, error) {
+	var r wireResp
+	_ = p.c.SetReadDeadline(time.Now().Add(30 * time.Second))
+	line, err := p.readLine()
+	if err != nil {
+		return r, err
+	}
+	if len(line) < 12 || !bytes.HasPrefix(line, []byte("HTTP/1.")) {
+		return r, fmt.Errorf("malformed status line %q", line)
+	}
+	status, ok := atoiBytes(line[9:12])
+	if !ok {
+		return r, fmt.Errorf("malformed status line %q", line)
+	}
+	r.status = status
+	contentLen := -1
+	chunked, closeAfter := false, false
+	for {
+		line, err = p.readLine()
+		if err != nil {
+			return r, err
+		}
+		if len(line) == 0 {
+			break
+		}
+		colon := bytes.IndexByte(line, ':')
+		if colon < 0 {
+			continue
+		}
+		key, val := line[:colon], bytes.TrimSpace(line[colon+1:])
+		switch {
+		case headerIs(key, "content-length"):
+			if n, ok := atoiBytes(val); ok {
+				contentLen = n
+			}
+		case headerIs(key, "transfer-encoding"):
+			chunked = headerIs(val, "chunked")
+		case headerIs(key, "connection"):
+			closeAfter = headerIs(val, "close")
+		case headerIs(key, "retry-after"):
+			if n, ok := atoiBytes(val); ok {
+				r.retryAfter = time.Duration(n) * time.Second
+			}
+		}
+	}
+	p.body = p.body[:0]
+	switch {
+	case chunked:
+		for {
+			line, err = p.readLine()
+			if err != nil {
+				return r, err
+			}
+			size, ok := htoiBytes(line)
+			if !ok {
+				return r, fmt.Errorf("malformed chunk size %q", line)
+			}
+			if size == 0 {
+				for { // trailers end at an empty line
+					line, err = p.readLine()
+					if err != nil {
+						return r, err
+					}
+					if len(line) == 0 {
+						break
+					}
+				}
+				break
+			}
+			if err := p.readBody(size); err != nil {
+				return r, err
+			}
+			if line, err = p.readLine(); err != nil {
+				return r, err
+			} else if len(line) != 0 {
+				return r, fmt.Errorf("chunk not terminated by CRLF")
+			}
+		}
+	case contentLen >= 0:
+		if err := p.readBody(contentLen); err != nil {
+			return r, err
+		}
+	case status == http.StatusNoContent || status == http.StatusNotModified:
+		// no body
+	case closeAfter:
+		if p.body, err = io.ReadAll(p.br); err != nil {
+			return r, err
+		}
+	default:
+		return r, fmt.Errorf("response %d has neither Content-Length nor chunked framing", status)
+	}
+	r.body = p.body
+	if closeAfter {
+		p.close()
+	}
+	return r, nil
+}
+
+// readBody appends n bytes from the connection to p.body.
+func (p *pconn) readBody(n int) error {
+	off := len(p.body)
+	if cap(p.body) < off+n {
+		grown := make([]byte, off+n, 2*(off+n))
+		copy(grown, p.body)
+		p.body = grown
+	} else {
+		p.body = p.body[:off+n]
+	}
+	_, err := io.ReadFull(p.br, p.body[off:])
+	return err
+}
+
+// readLine reads one CRLF-terminated line; the slice is valid until the
+// next read.
+func (p *pconn) readLine() ([]byte, error) {
+	line, err := p.br.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// headerIs reports whether b equals the lower-case token name,
+// ASCII-case-insensitively.
+func headerIs(b []byte, name string) bool {
+	if len(b) != len(name) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != name[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func atoiBytes(b []byte) (int, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+func htoiBytes(b []byte) (int, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	n := 0
+	for _, c := range b {
+		switch {
+		case c >= '0' && c <= '9':
+			n = n<<4 | int(c-'0')
+		case c >= 'a' && c <= 'f':
+			n = n<<4 | int(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			n = n<<4 | int(c-'A'+10)
+		case c == ';': // chunk extension: ignore the rest
+			return n, true
+		default:
+			return 0, false
+		}
+	}
+	return n, true
 }
 
 // audit fetches every shard's status and reports whether the run was

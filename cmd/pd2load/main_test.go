@@ -1,0 +1,175 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+// TestSplitBudget pins the remainder distribution: the parts always sum
+// to the request total and never differ by more than one.
+func TestSplitBudget(t *testing.T) {
+	cases := []struct{ requests, workers int }{
+		{0, 1}, {0, 8}, {1, 1}, {1, 8}, {5, 8}, {8, 5},
+		{100, 7}, {4000, 3}, {50000, 8}, {50001, 8},
+	}
+	for _, tc := range cases {
+		parts := splitBudget(tc.requests, tc.workers)
+		if len(parts) != tc.workers {
+			t.Fatalf("split(%d,%d): %d parts", tc.requests, tc.workers, len(parts))
+		}
+		sum, lo, hi := 0, parts[0], parts[0]
+		for _, p := range parts {
+			sum += p
+			if p < lo {
+				lo = p
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+		if sum != tc.requests {
+			t.Errorf("split(%d,%d) sums to %d, dropping %d commands",
+				tc.requests, tc.workers, sum, tc.requests-sum)
+		}
+		if hi-lo > 1 {
+			t.Errorf("split(%d,%d) is uneven: min %d, max %d", tc.requests, tc.workers, lo, hi)
+		}
+	}
+}
+
+// TestBackoffDelay pins the retry schedule: exponential from 1ms,
+// floored at the Retry-After hint, capped at maxBackoff, jitter <= 25%.
+func TestBackoffDelay(t *testing.T) {
+	rng := stats.NewStream(1, 0)
+	for attempt := 0; attempt < 12; attempt++ {
+		base := time.Millisecond << attempt
+		if attempt > 10 {
+			base = time.Millisecond << 10
+		}
+		if base > maxBackoff {
+			base = maxBackoff
+		}
+		d := backoffDelay(attempt, 0, rng)
+		if d < base || d > base+base/4 {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, d, base, base+base/4)
+		}
+	}
+	// A Retry-After hint floors the delay but stays capped.
+	if d := backoffDelay(0, 5*time.Millisecond, rng); d < 5*time.Millisecond || d > 5*time.Millisecond*5/4 {
+		t.Errorf("hinted delay %v outside [5ms, 6.25ms]", d)
+	}
+	if d := backoffDelay(0, 3*time.Second, rng); d < maxBackoff || d > maxBackoff*5/4 {
+		t.Errorf("capped delay %v outside [%v, %v]", d, maxBackoff, maxBackoff*5/4)
+	}
+	// Determinism: the same (seed, worker) stream yields the same schedule.
+	a, b := stats.NewStream(7, 3), stats.NewStream(7, 3)
+	for attempt := 0; attempt < 8; attempt++ {
+		if da, db := backoffDelay(attempt, 0, a), backoffDelay(attempt, 0, b); da != db {
+			t.Fatalf("attempt %d: %v != %v from identical streams", attempt, da, db)
+		}
+	}
+}
+
+// serveResponse writes a canned HTTP response to whoever connects, for
+// exercising pconn framing without a real server.
+func serveResponse(t *testing.T, raw string) *pconn {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c.Write([]byte(raw))
+		c.Close()
+	}()
+	pc := &pconn{addr: ln.Addr().String(), host: "test"}
+	if err := pc.ensure(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pc.close)
+	return pc
+}
+
+func TestReadRespContentLength(t *testing.T) {
+	pc := serveResponse(t, "HTTP/1.1 429 Too Many Requests\r\nRetry-After: 3\r\nContent-Length: 2\r\n\r\n{}")
+	resp, err := pc.readResp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != 429 || resp.retryAfter != 3*time.Second || string(resp.body) != "{}" {
+		t.Fatalf("got status=%d retryAfter=%v body=%q", resp.status, resp.retryAfter, resp.body)
+	}
+}
+
+func TestReadRespChunked(t *testing.T) {
+	pc := serveResponse(t, "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"+
+		"5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n")
+	resp, err := pc.readResp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != 200 || string(resp.body) != "hello world" {
+		t.Fatalf("got status=%d body=%q", resp.status, resp.body)
+	}
+}
+
+func TestReadRespConnectionClose(t *testing.T) {
+	pc := serveResponse(t, "HTTP/1.1 413 Payload Too Large\r\nConnection: close\r\nContent-Length: 4\r\n\r\nbody")
+	resp, err := pc.readResp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != 413 || string(resp.body) != "body" {
+		t.Fatalf("got status=%d body=%q", resp.status, resp.body)
+	}
+	if pc.c != nil {
+		t.Fatal("connection not closed after Connection: close")
+	}
+}
+
+// TestExactDeliveryEndToEnd runs the full generator against an
+// in-process pd2d and checks the -requests budget is delivered exactly,
+// including when workers do not divide requests and when some workers
+// get no budget at all.
+func TestExactDeliveryEndToEnd(t *testing.T) {
+	srv, err := serve.New(serve.Options{Shards: 4, Config: serve.ShardConfig{M: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Stop()
+	}()
+
+	cases := []struct{ requests, workers, batch, pipeline int }{
+		{1003, 7, 8, 4}, // 1003 = 7*143 + 2: two workers carry one extra
+		{37, 5, 8, 2},   // budget smaller than a worker's first window
+		{5, 8, 3, 1},    // more workers than requests: some sit idle
+	}
+	for i, tc := range cases {
+		prefix := fmt.Sprintf("E%d", i)
+		tot, err := run(ts.URL, 4, tc.workers, tc.requests, tc.batch, 4, 16, tc.pipeline, 1, prefix, false)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if tot.sent != int64(tc.requests) {
+			t.Errorf("case %d: delivered %d commands, want exactly %d", i, tot.sent, tc.requests)
+		}
+		if tot.rejected != 0 || tot.serverErrors != 0 || tot.transportErrs != 0 {
+			t.Errorf("case %d: not clean: %+v", i, tot)
+		}
+	}
+}

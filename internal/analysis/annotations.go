@@ -253,22 +253,33 @@ func isReplaySinkObj(obj *types.Func) bool {
 // without the star). Keep every entry justified: an entry here is a
 // trusted axiom the check cannot verify.
 var allocFreeTable = map[string]string{
-	"strconv.AppendInt":         "appends into the caller's buffer; allocates only on growth, amortized by reuse",
-	"strconv.AppendUint":        "appends into the caller's buffer; allocates only on growth, amortized by reuse",
-	"sync.Mutex.Lock":           "uncontended fast path is a CAS; never allocates",
-	"sync.Mutex.Unlock":         "atomic store; never allocates",
-	"sync.RWMutex.RLock":        "atomic counter; never allocates",
-	"sync.RWMutex.RUnlock":      "atomic counter; never allocates",
-	"math/bits.Mul64":           "compiler intrinsic; pure register arithmetic",
-	"sort.Search":               "binary search over caller state; no allocation",
-	"sync/atomic.Int64.Add":     "hardware atomic; never allocates",
-	"sync/atomic.Int64.Load":    "hardware atomic; never allocates",
-	"sync/atomic.Int64.Store":   "hardware atomic; never allocates",
-	"sync/atomic.Uint64.Add":    "hardware atomic; never allocates",
-	"sync/atomic.Uint64.Load":   "hardware atomic; never allocates",
-	"sync/atomic.Pointer.Load":  "hardware atomic on a pointer slot; never allocates",
-	"sync/atomic.Pointer.Store": "hardware atomic on a pointer slot; never allocates",
-	"errors.Is":                 "walks the existing error chain; allocates nothing",
+	"strconv.AppendInt":               "appends into the caller's buffer; allocates only on growth, amortized by reuse",
+	"strconv.AppendUint":              "appends into the caller's buffer; allocates only on growth, amortized by reuse",
+	"sync.Mutex.Lock":                 "uncontended fast path is a CAS; never allocates",
+	"sync.Mutex.Unlock":               "atomic store; never allocates",
+	"sync.RWMutex.RLock":              "atomic counter; never allocates",
+	"sync.RWMutex.RUnlock":            "atomic counter; never allocates",
+	"math/bits.Mul64":                 "compiler intrinsic; pure register arithmetic",
+	"sort.Search":                     "binary search over caller state; no allocation",
+	"sync/atomic.Int64.Add":           "hardware atomic; never allocates",
+	"sync/atomic.Int64.Load":          "hardware atomic; never allocates",
+	"sync/atomic.Int64.Store":         "hardware atomic; never allocates",
+	"sync/atomic.Uint64.Add":          "hardware atomic; never allocates",
+	"sync/atomic.Uint64.Load":         "hardware atomic; never allocates",
+	"sync/atomic.Pointer.Load":        "hardware atomic on a pointer slot; never allocates",
+	"sync/atomic.Pointer.Store":       "hardware atomic on a pointer slot; never allocates",
+	"errors.Is":                       "walks the existing error chain; allocates nothing",
+	"errors.As":                       "walks the existing error chain into a caller-owned target; allocates nothing",
+	"bytes.Equal":                     "byte comparison over caller buffers; never allocates",
+	"bytes.IndexByte":                 "vectorized scan over a caller buffer; never allocates",
+	"unicode/utf8.DecodeRune":         "pure decode of a caller buffer; never allocates",
+	"unicode/utf8.DecodeRuneInString": "pure decode of a caller string; never allocates",
+	"unicode/utf8.EncodeRune":         "writes into the caller's buffer; never allocates",
+	"unicode/utf8.AppendRune":         "appends into the caller's buffer; growth is the caller's amortized pool",
+	"bytes.TrimSpace":                 "returns a subslice of the caller's buffer; never allocates",
+	"unicode/utf8.RuneLen":            "pure computation; never allocates",
+	"unicode/utf16.DecodeRune":        "pure surrogate-pair arithmetic; never allocates",
+	"unicode/utf16.IsSurrogate":       "pure range test; never allocates",
 }
 
 // isAllocFree reports whether a callee outside the run is a registered

@@ -307,6 +307,12 @@ func (ip *interp) scanBody(fn *interpFn) {
 	// retained capacity, which the runtime zero-alloc tests confirm.
 	reused := reusedBuffers(body, info, params)
 
+	// Map lookups keyed by string(byteSlice): the compiler compiles an
+	// rvalue m[string(b)] without materializing the string, so the
+	// conversion is free. Assignments (m[string(b)] = v) still intern
+	// the key and stay flagged.
+	mapIdxOK := mapIndexStringLookups(body, info)
+
 	// Non-blocking select statements: their comm clauses are polls, not
 	// waits, so the sends/receives inside the clause headers are exempt.
 	nonBlockComm := make(map[ast.Node]bool)
@@ -377,7 +383,7 @@ func (ip *interp) scanBody(fn *interpFn) {
 					}
 					return false
 				}
-				ip.scanCall(fn, n, info, inPanic, reused, addAlloc)
+				ip.scanCall(fn, n, info, inPanic, reused, mapIdxOK, addAlloc)
 				if cs, ok := resolveCall(info, n); ok {
 					cs.inPanic = inPanic
 					fn.calls = append(fn.calls, cs)
@@ -510,7 +516,7 @@ func (ip *interp) scanBody(fn *interpFn) {
 // scanCall classifies one call expression's allocation behaviour:
 // builtins (make/new/append) and conversions. Plain call edges are
 // handled by the caller.
-func (ip *interp) scanCall(fn *interpFn, call *ast.CallExpr, info *types.Info, inPanic bool, reused map[types.Object]bool, addAlloc func(ast.Node, string)) {
+func (ip *interp) scanCall(fn *interpFn, call *ast.CallExpr, info *types.Info, inPanic bool, reused map[types.Object]bool, mapIdxOK map[ast.Node]bool, addAlloc func(ast.Node, string)) {
 	if inPanic {
 		return
 	}
@@ -540,10 +546,67 @@ func (ip *interp) scanCall(fn *interpFn, call *ast.CallExpr, info *types.Info, i
 			addAlloc(call, "conversion to interface boxes its operand")
 			return
 		}
-		if stringBytesConversion(dst, src) {
+		if stringBytesConversion(dst, src) && !mapIdxOK[call] {
 			addAlloc(call, "string conversion copies and allocates")
 		}
 	}
+}
+
+// mapIndexStringLookups collects the string([]byte) conversion calls
+// used directly as the key of a map *read* (m[string(b)], including the
+// comma-ok form). The compiler special-cases these lookups to avoid
+// materializing the string, so hotalloc accepts them; conversions used
+// as an assignment target's key (m[string(b)] = v) intern the key and
+// are excluded.
+func mapIndexStringLookups(body ast.Node, info *types.Info) map[ast.Node]bool {
+	// Index expressions written to (assignment LHS, ++/--): their key
+	// conversion still allocates.
+	written := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				written[unparen(lhs)] = true
+			}
+		case *ast.IncDecStmt:
+			written[unparen(n.X)] = true
+		}
+		return true
+	})
+	ok := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ix, isIx := n.(*ast.IndexExpr)
+		if !isIx || written[ix] {
+			return true
+		}
+		mt, isMap := exprTypeUnderlying(info, ix.X).(*types.Map)
+		if !isMap || !isStringType(mt.Key()) {
+			return true
+		}
+		call, isCall := unparen(ix.Index).(*ast.CallExpr)
+		if !isCall || len(call.Args) != 1 {
+			return true
+		}
+		tv, found := info.Types[call.Fun]
+		if !found || !tv.IsType() || !isStringType(tv.Type) {
+			return true
+		}
+		src := exprType(info, call.Args[0])
+		if src != nil && stringBytesConversion(tv.Type, src) {
+			ok[call] = true
+		}
+		return true
+	})
+	return ok
+}
+
+// exprTypeUnderlying is exprType's underlying-type form.
+func exprTypeUnderlying(info *types.Info, e ast.Expr) types.Type {
+	t := exprType(info, e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
 }
 
 // stringBytesConversion reports string <-> []byte / []rune conversions,

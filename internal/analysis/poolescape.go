@@ -290,7 +290,12 @@ func (p *Pass) checkUseAfterFree(fi *funcInfo, spec *poolSpec, aliases *aliasSet
 
 	// Free positions per object, plus the alias group freed together:
 	// freeing one alias frees every alias of the same record, so the
-	// whole tracked set is invalidated at the free position.
+	// whole tracked set is invalidated at the free position. Frees on a
+	// terminating path — the enclosing block returns before any alias
+	// use, the free-then-error-reply-then-return shape of handler error
+	// branches — cannot poison code after the block and are excluded
+	// from the position scan.
+	terminal := terminalFrees(p, body, info, spec, aliases)
 	var freeEnd token.Pos
 	freeCalls := 0
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -299,7 +304,7 @@ func (p *Pass) checkUseAfterFree(fi *funcInfo, spec *poolSpec, aliases *aliasSet
 			return true
 		}
 		if len(call.Args) == 1 {
-			if aliases.contains(info, call.Args[0]) {
+			if aliases.contains(info, call.Args[0]) && !terminal[call] {
 				freeCalls++
 				if freeEnd == token.NoPos || call.End() < freeEnd {
 					freeEnd = call.End()
@@ -357,6 +362,69 @@ func (p *Pass) checkUseAfterFree(fi *funcInfo, spec *poolSpec, aliases *aliasSet
 			obj.Name(), spec.Elem, spec.Free)
 		return true
 	})
+}
+
+// terminalFrees marks Free(alias) calls on terminating paths: the free
+// is a statement whose following siblings in the enclosing block are
+// straight-line statements (no branches, no alias touches) ending in a
+// return that does not mention the alias either. Control cannot reach
+// code after the block from such a free, so it must not poison later
+// uses on other paths. Anything less obviously terminal — an
+// intervening if, loop, branch statement, or alias use — keeps the
+// free in the position scan.
+func terminalFrees(p *Pass, body *ast.BlockStmt, info *types.Info, spec *poolSpec, aliases *aliasSet) map[*ast.CallExpr]bool {
+	out := make(map[*ast.CallExpr]bool)
+	usesAlias := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := identObj(info, id); obj != nil {
+					if _, tracked := aliases.objs[obj]; tracked {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		blk, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, st := range blk.List {
+			es, ok := st.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := unparen(es.X).(*ast.CallExpr)
+			if !ok || !p.callsPoolFunc(call, spec.Free) {
+				continue
+			}
+			if len(call.Args) != 1 || !aliases.contains(info, call.Args[0]) {
+				continue
+			}
+		rest:
+			for _, after := range blk.List[i+1:] {
+				switch after := after.(type) {
+				case *ast.ReturnStmt:
+					if !usesAlias(after) {
+						out[call] = true
+					}
+					break rest
+				case *ast.ExprStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt:
+					if usesAlias(after) {
+						break rest
+					}
+				default:
+					break rest
+				}
+			}
+		}
+		return true
+	})
+	return out
 }
 
 // isNilExpr reports whether e is the predeclared nil.

@@ -16,6 +16,7 @@ type state struct {
 	out  []byte
 	cb   func() int
 	m    map[int]int
+	idx  map[string]int
 	box  any
 }
 
@@ -29,6 +30,11 @@ func step(s *state) {
 	s.recs = kept
 	s.out = strconv.AppendInt(s.out, int64(s.n), 10) // TN: allocFreeTable external
 	s.n = twice(s.n)                                 // TN: pure callee
+	s.n += s.idx[string(s.out)]                      // TN: map lookup keyed by string(bytes) — compiled without the string
+	if v, ok := s.idx[string(s.out)]; ok {           // TN: comma-ok lookup form
+		s.n += v
+	}
+	s.idx[string(s.out)] = s.n // TP: map *assignment* interns the key string
 
 	r := &record{v: s.n} // TP: escaping composite literal
 	s.recs = append(s.recs, r)

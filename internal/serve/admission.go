@@ -17,35 +17,48 @@ import (
 // engine's scheduling weight decays to the requested weight as changes
 // enact, so a join deferred by condition J fits once earlier weight
 // drains.
+//
+// The books are one map keyed by task name. Lookups on the hot path go
+// through string(raw) on bytes aliasing the request buffer — an rvalue
+// map index the compiler evaluates without materializing the string —
+// and the canonical name each entry interns at admission is what the
+// shard stages into batches, so nothing downstream retains request
+// memory.
 type admission struct {
 	m frac.Rat // capacity: the shard's processor count
 
-	// names holds every task name ever admitted for a join. The engine
-	// rejects re-joining a departed name (its accounting is retained), so
-	// admission must too.
-	names map[string]bool
-	// req maps live tasks (admitted join not yet fully left) to their
-	// requested weight. total is the sum of req.
-	req   map[string]frac.Rat
+	// tasks holds every task name ever admitted for a join; the entry
+	// outlives the task because the engine rejects re-joining a departed
+	// name (its accounting is retained), so admission must too.
+	tasks map[string]*taskEntry
+	// total is the sum of live entries' requested weights.
 	total frac.Rat
-	// pendingJoin marks tasks whose admitted join has not yet been
-	// applied to the engine. Reweights and leaves for them are refused
-	// (409 conflict) so an admitted mutation can never hit an engine that
-	// does not know the task yet.
-	pendingJoin map[string]bool
-	// leaving marks tasks with an admitted leave. Their weight stays
-	// counted until the engine leave actually succeeds (rule L may defer
-	// it), keeping the headroom conservative.
-	leaving map[string]bool
+	live  int // live entries, for status reporting
+}
+
+// taskEntry is one task's admission record.
+type taskEntry struct {
+	// name is the canonical interned copy of the task's wire name.
+	name string
+	// w is the requested weight; meaningful only while live.
+	w frac.Rat
+	// live means the admitted join has not fully left: w counts toward
+	// total. A dead entry only burns the name.
+	live bool
+	// pending marks a join not yet applied to the engine. Reweights and
+	// leaves for pending tasks are refused (409 conflict) so an admitted
+	// mutation can never hit an engine that does not know the task yet.
+	pending bool
+	// leaving marks an admitted leave. The weight stays counted until
+	// the engine leave actually succeeds (rule L may defer it), keeping
+	// the headroom conservative.
+	leaving bool
 }
 
 func newAdmission(m int) *admission {
 	return &admission{
-		m:           frac.FromInt(int64(m)),
-		names:       make(map[string]bool),
-		req:         make(map[string]frac.Rat),
-		pendingJoin: make(map[string]bool),
-		leaving:     make(map[string]bool),
+		m:     frac.FromInt(int64(m)),
+		tasks: make(map[string]*taskEntry),
 	}
 }
 
@@ -73,94 +86,172 @@ func reject(kind, format string, args ...any) *admissionError {
 	return &admissionError{kind: kind, reason: fmt.Sprintf(format, args...)}
 }
 
-// admitJoin reserves name and weight for a joining task.
-func (a *admission) admitJoin(name string, w frac.Rat) *admissionError {
-	if a.names[name] {
-		return reject(errConflict, "task name %q was already used on this shard", name)
+// newTaskEntry interns the wire name and allocates the entry — the one
+// deliberate allocation of the admission path, paid once per task
+// lifetime (joins only; reweights and leaves hit existing entries).
+//
+//lint:allocok per-task-lifetime allocation: joins intern the name and entry once
+func newTaskEntry(raw []byte, w frac.Rat) *taskEntry {
+	return &taskEntry{name: string(raw), w: w, live: true, pending: true}
+}
+
+// posDelta bounds the worst-case increase in admitted weight if every
+// command in cmds were admitted, measured against the current books:
+// joins contribute their full weight, reweights their positive delta
+// (or full weight when the task is not currently reweightable — a
+// conservative stand-in for join-then-reweight sequences), leaves
+// nothing (weight frees only at flush, never mid-drain). If headroom
+// covers this bound, every per-command property-(W) comparison in the
+// drain is guaranteed to pass — per-task deltas telescope, so each
+// prefix total stays under total+bound — and the per-command checks
+// can be skipped wholesale.
+//
+//lint:noalloc hot admission path: one bound evaluation per mailbox drain
+func (a *admission) posDelta(cmds []wireCmd) frac.Rat {
+	var bound frac.Rat
+	for i := range cmds {
+		c := &cmds[i]
+		switch c.op {
+		case opJoin:
+			bound = bound.Add(c.weight)
+		case opReweight:
+			if e := a.tasks[string(c.raw)]; e != nil && e.live && !e.pending && !e.leaving {
+				if e.w.Less(c.weight) {
+					bound = bound.Add(c.weight.Sub(e.w))
+				}
+			} else {
+				bound = bound.Add(c.weight)
+			}
+		case opLeave:
+		}
 	}
-	if a.headroom().Less(w) {
-		return rejectWeight(a.headroom(),
-			"join %s at weight %s exceeds property (W): headroom %s of M=%s", name, w, a.headroom(), a.m)
+	return bound
+}
+
+// admitJoin reserves name and weight for a joining task and returns the
+// canonical interned name. checkW=false skips the per-command
+// property-(W) comparison — only sound when the caller already covered
+// the drain's posDelta bound.
+//
+//lint:noalloc hot admission path; rejections and entry creation sit at allocok boundaries
+func (a *admission) admitJoin(raw []byte, w frac.Rat, checkW bool) (string, *admissionError) {
+	if a.tasks[string(raw)] != nil {
+		return "", reject(errConflict, "task name %q was already used on this shard", raw)
 	}
-	a.names[name] = true
-	a.req[name] = w
+	if checkW && a.headroom().Less(w) {
+		return "", rejectWeight(a.headroom(),
+			"join %s at weight %s exceeds property (W): headroom %s of M=%s", raw, w, a.headroom(), a.m)
+	}
+	e := newTaskEntry(raw, w)
+	a.tasks[e.name] = e
 	a.total = a.total.Add(w)
-	a.pendingJoin[name] = true
-	return nil
+	a.live++
+	return e.name, nil
 }
 
 // admitReweight reserves the weight delta for an admitted, non-leaving
-// task.
-func (a *admission) admitReweight(name string, w frac.Rat) *admissionError {
-	cur, live := a.req[name]
-	if !live {
-		if a.names[name] {
-			return reject(errConflict, "task %q has left this shard", name)
-		}
-		return reject(errUnknown, "task %q never joined this shard", name)
+// task and returns the canonical interned name.
+//
+//lint:noalloc hot admission path; rejections sit at allocok boundaries
+func (a *admission) admitReweight(raw []byte, w frac.Rat, checkW bool) (string, *admissionError) {
+	e := a.tasks[string(raw)]
+	if e == nil {
+		return "", reject(errUnknown, "task %q never joined this shard", raw)
 	}
-	if a.pendingJoin[name] {
-		return reject(errConflict, "task %q has a join still pending; retry next slot", name)
+	if !e.live {
+		return "", reject(errConflict, "task %q has left this shard", raw)
 	}
-	if a.leaving[name] {
-		return reject(errConflict, "task %q is leaving", name)
+	if e.pending {
+		return "", reject(errConflict, "task %q has a join still pending; retry next slot", raw)
 	}
-	next := a.total.Sub(cur).Add(w)
-	if a.m.Less(next) {
-		return rejectWeight(a.headroom().Add(cur),
-			"reweight %s from %s to %s exceeds property (W): total would be %s > M=%s", name, cur, w, next, a.m)
+	if e.leaving {
+		return "", reject(errConflict, "task %q is leaving", raw)
 	}
-	a.req[name] = w
+	next := a.total.Sub(e.w).Add(w)
+	if checkW && a.m.Less(next) {
+		return "", rejectWeight(a.headroom().Add(e.w),
+			"reweight %s from %s to %s exceeds property (W): total would be %s > M=%s", e.name, e.w, w, next, a.m)
+	}
+	e.w = w
 	a.total = next
-	return nil
+	return e.name, nil
 }
 
-// admitLeave marks an admitted task as leaving. Its weight is freed by
-// completeLeave once the engine leave succeeds.
-func (a *admission) admitLeave(name string) *admissionError {
-	if _, live := a.req[name]; !live {
-		if a.names[name] {
-			return reject(errConflict, "task %q has already left this shard", name)
-		}
-		return reject(errUnknown, "task %q never joined this shard", name)
+// admitLeave marks an admitted task as leaving and returns the
+// canonical interned name. Its weight is freed by completeLeave once
+// the engine leave succeeds.
+//
+//lint:noalloc hot admission path; rejections sit at allocok boundaries
+func (a *admission) admitLeave(raw []byte) (string, *admissionError) {
+	e := a.tasks[string(raw)]
+	if e == nil {
+		return "", reject(errUnknown, "task %q never joined this shard", raw)
 	}
-	if a.pendingJoin[name] {
-		return reject(errConflict, "task %q has a join still pending; retry next slot", name)
+	if !e.live {
+		return "", reject(errConflict, "task %q has already left this shard", raw)
 	}
-	if a.leaving[name] {
-		return reject(errConflict, "task %q is already leaving", name)
+	if e.pending {
+		return "", reject(errConflict, "task %q has a join still pending; retry next slot", raw)
 	}
-	a.leaving[name] = true
-	return nil
+	if e.leaving {
+		return "", reject(errConflict, "task %q is already leaving", raw)
+	}
+	e.leaving = true
+	return e.name, nil
 }
 
 // joinApplied clears the pending-join mark once the engine join
 // succeeded.
-func (a *admission) joinApplied(name string) { delete(a.pendingJoin, name) }
+func (a *admission) joinApplied(name string) {
+	if e := a.tasks[name]; e != nil {
+		e.pending = false
+	}
+}
 
 // abortJoin unwinds an admitted join the engine unexpectedly refused:
 // the weight is released but the name stays burned (the engine may have
 // partially recorded it, and names are never reusable anyway).
 func (a *admission) abortJoin(name string) {
-	delete(a.pendingJoin, name)
-	if w, live := a.req[name]; live {
-		a.total = a.total.Sub(w)
-		delete(a.req, name)
+	e := a.tasks[name]
+	if e == nil {
+		return
+	}
+	e.pending = false
+	if e.live {
+		a.total = a.total.Sub(e.w)
+		e.live = false
+		a.live--
 	}
 }
 
 // completeLeave frees the task's weight after the engine leave
 // succeeded.
 func (a *admission) completeLeave(name string) {
-	if w, live := a.req[name]; live {
-		a.total = a.total.Sub(w)
-		delete(a.req, name)
+	e := a.tasks[name]
+	if e == nil {
+		return
 	}
-	delete(a.leaving, name)
+	if e.live {
+		a.total = a.total.Sub(e.w)
+		e.live = false
+		a.live--
+	}
+	e.leaving = false
+}
+
+// requested returns the live requested weight for name, if any — the
+// deferred-join replay path in flush needs it.
+func (a *admission) requested(name string) (frac.Rat, bool) {
+	if e := a.tasks[name]; e != nil && e.live {
+		return e.w, true
+	}
+	return frac.Rat{}, false
 }
 
 // state serializes the books for a snapshot; restore rebuilds the maps
-// from it. Slices are sorted so snapshots are byte-stable.
+// from it. Slices are sorted so snapshots are byte-stable. The encoding
+// predates the single-map layout and is kept verbatim so snapshots
+// round-trip across versions.
 type admissionState struct {
 	Names     []string     `json:"names"`
 	Requested []taskWeight `json:"requested"`
@@ -174,43 +265,50 @@ type taskWeight struct {
 }
 
 func (a *admission) state() admissionState {
-	st := admissionState{
-		Names:   make([]string, 0, len(a.names)),
-		Pending: sortedKeys(a.pendingJoin),
-		Leaving: sortedKeys(a.leaving),
-	}
-	for name := range a.names {
+	var st admissionState
+	st.Names = make([]string, 0, len(a.tasks))
+	for name, e := range a.tasks {
 		st.Names = append(st.Names, name)
+		if e.live {
+			st.Requested = append(st.Requested, taskWeight{Task: name, Weight: e.w})
+		}
+		if e.pending {
+			st.Pending = append(st.Pending, name)
+		}
+		if e.leaving {
+			st.Leaving = append(st.Leaving, name)
+		}
 	}
 	sort.Strings(st.Names)
-	for task := range a.req {
-		st.Requested = append(st.Requested, taskWeight{Task: task, Weight: a.req[task]})
-	}
 	sort.Slice(st.Requested, func(i, j int) bool { return st.Requested[i].Task < st.Requested[j].Task })
+	sort.Strings(st.Pending)
+	sort.Strings(st.Leaving)
 	return st
 }
 
 func (a *admission) restore(st admissionState) {
 	for _, name := range st.Names {
-		a.names[name] = true
+		a.tasks[name] = &taskEntry{name: name}
 	}
 	for _, tw := range st.Requested {
-		a.req[tw.Task] = tw.Weight
+		e := a.tasks[tw.Task]
+		if e == nil {
+			e = &taskEntry{name: tw.Task}
+			a.tasks[tw.Task] = e
+		}
+		e.live = true
+		e.w = tw.Weight
 		a.total = a.total.Add(tw.Weight)
+		a.live++
 	}
 	for _, name := range st.Pending {
-		a.pendingJoin[name] = true
+		if e := a.tasks[name]; e != nil {
+			e.pending = true
+		}
 	}
 	for _, name := range st.Leaving {
-		a.leaving[name] = true
+		if e := a.tasks[name]; e != nil {
+			e.leaving = true
+		}
 	}
-}
-
-func sortedKeys(set map[string]bool) []string {
-	keys := make([]string, 0, len(set))
-	for k := range set {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }

@@ -43,9 +43,14 @@ const (
 	pendSnapshot
 )
 
-// wireCmd is one parsed, admission-ready command inside a pending.
+// wireCmd is one parsed, admission-ready command inside a pending. raw
+// aliases the record's pooled body/esc buffers and is only valid until
+// freePending; task is set by the admission layer to the canonical
+// interned name (the *taskEntry's own string) and is what the shard
+// stages into batches, so nothing downstream retains request memory.
 type wireCmd struct {
 	op     pendingOp
+	raw    []byte
 	task   string
 	weight frac.Rat
 	group  string
@@ -64,6 +69,16 @@ type pending struct {
 	cmds      []wireCmd // pendCommands
 	slots     int64     // pendAdvance
 	withTasks bool      // pendQuery: include per-task status rows
+
+	// Pooled wire buffers, owned by the record so the whole
+	// read-decode-admit-encode round trip reuses one allocation set:
+	// body holds the raw request bytes, esc the decoder's
+	// escape-rewrite scratch (wireCmd.raw may alias either), results
+	// the shard's per-command answers, and out the encoded response.
+	body    []byte
+	esc     []byte
+	results []CommandResult
+	out     []byte
 
 	reply chan reply
 }
@@ -105,9 +120,19 @@ func (pp *pendingPool) newPending() *pending {
 func (pp *pendingPool) freePending(p *pending) {
 	p.stamp++
 	p.kind = 0
+	for i := range p.cmds {
+		p.cmds[i] = wireCmd{}
+	}
 	p.cmds = p.cmds[:0]
 	p.slots = 0
 	p.withTasks = false
+	p.body = p.body[:0]
+	p.esc = p.esc[:0]
+	for i := range p.results {
+		p.results[i] = CommandResult{}
+	}
+	p.results = p.results[:0]
+	p.out = p.out[:0]
 	pp.mu.Lock()
 	pp.free = append(pp.free, p)
 	pp.mu.Unlock()

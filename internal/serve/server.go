@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -162,10 +163,52 @@ func writeError(w http.ResponseWriter, code int, kind, reason string) {
 	writeJSON(w, code, ErrorResponse{Error: kind, Reason: reason})
 }
 
-// exchange submits p to sh and waits for the reply. It owns p's
-// lifecycle: on every return path the record has been freed or
-// deliberately abandoned (shutdown race), and the reply (ok=true) is
-// safe to use.
+// writeRaw sends a pre-encoded body. Content-Length is set explicitly
+// so responses on the hot path are never chunked — pipelining clients
+// (cmd/pd2load) rely on it to frame responses cheaply.
+func writeRaw(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(code)
+	_, _ = w.Write(body) // client gone; nothing useful to do with a short write
+}
+
+// readBody drains r into dst (reusing its capacity), the pooled-buffer
+// replacement for io.ReadAll.
+func readBody(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// replyReadError answers a body-read error: 413 with its own wire kind
+// when the MaxBytesReader limit was the cause (so clients can tell
+// "shrink the batch" from "fix the request"), 400 otherwise.
+func replyReadError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge, errTooLarge,
+			fmt.Sprintf("request body exceeds %d-byte limit", mbe.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, errInvalid, "reading body: "+err.Error())
+}
+
+// exchange submits p to sh and waits for the reply. On a false return
+// the record has been freed (or deliberately abandoned in the shutdown
+// race) and an error response written. On a true return the caller owns
+// the record — it may encode the response from the record's pooled
+// buffers — and must freePending it afterwards.
 func (s *Server) exchange(w http.ResponseWriter, sh *Shard, p *pending) (reply, bool) {
 	if s.stopping.Load() {
 		sh.pool.freePending(p)
@@ -181,14 +224,12 @@ func (s *Server) exchange(w http.ResponseWriter, sh *Shard, p *pending) (reply, 
 	}
 	select {
 	case rep := <-p.reply:
-		sh.pool.freePending(p)
 		return rep, true
 	case <-sh.done:
 		// The loop exited. It may have replied just before exiting, or the
 		// record may still sit in the dead mailbox.
 		select {
 		case rep := <-p.reply:
-			sh.pool.freePending(p)
 			return rep, true
 		default:
 			// Unreplied and unreachable: abandon the record (its reply
@@ -200,70 +241,54 @@ func (s *Server) exchange(w http.ResponseWriter, sh *Shard, p *pending) (reply, 
 }
 
 // handleCommands accepts one command object or an array of them. The
-// whole body is parsed and validated before anything reaches the shard,
-// so a malformed batch is rejected atomically with 400.
+// whole body is decoded and validated before anything reaches the
+// shard, so a malformed batch is rejected atomically with 400. The
+// round trip — read, decode, admit, encode — runs entirely in the
+// record's pooled buffers; see codec.go for the wire compatibility
+// contract.
 func (s *Server) handleCommands(w http.ResponseWriter, r *http.Request) {
 	sh := s.shardFrom(w, r)
 	if sh == nil {
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	p := sh.pool.newPending()
+	var err error
+	p.body, err = readBody(p.body[:0], http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, errInvalid, "reading body: "+err.Error())
+		sh.pool.freePending(p)
+		replyReadError(w, err)
 		return
 	}
-	var (
-		reqs  []CommandRequest
-		batch bool
-	)
-	if isJSONArray(body) {
-		batch = true
-		if err := json.Unmarshal(body, &reqs); err != nil {
-			writeError(w, http.StatusBadRequest, errInvalid, "decoding command array: "+err.Error())
-			return
-		}
-	} else {
-		var one CommandRequest
-		if err := json.Unmarshal(body, &one); err != nil {
-			writeError(w, http.StatusBadRequest, errInvalid, "decoding command: "+err.Error())
-			return
-		}
-		reqs = []CommandRequest{one}
+	var batch bool
+	p.cmds, p.esc, batch, err = decodeCommands(p.body, p.esc, p.cmds[:0])
+	if err != nil {
+		sh.pool.freePending(p)
+		writeError(w, http.StatusBadRequest, errInvalid, "decoding commands: "+err.Error())
+		return
 	}
-	if len(reqs) == 0 {
+	if len(p.cmds) == 0 {
+		sh.pool.freePending(p)
 		writeError(w, http.StatusBadRequest, errInvalid, "empty command batch")
 		return
 	}
-	// Parse the whole batch before touching the pool: a pooled record is
-	// only acquired once the request is known to be well-formed, so no
-	// error path ever holds a record that must be freed mid-function.
-	cmds := make([]wireCmd, 0, len(reqs))
-	for i := range reqs {
-		op, weight, perr := parseCommand(reqs[i])
-		if perr != nil {
-			writeError(w, http.StatusBadRequest, errInvalid,
-				fmt.Sprintf("command %d: %v", i, perr))
-			return
-		}
-		cmds = append(cmds, wireCmd{op: op, task: reqs[i].Task, weight: weight, group: reqs[i].Group})
-	}
-	p := sh.pool.newPending()
 	p.kind = pendCommands
-	p.cmds = append(p.cmds, cmds...)
 	rep, ok := s.exchange(w, sh, p)
 	if !ok {
 		return
 	}
 	if batch {
-		writeJSON(w, http.StatusOK, rep.results)
-		return
+		p.out = appendCommandResults(p.out[:0], rep.results)
+		writeRaw(w, http.StatusOK, p.out)
+	} else {
+		res := &rep.results[0]
+		code := http.StatusOK
+		if res.Code != 0 {
+			code = res.Code
+		}
+		p.out = appendCommandResultLine(p.out[:0], res)
+		writeRaw(w, code, p.out)
 	}
-	res := rep.results[0]
-	code := http.StatusOK
-	if res.Code != 0 {
-		code = res.Code
-	}
-	writeJSON(w, code, res)
+	sh.pool.freePending(p)
 }
 
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
@@ -271,31 +296,35 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	if sh == nil {
 		return
 	}
-	var req AdvanceRequest
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, errInvalid, "reading body: "+err.Error())
-		return
-	}
-	if len(body) > 0 {
-		if err := json.Unmarshal(body, &req); err != nil {
-			writeError(w, http.StatusBadRequest, errInvalid, "decoding advance: "+err.Error())
-			return
-		}
-	}
-	if req.Slots < 0 || req.Slots > 1<<20 {
-		writeError(w, http.StatusBadRequest, errInvalid,
-			fmt.Sprintf("slots %d outside [0, 2^20]", req.Slots))
-		return
-	}
 	p := sh.pool.newPending()
+	var err error
+	p.body, err = readBody(p.body[:0], http.MaxBytesReader(w, r.Body, 1<<16))
+	if err != nil {
+		sh.pool.freePending(p)
+		replyReadError(w, err)
+		return
+	}
+	slots, err := decodeAdvance(p.body)
+	if err != nil {
+		sh.pool.freePending(p)
+		writeError(w, http.StatusBadRequest, errInvalid, "decoding advance: "+err.Error())
+		return
+	}
+	if slots < 0 || slots > 1<<20 {
+		sh.pool.freePending(p)
+		writeError(w, http.StatusBadRequest, errInvalid,
+			fmt.Sprintf("slots %d outside [0, 2^20]", slots))
+		return
+	}
 	p.kind = pendAdvance
-	p.slots = req.Slots
+	p.slots = slots
 	rep, ok := s.exchange(w, sh, p)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, AdvanceResponse{Now: rep.now})
+	p.out = appendAdvanceResponse(p.out[:0], rep.now)
+	writeRaw(w, http.StatusOK, p.out)
+	sh.pool.freePending(p)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -310,6 +339,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	sh.pool.freePending(p) // the status reply is a fresh copy, not pooled
 	writeJSON(w, http.StatusOK, rep.status)
 }
 
@@ -324,6 +354,7 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	sh.pool.freePending(p) // the state reply is a fresh copy, not pooled
 	writeJSON(w, http.StatusOK, StateResponse{
 		Shard:  sh.id,
 		Now:    rep.now,
@@ -343,6 +374,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	sh.pool.freePending(p) // the snapshot reply is a fresh copy, not pooled
 	if rep.err != nil {
 		writeError(w, http.StatusInternalServerError, "snapshot", rep.err.Error())
 		return
@@ -367,17 +399,4 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = writeMetrics(w, s.shards) // client gone; nothing useful to do
-}
-
-// isJSONArray reports whether the body's first significant byte opens
-// an array.
-func isJSONArray(body []byte) bool {
-	for _, c := range body {
-		switch c {
-		case ' ', '\t', '\n', '\r':
-			continue
-		}
-		return c == '['
-	}
-	return false
 }

@@ -228,6 +228,129 @@ func TestAdvanceQueryMetricsEndpoints(t *testing.T) {
 	}
 }
 
+// TestBodyTooLarge413: a body over the endpoint's MaxBytesReader limit
+// must come back as 413 with the errTooLarge wire kind, not a generic
+// decode failure.
+func TestBodyTooLarge413(t *testing.T) {
+	_, ts := testServer(t, Options{Shards: 1, Config: ShardConfig{M: 1}})
+	cases := []struct {
+		name, path string
+		size       int
+	}{
+		{"commands", "/v1/shards/0/commands", 1<<20 + 1},
+		{"advance", "/v1/shards/0/advance", 1<<16 + 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := strings.NewReader(`{"x":"` + strings.Repeat("a", tc.size) + `"}`)
+			resp, err := http.Post(ts.URL+tc.path, "application/json", body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusRequestEntityTooLarge {
+				t.Fatalf("oversized body: %d: %s", resp.StatusCode, data)
+			}
+			var res ErrorResponse
+			if err := json.Unmarshal(data, &res); err != nil {
+				t.Fatalf("413 body not an ErrorResponse: %v: %s", err, data)
+			}
+			if res.Error != errTooLarge || !strings.Contains(res.Reason, "byte limit") {
+				t.Fatalf("413 payload: %+v", res)
+			}
+		})
+	}
+	// One byte under the limit is decoded normally (400 here: unknown
+	// field body is fine, but "x" isn't a command, so op is missing).
+	body := strings.NewReader(`{"x":"` + strings.Repeat("a", 1<<16) + `"}`)
+	resp, err := http.Post(ts.URL+"/v1/shards/0/commands", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("in-limit body: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStatusContract pins the asymmetry between the two POST shapes: a
+// single command propagates its result code as the HTTP status, while a
+// batch always answers 200 and carries per-command codes in the body.
+func TestStatusContract(t *testing.T) {
+	cases := []struct {
+		name       string
+		setup      []CommandRequest // admitted first, must all queue
+		cmd        CommandRequest
+		singleCode int // HTTP status for the single-POST shape
+		resCode    int // CommandResult.Code inside a batch (0 = queued)
+	}{
+		{
+			name:       "queued join",
+			cmd:        CommandRequest{Op: "join", Task: "A", Weight: "1/4"},
+			singleCode: http.StatusOK,
+			resCode:    0,
+		},
+		{
+			name:       "duplicate join",
+			setup:      []CommandRequest{{Op: "join", Task: "A", Weight: "1/4"}},
+			cmd:        CommandRequest{Op: "join", Task: "A", Weight: "1/4"},
+			singleCode: http.StatusConflict,
+			resCode:    http.StatusConflict,
+		},
+		{
+			name:       "property-W rejection",
+			setup:      []CommandRequest{{Op: "join", Task: "A", Weight: "1/2"}, {Op: "join", Task: "B", Weight: "1/2"}},
+			cmd:        CommandRequest{Op: "join", Task: "C", Weight: "1/4"},
+			singleCode: http.StatusConflict,
+			resCode:    http.StatusConflict,
+		},
+		{
+			name:       "unknown task reweight",
+			cmd:        CommandRequest{Op: "reweight", Task: "ghost", Weight: "1/8"},
+			singleCode: http.StatusNotFound,
+			resCode:    http.StatusNotFound,
+		},
+		{
+			name:       "unknown task leave",
+			cmd:        CommandRequest{Op: "leave", Task: "ghost"},
+			singleCode: http.StatusNotFound,
+			resCode:    http.StatusNotFound,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, shape := range []string{"single", "batch"} {
+				_, ts := testServer(t, Options{Shards: 1, Config: ShardConfig{M: 1}})
+				url := ts.URL + "/v1/shards/0/commands"
+				for _, s := range tc.setup {
+					if code, body := postJSON(t, url, s); code != http.StatusOK {
+						t.Fatalf("setup %+v: %d: %s", s, code, body)
+					}
+				}
+				if shape == "single" {
+					code, body := postJSON(t, url, tc.cmd)
+					if code != tc.singleCode {
+						t.Fatalf("single POST: %d, want %d: %s", code, tc.singleCode, body)
+					}
+					continue
+				}
+				code, body := postJSON(t, url, []CommandRequest{tc.cmd})
+				if code != http.StatusOK {
+					t.Fatalf("batch POST: %d, want 200: %s", code, body)
+				}
+				var results []CommandResult
+				if err := json.Unmarshal(body, &results); err != nil {
+					t.Fatal(err)
+				}
+				if len(results) != 1 || results[0].Code != tc.resCode {
+					t.Fatalf("batch results: %+v, want code %d", results, tc.resCode)
+				}
+			}
+		})
+	}
+}
+
 func TestTickerAdvancesShard(t *testing.T) {
 	srv, ts := testServer(t, Options{Shards: 1, Config: ShardConfig{M: 1}})
 	select {

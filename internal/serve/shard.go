@@ -101,6 +101,7 @@ type Shard struct {
 	batch     []wireCmd      // admitted this slot, applies at next boundary
 	defJoins  []wireCmd      // admitted joins awaiting condition-J headroom
 	defLeaves []string       // admitted leaves awaiting rule L
+	drain     []*pending     // reused scratch for one mailbox drain
 
 	ctr counters
 }
@@ -130,6 +131,7 @@ func newShard(id int, cfg ShardConfig, mailboxCap int) (*Shard, error) {
 		eng:   eng,
 		adm:   newAdmission(cfg.M),
 		seed:  seed,
+		drain: make([]*pending, 0, mailboxCap+1),
 	}
 	sh.publishStatus()
 	return sh, nil
@@ -172,7 +174,7 @@ func (sh *Shard) run() {
 	for {
 		select {
 		case p := <-sh.mbox:
-			sh.handle(p)
+			sh.drainAndHandle(p)
 		case <-sh.tickc:
 			sh.advance(1)
 		case <-sh.quit:
@@ -181,7 +183,7 @@ func (sh *Shard) run() {
 			for {
 				select {
 				case p := <-sh.mbox:
-					sh.handle(p)
+					sh.drainAndHandle(p)
 				default:
 					sh.publishStatus()
 					return
@@ -191,15 +193,60 @@ func (sh *Shard) run() {
 	}
 }
 
+// drainAndHandle empties the mailbox into the reused drain scratch and
+// answers every record. Contiguous runs of command records share one
+// property-(W) evaluation: posDelta bounds the run's worst-case weight
+// increase, and when headroom covers the bound, every per-command
+// weight comparison is provably redundant and skipped (checkW=false).
+// The drain is capped at the mailbox capacity so the scratch never
+// regrows and concurrent submitters cannot starve tick handling.
+//
+//lint:noalloc the mailbox drain; per-request work must not allocate beyond the declared reply boundaries
+func (sh *Shard) drainAndHandle(first *pending) {
+	sh.drain = append(sh.drain[:0], first)
+	for n := cap(sh.mbox); n > 0; n-- {
+		select {
+		case p := <-sh.mbox:
+			sh.drain = append(sh.drain, p)
+			continue
+		default:
+		}
+		break
+	}
+	for i := 0; i < len(sh.drain); {
+		if sh.drain[i].kind != pendCommands {
+			sh.handle(sh.drain[i], true)
+			i++
+			continue
+		}
+		j := i
+		var bound frac.Rat
+		for j < len(sh.drain) && sh.drain[j].kind == pendCommands {
+			bound = bound.Add(sh.adm.posDelta(sh.drain[j].cmds))
+			j++
+		}
+		checkW := sh.adm.headroom().Less(bound)
+		for ; i < j; i++ {
+			sh.handle(sh.drain[i], checkW)
+		}
+	}
+	for k := range sh.drain {
+		sh.drain[k] = nil
+	}
+	sh.drain = sh.drain[:0]
+}
+
 // handle answers one mailbox record. Every dequeued record gets exactly
-// one reply.
-func (sh *Shard) handle(p *pending) {
+// one reply. checkW=false skips per-command property-(W) comparisons —
+// only sound when the caller's drain-wide posDelta bound fit headroom.
+func (sh *Shard) handle(p *pending, checkW bool) {
 	switch p.kind {
 	case pendCommands:
-		results := make([]CommandResult, len(p.cmds)) //lint:allow hotalloc the reply escapes to the HTTP handler after freePending recycles p; pooling it would race
+		results := p.results[:0]
 		for i := range p.cmds {
-			results[i] = sh.admit(p.cmds[i])
+			results = append(results, sh.admit(&p.cmds[i], checkW))
 		}
+		p.results = results
 		p.reply <- reply{results: results, now: sh.eng.Now()}
 	case pendAdvance:
 		sh.advance(p.slots)
@@ -222,23 +269,31 @@ func (sh *Shard) handle(p *pending) {
 }
 
 // admit runs the property-(W) admission decision for one command and,
-// on success, stages it for the next slot boundary.
-func (sh *Shard) admit(c wireCmd) CommandResult {
-	var aerr *admissionError
+// on success, stages it for the next slot boundary. The staged copy
+// carries the admission layer's canonical interned name and drops the
+// raw alias, so the batch never retains pooled request memory.
+func (sh *Shard) admit(c *wireCmd, checkW bool) CommandResult {
+	var (
+		aerr *admissionError
+		name string
+	)
 	switch c.op {
 	case opJoin:
-		aerr = sh.adm.admitJoin(c.task, c.weight)
+		name, aerr = sh.adm.admitJoin(c.raw, c.weight, checkW)
 	case opReweight:
-		aerr = sh.adm.admitReweight(c.task, c.weight)
+		name, aerr = sh.adm.admitReweight(c.raw, c.weight, checkW)
 	case opLeave:
-		aerr = sh.adm.admitLeave(c.task)
+		name, aerr = sh.adm.admitLeave(c.raw)
 	default:
 		panic(fmt.Sprintf("serve: unhandled pending op %d", c.op))
 	}
 	if aerr != nil {
 		return sh.rejected(aerr)
 	}
-	sh.batch = append(sh.batch, c)
+	staged := *c
+	staged.raw = nil
+	staged.task = name
+	sh.batch = append(sh.batch, staged)
 	sh.ctr.accepted.Add(1)
 	return CommandResult{Status: "queued", Slot: sh.eng.Now()}
 }

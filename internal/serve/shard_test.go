@@ -20,7 +20,8 @@ func testShard(t *testing.T, cfg ShardConfig, mailboxCap int) *Shard {
 // admitOne pushes a single command through admission on the test
 // goroutine (the test is the single writer until start() is called).
 func admitOne(sh *Shard, op pendingOp, task string, w frac.Rat) CommandResult {
-	return sh.admit(wireCmd{op: op, task: task, weight: w})
+	c := wireCmd{op: op, raw: []byte(task), weight: w}
+	return sh.admit(&c, true)
 }
 
 func TestAdmissionPropertyW(t *testing.T) {
@@ -115,10 +116,10 @@ func TestDeferredLeaveRuleL(t *testing.T) {
 	}
 	// Weight stays booked until the engine actually applies the leave
 	// (rule L can defer it past several boundaries).
-	for i := 0; i < 20 && len(sh.adm.req) > 0; i++ {
+	for i := 0; i < 20 && sh.adm.live > 0; i++ {
 		sh.advance(1)
 	}
-	if len(sh.adm.req) != 0 {
+	if sh.adm.live != 0 {
 		t.Fatal("leave never applied within 20 slots")
 	}
 	if !sh.adm.total.IsZero() {

@@ -164,6 +164,7 @@ func restoreShard(snap *Snapshot, mailboxCap int) (*Shard, error) {
 		batch:     batch,
 		defJoins:  defJoins,
 		defLeaves: append([]string(nil), snap.DeferredLeaves...),
+		drain:     make([]*pending, 0, mailboxCap+1),
 	}
 	sh.publishStatus()
 	return sh, nil

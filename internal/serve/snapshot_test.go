@@ -56,12 +56,19 @@ func genScript(seed uint64, horizon int64) []scripted {
 	return script
 }
 
+// admitScripted feeds one scripted command through admission, deriving
+// the wire-name bytes the way the decoder would.
+func admitScripted(sh *Shard, c wireCmd) {
+	c.raw = []byte(c.task)
+	sh.admit(&c, true)
+}
+
 // playSlot admits every script entry for the given slot, then advances
 // one boundary.
 func playSlot(sh *Shard, script []scripted, slot int64) {
 	for _, s := range script {
 		if s.slot == slot {
-			sh.admit(s.cmd)
+			admitScripted(sh, s.cmd)
 		}
 	}
 	sh.advance(1)
@@ -102,7 +109,7 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 				// snapshot must carry the un-applied batch.
 				for _, s := range script {
 					if s.slot == cut {
-						live.admit(s.cmd)
+						admitScripted(live, s.cmd)
 					}
 				}
 

@@ -131,6 +131,7 @@ const (
 	errUnknown   = "unknown_task" // reweight/leave of a task never joined (404)
 	errConflict  = "conflict"     // duplicate name, join still pending, already leaving (409)
 	errWeight    = "weight"       // property-(W) violation; headroom attached (409)
+	errTooLarge  = "too_large"    // body exceeds the read limit (413)
 	errFull      = "mailbox_full" // bounded mailbox at capacity (429)
 	errDraining  = "draining"     // shard is shutting down (503)
 	errBadShard  = "unknown_shard"

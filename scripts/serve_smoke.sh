@@ -36,9 +36,17 @@ echo "serve-smoke: starting pd2d (4 shards, M=2) on $addr"
 daemon_pid=$!
 wait_healthy "$tmp/pd2d.log"
 
-echo "serve-smoke: driving 4000 commands through 4 workers (strict)"
-"$tmp/pd2load" -addr "http://$addr" -shards 4 -workers 4 \
-  -requests 4000 -batch 8 -tasks 16 -advance-every 32 -strict
+# Three workers deliberately do not divide 4000: the remainder split
+# plus the exact-count assertion below guard the delivered-command
+# accounting end to end.
+echo "serve-smoke: driving 4000 commands through 3 workers (strict)"
+"$tmp/pd2load" -addr "http://$addr" -shards 4 -workers 3 \
+  -requests 4000 -batch 8 -tasks 16 -advance-every 32 -strict \
+  | tee "$tmp/load1.out"
+grep -q "^pd2load: 4000 commands " "$tmp/load1.out" || {
+  echo "serve-smoke: first run did not deliver exactly 4000 commands" >&2
+  exit 1
+}
 
 echo "serve-smoke: SIGTERM drain"
 kill -TERM "$daemon_pid"
@@ -72,7 +80,12 @@ fi
 # prefix: shard names are never reusable) proves the restored books
 # still admit cleanly.
 "$tmp/pd2load" -addr "http://$addr" -shards 4 -workers 4 \
-  -requests 2000 -batch 8 -tasks 16 -advance-every 32 -prefix R -strict
+  -requests 2000 -batch 8 -tasks 16 -advance-every 32 -prefix R -strict \
+  | tee "$tmp/load2.out"
+grep -q "^pd2load: 2000 commands " "$tmp/load2.out" || {
+  echo "serve-smoke: restored-daemon run did not deliver exactly 2000 commands" >&2
+  exit 1
+}
 
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
