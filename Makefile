@@ -38,14 +38,16 @@ bench-check:
 		| $(GO) run ./cmd/benchjson -check -out BENCH_core.json
 
 # Lint-suite perf gate: one warm full-module pd2lint pass (load,
-# typecheck, all 12 checks, interprocedural call graph included) must
-# stay within 50% of the committed LintModule ns/op in BENCH_core.json.
+# typecheck, all 13 checks, interprocedural call graph and per-function
+# CFGs included) must stay within 50% of the committed LintModule ns/op
+# in BENCH_core.json, and a fresh CFG construction pass over every
+# module function (CFGBuild) within 50% of its committed number.
 # 3 iterations so the process-wide stdlib import cache is warm — the
 # load-once architecture is exactly what this benchmark guards. The
 # wider margin (vs bench-check's 25%) absorbs the higher variance of a
 # full-module load. Never writes the file.
 lint-bench:
-	$(GO) test -bench LintModule -benchtime=3x -run XXX ./internal/analysis \
+	$(GO) test -bench 'LintModule|CFGBuild' -benchtime=3x -run XXX ./internal/analysis \
 		| $(GO) run ./cmd/benchjson -check -max-regress 50 -out BENCH_core.json
 
 # Serve-layer smoke: race-instrumented pd2d + pd2load closed loop,
@@ -61,11 +63,11 @@ figures:
 demos:
 	$(GO) run ./cmd/pd2trace
 
-# Invariant checks (all twelve: the AST pattern checks, the dataflow
-# checks poolescape/heapkey/gocapture/eventexhaust, and the
-# interprocedural checks hotalloc/detflow/lockorder — see docs/LINT.md).
-# Strict mode also flags stale //lint:allow directives so the allowlist
-# cannot rot.
+# Invariant checks (all thirteen: the AST pattern checks, the dataflow
+# checks poolescape/heapkey/gocapture/eventexhaust, the interprocedural
+# checks hotalloc/detflow/lockorder, and the CFG flow-sensitive check
+# ownxfer — see docs/LINT.md). Strict mode also flags stale
+# //lint:allow directives so the allowlist cannot rot.
 lint:
 	$(GO) run ./cmd/pd2lint -strict-suppress ./...
 

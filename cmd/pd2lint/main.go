@@ -1,7 +1,9 @@
 // Command pd2lint runs the repository's invariant checks: a stdlib-only
 // static-analysis suite that keeps the PD² simulator on exact rational
-// arithmetic and a deterministic, replayable schedule (see docs/LINT.md
-// for the full rationale and the suppression syntax).
+// arithmetic, a deterministic, replayable schedule, and a sound pooled
+// wire path — thirteen checks across AST, dataflow, call-graph, and
+// CFG flow-sensitive layers (see docs/LINT.md for the full rationale
+// and the suppression syntax).
 //
 // Usage:
 //

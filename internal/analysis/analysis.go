@@ -11,8 +11,8 @@
 // reproduced figures. This package turns those implicit rules into
 // machine-checked ones.
 //
-// Twelve checks are provided (see docs/LINT.md for the full
-// rationale), in three layers:
+// Thirteen checks are provided (see docs/LINT.md for the full
+// rationale), in four layers:
 //
 // AST pattern matchers:
 //
@@ -41,8 +41,19 @@
 //     allocation-free, up to //lint:allocok boundaries.
 //   - detflow:   no time/rand/map-order taint reaches the registered
 //     replay sinks (core.Apply, ReplayLog, WriteState, StateDigest).
-//   - lockorder: one global lock-acquisition order, and no blocking
-//     operation while a lock is held.
+//   - lockorder: one global lock-acquisition order, no blocking
+//     operation while a lock is held, and no path that returns with a
+//     lock still held.
+//
+// Flow-sensitive, on per-function CFGs (cfg.go):
+//
+//   - ownxfer: pooled-record ownership transfers exactly once per
+//     path — no use after a record is sent/freed, no double free, no
+//     acquire path that leaks the record (annotations.go's
+//     ownerXferTable). lockorder's held-set facts and poolescape's
+//     use-after-free rule are also computed on the CFG, so conditional
+//     unlocks, early returns, and loop-carried aliases are analyzed
+//     path-sensitively.
 //
 // Diagnostics can be suppressed per line with
 //
@@ -124,8 +135,10 @@ type Analyzer struct {
 }
 
 // All is the full pd2lint suite in reporting order: the five v1
-// AST-pattern checks, the four v2 dataflow checks, and the three v3
-// interprocedural checks built on the call-graph layer (interp.go).
+// AST-pattern checks, the four v2 dataflow checks, the three v3
+// interprocedural checks built on the call-graph layer (interp.go),
+// and the v4 flow-sensitive ownership check built on the CFG layer
+// (cfg.go).
 func All() []*Analyzer {
 	return []*Analyzer{
 		FracExact(),
@@ -140,6 +153,7 @@ func All() []*Analyzer {
 		HotAlloc(),
 		DetFlow(),
 		LockOrder(),
+		OwnXfer(),
 	}
 }
 

@@ -170,6 +170,98 @@ func poolSpecsFor(pkgPath string) []poolSpec {
 }
 
 // ---------------------------------------------------------------------
+// ownxfer annotations: pooled-record ownership transfer.
+
+// ownXferFunc registers one in-package function or method through which
+// ownership of a pooled record leaves (or returns to) the caller. A
+// plain entry is an unconditional transfer: after the call the caller
+// owns none of the pooled arguments it passed. A Cond entry transfers
+// conditionally: the callee reports the outcome through the bool result
+// at index BoolResult, and the caller still owns the record iff that
+// bool equals OwnerWhen (ownxfer refines the state along the true/false
+// edges of a branch on that result).
+type ownXferFunc struct {
+	Func       string // "Recv.Method" / "Func" name, as in funcInfo.Name
+	Cond       bool   // outcome-dependent transfer
+	BoolResult int    // index of the bool result reporting the outcome
+	OwnerWhen  bool   // caller still owns the record iff the bool equals this
+	Why        string
+}
+
+// ownXferSpec registers the ownership protocol of one pooled record
+// type: where owned records are born and die (mirroring the poolTable
+// entry for the same Elem) and the functions that move ownership across
+// a goroutine or call boundary. ownxfer verifies that after a record is
+// sent into a channel, handed to a Transfers function, or released, no
+// path in the sender reads, writes or re-frees it, and that every
+// acquire->release path disposes of the record exactly once.
+type ownXferSpec struct {
+	Pkg       string
+	Elem      string // pooled record type (a poolTable Elem)
+	Acquire   string // function whose call result is a fresh owned record
+	Release   string // function retiring an owned record to the pool
+	Transfers []ownXferFunc
+	Why       string
+}
+
+// ownerXferTable registers the mailbox wire path, the scheduler's
+// subtask pool, and the self-test fixture. Keep in sync with
+// docs/LINT.md.
+var ownerXferTable = []ownXferSpec{
+	{
+		Pkg:     "repro/internal/serve",
+		Elem:    "pending",
+		Acquire: "newPending",
+		Release: "freePending",
+		Transfers: []ownXferFunc{
+			{Func: "Shard.submit", Cond: true, BoolResult: 0, OwnerWhen: false,
+				Why: "true means the record entered the mailbox and the shard goroutine owns it until the reply is sent; false means the mailbox was full and the caller still holds it"},
+			{Func: "Server.exchange", Cond: true, BoolResult: 1, OwnerWhen: true,
+				Why: "ok means the round trip completed and the handler owns the record again; on !ok exchange has already freed it or left it with the draining shard"},
+			{Func: "Shard.drainAndHandle",
+				Why: "consumes the mailbox record passed in: every drained record is handled and replied to"},
+			{Func: "Shard.handle",
+				Why: "replies on the record's channel, handing ownership back to the blocked submitter"},
+		},
+		Why: "pooled pending records cross the handler/shard goroutine boundary twice per request; a sender touching a record after handing it off races the shard and breaks byte-exact replay",
+	},
+	{
+		Pkg:     "repro/internal/core",
+		Elem:    "subtask",
+		Acquire: "newSubtask",
+		Release: "freeSubtask",
+		// No Transfers: subtask records never cross a goroutine; they are
+		// parked in the owning chain (poolTable OwnerFields) or freed.
+		Why: "subtask records are recycled through the scheduler free list; releasing one twice or touching it after freeSubtask corrupts a later task's schedule",
+	},
+	// Fixture entry (internal/analysis/testdata/src/ownxfer).
+	{
+		Pkg:     "repro/internal/analysis/testdata/src/ownxfer",
+		Elem:    "rec",
+		Acquire: "get",
+		Release: "put",
+		Transfers: []ownXferFunc{
+			{Func: "svc.post", Cond: true, BoolResult: 0, OwnerWhen: false,
+				Why: "fixture: conditional mailbox submit"},
+			{Func: "consume",
+				Why: "fixture: unconditional hand-off"},
+		},
+		Why: "fixture: miniature mailbox protocol with a reply channel",
+	},
+}
+
+// ownXferSpecsFor returns the table entries applying to pkgPath.
+func ownXferSpecsFor(pkgPath string) []ownXferSpec {
+	var out []ownXferSpec
+	for _, s := range ownerXferTable {
+		if s.Pkg == pkgPath {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
 // detflow annotations: the replayable command surface.
 
 // replaySinkSpec registers the functions of one package that form the

@@ -119,17 +119,27 @@ type lockAcq struct {
 	node ast.Node
 }
 
-// idSpan is a lexical region of a function body during which the named
-// lock is held. Unlike the single-lock spans of dataflow.go, idSpans
-// carry lock identity and may overlap — overlap is exactly what the
-// lock-order graph is built from.
-type idSpan struct {
-	id       string
-	from, to token.Pos
-	node     ast.Node // the acquiring Lock statement
+// heldLock is one lock known to be held on some path, with the
+// acquisition that introduced it (the earliest across joined paths).
+type heldLock struct {
+	id  string
+	acq ast.Node
 }
 
-func (s idSpan) contains(p token.Pos) bool { return s.from <= p && p < s.to }
+// lockFlowAcq is one acquisition with the set of locks already held on
+// some path reaching it — the lock-order graph's same-function edges.
+type lockFlowAcq struct {
+	id   string
+	node ast.Node
+	held []heldLock // held before this acquisition; sorted, may be empty
+}
+
+// lockFlowLeak is one lock that is released on some path of the
+// function but still held when the exit block is reached on another.
+type lockFlowLeak struct {
+	id  string
+	acq ast.Node
+}
 
 // interpFn is the interprocedural summary of one declared function.
 type interpFn struct {
@@ -142,11 +152,18 @@ type interpFn struct {
 	noalloc bool // //lint:noalloc on the doc comment
 	allocok bool // //lint:allocok on the doc comment
 
-	calls     []callSite
-	allocs    []allocSite
-	blocks    []blockSite
-	lockAcqs  []lockAcq
-	lockSpans []idSpan
+	calls    []callSite
+	allocs   []allocSite
+	blocks   []blockSite
+	lockAcqs []lockAcq
+
+	// CFG-derived lock facts (scanLockFlow): acquisitions with their
+	// may-held sets, held sets at calls and at intrinsic blocking sites,
+	// and locks leaked past a return on some path.
+	acqs      []lockFlowAcq
+	heldCall  map[*ast.CallExpr][]heldLock
+	heldBlock map[ast.Node][]heldLock
+	lockLeaks []lockFlowLeak
 
 	intr    effect              // intrinsic effects (this body only)
 	eff     effect              // transitive effects (fixpoint)
@@ -234,6 +251,9 @@ func (ip *interp) ensure() {
 	}
 	for _, fn := range ip.order {
 		ip.scanBody(fn)
+	}
+	for _, fn := range ip.order {
+		ip.scanLockFlow(fn)
 	}
 	ip.fixpoint()
 }
@@ -490,8 +510,8 @@ func (ip *interp) scanBody(fn *interpFn) {
 	scanRanges(body.List)
 
 	// Lock facts: acquisitions anywhere in the body (conservative
-	// may-acquire set, including closures) plus lexical per-lock spans
-	// at statement-list granularity (the lock-order graph's edges).
+	// may-acquire set, including closures). The path-sensitive held
+	// sets are computed separately by scanLockFlow on the CFG.
 	ast.Inspect(body, func(n ast.Node) bool {
 		if skip[n] {
 			return false
@@ -507,9 +527,265 @@ func (ip *interp) scanBody(fn *interpFn) {
 		}
 		return true
 	})
-	fn.lockSpans = lockSpansByID(body, info, fn)
 	for _, a := range fn.lockAcqs {
 		fn.locks[a.id] = true
+	}
+}
+
+// ---------------------------------------------------------------------
+// CFG lock flow.
+
+// lockFlowState is the forward dataflow state of scanLockFlow: the
+// locks held on some path reaching a point, and the lock IDs with a
+// pending defer-unlock.
+type lockFlowState struct {
+	held     []heldLock      // sorted by (acq position, id), one per id
+	deferred map[string]bool // defer mu.Unlock() seen on the path
+}
+
+func cloneLockFlow(s lockFlowState) lockFlowState {
+	out := lockFlowState{deferred: make(map[string]bool, len(s.deferred))}
+	out.held = append([]heldLock(nil), s.held...)
+	for id := range s.deferred {
+		out.deferred[id] = true
+	}
+	return out
+}
+
+// holds reports whether id is in the held set.
+func (s *lockFlowState) holds(id string) bool {
+	for _, h := range s.held {
+		if h.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// acquire adds id to the held set, keeping sorted order and the
+// earliest acquisition as the witness.
+func (s *lockFlowState) acquire(id string, node ast.Node) {
+	if s.holds(id) {
+		return
+	}
+	s.held = append(s.held, heldLock{id: id, acq: node})
+	sortHeld(s.held)
+}
+
+// release removes id from the held set.
+func (s *lockFlowState) release(id string) {
+	for i, h := range s.held {
+		if h.id == id {
+			s.held = append(s.held[:i], s.held[i+1:]...)
+			return
+		}
+	}
+}
+
+func sortHeld(held []heldLock) {
+	sort.Slice(held, func(i, j int) bool {
+		if held[i].acq.Pos() != held[j].acq.Pos() {
+			return held[i].acq.Pos() < held[j].acq.Pos()
+		}
+		return held[i].id < held[j].id
+	})
+}
+
+// scanLockFlow computes fn's path-sensitive lock facts on its CFG:
+// which locks may be held at each acquisition, call, and intrinsic
+// blocking site, and which locks can leak past a return. Replaces the
+// lexical lock spans the v3 layer used — conditional unlocks and early
+// returns are now modelled by the flow itself.
+func (ip *interp) scanLockFlow(fn *interpFn) {
+	body := fn.fi.Decl.Body
+	if body == nil {
+		return
+	}
+	info := fn.pkg.Info
+	// Skip the flow entirely for functions that never touch a lock
+	// (neither their own acquisitions nor unlocks of a caller's lock).
+	touches := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if touches {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && lockCallKind(call, info) != "" {
+			touches = true
+		}
+		return !touches
+	})
+	if !touches {
+		return
+	}
+
+	g := fn.pkg.funcCFG(fn.fi.Decl)
+	blockSites := make(map[ast.Node]bool, len(fn.blocks))
+	for _, b := range fn.blocks {
+		blockSites[b.node] = true
+	}
+
+	rec := false
+	releases := make(map[string]bool) // ids this body unlocks anywhere
+
+	// apply processes one CFG node (or mark) against the state.
+	var apply func(n ast.Node, s *lockFlowState)
+	apply = func(n ast.Node, s *lockFlowState) {
+		// Blocking sites that the evaluated walk does not visit as
+		// expressions (select statements live in block marks; range
+		// headers are their own node).
+		if rec && blockSites[n] && len(s.held) > 0 && fn.heldBlock[n] == nil {
+			fn.heldBlock[n] = append([]heldLock(nil), s.held...)
+		}
+		walkEvaluated(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				// The literal runs when invoked, possibly elsewhere; its
+				// body must not change this flow's state. But calls and
+				// blocking operations written inside it while a lock is
+				// held here are still performed under the lock whenever
+				// the literal is invoked in place (the conservative
+				// reading the lexical spans used).
+				if rec && len(s.held) > 0 {
+					snap := append([]heldLock(nil), s.held...)
+					ast.Inspect(m.Body, func(mm ast.Node) bool {
+						switch mm := mm.(type) {
+						case *ast.CallExpr:
+							if lockCallKind(mm, info) == "" && fn.heldCall[mm] == nil {
+								fn.heldCall[mm] = snap
+							}
+						default:
+							if blockSites[mm] && fn.heldBlock[mm] == nil {
+								fn.heldBlock[mm] = snap
+							}
+						}
+						return true
+					})
+				}
+				return false
+			case *ast.DeferStmt:
+				switch lockCallKind(m.Call, info) {
+				case "Unlock", "RUnlock":
+					if id := lockIDOf(m.Call, info, fn); id != "" {
+						s.deferred[id] = true
+						releases[id] = true
+					}
+					return false
+				}
+				for _, a := range m.Call.Args {
+					apply(a, s)
+				}
+				if rec && len(s.held) > 0 && fn.heldCall[m.Call] == nil {
+					fn.heldCall[m.Call] = append([]heldLock(nil), s.held...)
+				}
+				return false
+			case *ast.CallExpr:
+				switch lockCallKind(m, info) {
+				case "Lock", "RLock":
+					if id := lockIDOf(m, info, fn); id != "" {
+						if rec {
+							fn.acqs = append(fn.acqs, lockFlowAcq{
+								id: id, node: m,
+								held: append([]heldLock(nil), s.held...),
+							})
+						}
+						s.acquire(id, m)
+					}
+					return false
+				case "Unlock", "RUnlock":
+					if id := lockIDOf(m, info, fn); id != "" {
+						s.release(id)
+						releases[id] = true
+					}
+					return false
+				}
+				if rec && len(s.held) > 0 && fn.heldCall[m] == nil {
+					fn.heldCall[m] = append([]heldLock(nil), s.held...)
+				}
+			default:
+				if rec && blockSites[m] && len(s.held) > 0 && fn.heldBlock[m] == nil {
+					fn.heldBlock[m] = append([]heldLock(nil), s.held...)
+				}
+			}
+			return true
+		})
+	}
+
+	fns := flowFns[lockFlowState]{
+		init:  lockFlowState{deferred: make(map[string]bool)},
+		clone: cloneLockFlow,
+		join: func(dst, src lockFlowState) (lockFlowState, bool) {
+			changed := false
+			for _, h := range src.held {
+				found := false
+				for i, d := range dst.held {
+					if d.id == h.id {
+						found = true
+						if h.acq.Pos() < d.acq.Pos() {
+							dst.held[i].acq = h.acq
+							changed = true
+						}
+					}
+				}
+				if !found {
+					dst.held = append(dst.held, h)
+					changed = true
+				}
+			}
+			if changed {
+				sortHeld(dst.held)
+			}
+			for id := range src.deferred {
+				if !dst.deferred[id] {
+					dst.deferred[id] = true
+					changed = true
+				}
+			}
+			return dst, changed
+		},
+		transfer: func(b *cfgBlock, s lockFlowState) lockFlowState {
+			for _, n := range b.nodes {
+				apply(n, &s)
+			}
+			for _, m := range b.marks {
+				if rec && blockSites[m] && len(s.held) > 0 && fn.heldBlock[m] == nil {
+					fn.heldBlock[m] = append([]heldLock(nil), s.held...)
+				}
+			}
+			return s
+		},
+	}
+	in, reached := solveForward(g, fns)
+
+	// Replay with recording on, blocks in ID order, for deterministic
+	// fact collection.
+	rec = true
+	fn.heldCall = make(map[*ast.CallExpr][]heldLock)
+	fn.heldBlock = make(map[ast.Node][]heldLock)
+	for _, b := range g.blocks {
+		if !reached[b.id] {
+			continue
+		}
+		s := cloneLockFlow(in[b.id])
+		for _, n := range b.nodes {
+			apply(n, &s)
+		}
+		for _, m := range b.marks {
+			if blockSites[m] && len(s.held) > 0 && fn.heldBlock[m] == nil {
+				fn.heldBlock[m] = append([]heldLock(nil), s.held...)
+			}
+		}
+	}
+
+	// Leaks: a lock this body releases on some path but still holds at
+	// a normal return on another. Bodies that never release (explicit
+	// lock-helper wrappers) are the caller's protocol, not a leak.
+	if reached[g.exit.id] {
+		exit := in[g.exit.id]
+		for _, h := range exit.held {
+			if releases[h.id] && !exit.deferred[h.id] {
+				fn.lockLeaks = append(fn.lockLeaks, lockFlowLeak{id: h.id, acq: h.acq})
+			}
+		}
 	}
 }
 
@@ -1092,71 +1368,6 @@ func shortLockID(id string) string {
 		return id[i+1:]
 	}
 	return id
-}
-
-// lockSpansByID is lockedSpans with lock identity: one span per
-// (lock, region), and simultaneously-held locks yield overlapping
-// spans. The lexical approximation matches dataflow.go: a Lock opened
-// in a statement list closes at its matching Unlock in the same list,
-// at a defer Unlock, or at the end of the surrounding body.
-func lockSpansByID(body *ast.BlockStmt, info *types.Info, fn *interpFn) []idSpan {
-	var spans []idSpan
-	if body == nil {
-		return spans
-	}
-	var scan func(list []ast.Stmt, end token.Pos)
-	scan = func(list []ast.Stmt, end token.Pos) {
-		open := make(map[string]token.Pos)
-		openNode := make(map[string]ast.Node)
-		var order []string
-		for _, st := range list {
-			switch st := st.(type) {
-			case *ast.ExprStmt:
-				kind := lockCallKind(st.X, info)
-				switch kind {
-				case "Lock", "RLock":
-					if call, ok := unparen(st.X).(*ast.CallExpr); ok {
-						if id := lockIDOf(call, info, fn); id != "" {
-							if _, dup := open[id]; !dup {
-								open[id] = st.End()
-								openNode[id] = call
-								order = append(order, id)
-							}
-						}
-					}
-				case "Unlock", "RUnlock":
-					if call, ok := unparen(st.X).(*ast.CallExpr); ok {
-						if id := lockIDOf(call, info, fn); id != "" {
-							if from, ok := open[id]; ok {
-								spans = append(spans, idSpan{id: id, from: from, to: st.Pos(), node: openNode[id]})
-								delete(open, id)
-							}
-						}
-					}
-				}
-			case *ast.DeferStmt:
-				switch lockCallKind(st.Call, info) {
-				case "Unlock", "RUnlock":
-					if id := lockIDOf(st.Call, info, fn); id != "" {
-						if from, ok := open[id]; ok {
-							spans = append(spans, idSpan{id: id, from: from, to: end, node: openNode[id]})
-							delete(open, id)
-						}
-					}
-				}
-			}
-			for _, nested := range nestedStmtLists(st) {
-				scan(nested, end)
-			}
-		}
-		for _, id := range order {
-			if from, ok := open[id]; ok {
-				spans = append(spans, idSpan{id: id, from: from, to: end, node: openNode[id]})
-			}
-		}
-	}
-	scan(body.List, body.End())
-	return spans
 }
 
 // ---------------------------------------------------------------------

@@ -32,6 +32,7 @@ type Package struct {
 	Info  *types.Info
 
 	supp map[string]*fileSuppressions // by filename, built lazily
+	cfgs map[*ast.FuncDecl]*cfg       // per-function CFGs, built lazily
 }
 
 // Loader loads packages of a single module (plus the standard library).

@@ -1,5 +1,6 @@
-// The lockorder check: one global lock-acquisition order, and no
-// blocking operations while a mutex is held.
+// The lockorder check: one global lock-acquisition order, no blocking
+// operations while a mutex is held, and no path that returns with a
+// lock still held.
 //
 // The serving layer is a single-writer design — each Shard goroutine
 // owns its engine — so the only mutexes in the hot path guard tiny
@@ -9,13 +10,13 @@
 // that take two locks in opposite orders is a deadlock that no unit
 // test will ever produce and one loaded weekend will.
 //
-// lockorder lifts the per-function lock spans (interp.go, the
-// identity-carrying version of dataflow.go's lockedSpans) into a global
-// acquisition-order graph:
+// lockorder lifts the per-function held-lock facts (interp.go's
+// scanLockFlow, computed path-sensitively on the CFG of cfg.go) into a
+// global acquisition-order graph:
 //
-//   - An edge A -> B is recorded when B is acquired inside a span of A
-//     (same function), or when a call performed inside a span of A has
-//     a callee that transitively acquires B.
+//   - An edge A -> B is recorded when B is acquired while A may be held
+//     on some path (same function), or when a call performed while A is
+//     held has a callee that transitively acquires B.
 //   - A cycle A -> ... -> B -> ... -> A means two executions can each
 //     hold one lock and wait for the other; every cyclic edge is
 //     reported with the position of the counter-ordered acquisition.
@@ -23,15 +24,22 @@
 // Lock identity is canonical per declaration: field locks are keyed by
 // their owning named type (every instance of serve.pendingPool shares
 // one ordering discipline), package-level locks by variable path,
-// locals by function. The lexical span approximation is inherited from
-// dataflow.go and is deliberately under-approximate inside goroutine
-// closures (their bodies run on another goroutine).
+// locals by function. Because held sets come from the dataflow rather
+// than lexical spans, a conditional unlock or an early return releases
+// exactly the paths it runs on: code after `if cond { mu.Unlock() }`
+// is held-A only on the paths where cond was false.
 //
 // Separately, any potentially blocking operation — channel send or
 // receive, select without default, range over a channel, a call whose
 // summary blocks (mailbox waits) — performed while holding a mutex is
 // reported: a blocked lock holder stalls every other acquirer, which in
 // serve means the HTTP handlers, not just one shard.
+//
+// Finally, a lock this function releases on some path but still holds
+// when the exit block is reached on another — the classic early-return
+// leak — is reported at its acquisition. Bodies that never release a
+// lock (explicit lock-helper wrappers) follow the caller's protocol
+// and are exempt.
 package analysis
 
 import (
@@ -43,7 +51,7 @@ import (
 func LockOrder() *Analyzer {
 	return &Analyzer{
 		Name: "lockorder",
-		Doc:  "global lock-acquisition order must be acyclic; no blocking operations while holding a mutex",
+		Doc:  "global lock-acquisition order must be acyclic; no blocking operations while holding a mutex; no path may return with a lock held",
 		Run: func(p *Pass) []Diagnostic {
 			ip := p.interpFacts()
 			return ip.lockorderBuckets()[p.Pkg.Path]
@@ -88,26 +96,31 @@ func (ip *interp) lockorderBuckets() map[string][]Diagnostic {
 	}
 	fns := ip.byQname()
 	for _, fn := range fns {
-		for _, outer := range fn.lockSpans {
-			// Nested acquisition in the same function.
-			for _, inner := range fn.lockSpans {
-				if outer.contains(inner.node.Pos()) {
-					record(outer.id, inner.id, fn.pkg, inner.node)
-				}
+		// Nested acquisition in the same function: the held set at each
+		// acquisition is the set of outer locks.
+		for _, a := range fn.acqs {
+			for _, h := range a.held {
+				record(h.id, a.id, fn.pkg, a.node)
 			}
-			// Calls under the lock into functions that lock.
-			for _, cs := range fn.calls {
-				if cs.dynamic || cs.spawned || !outer.contains(cs.call.Pos()) {
-					continue
+		}
+		// Calls under a held lock into functions that lock.
+		for _, cs := range fn.calls {
+			if cs.dynamic || cs.spawned {
+				continue
+			}
+			held := fn.heldCall[cs.call]
+			if len(held) == 0 {
+				continue
+			}
+			if callee := ip.fnOf(cs.callee); callee != nil {
+				ids := make([]string, 0, len(callee.locks))
+				for id := range callee.locks {
+					ids = append(ids, id)
 				}
-				if callee := ip.fnOf(cs.callee); callee != nil {
-					ids := make([]string, 0, len(callee.locks))
-					for id := range callee.locks {
-						ids = append(ids, id)
-					}
-					sort.Strings(ids)
+				sort.Strings(ids)
+				for _, h := range held {
 					for _, id := range ids {
-						record(outer.id, id, fn.pkg, cs.call)
+						record(h.id, id, fn.pkg, cs.call)
 					}
 				}
 			}
@@ -168,35 +181,54 @@ func (ip *interp) lockorderBuckets() map[string][]Diagnostic {
 		}
 	}
 
-	// Blocking operations under a held lock.
+	// Blocking operations under a held lock. held[0] is the earliest
+	// acquisition still held — the lock named in the message.
 	seenBlock := make(map[ast.Node]bool)
 	for _, fn := range fns {
-		for _, sp := range fn.lockSpans {
-			for _, b := range fn.blocks {
-				if sp.contains(b.node.Pos()) && !seenBlock[b.node] {
-					seenBlock[b.node] = true
-					add(fn.pkg, b.node,
-						"%s while holding %s; a blocked lock holder stalls every other acquirer", b.kind, shortLockID(sp.id))
-				}
+		for _, b := range fn.blocks {
+			held := fn.heldBlock[b.node]
+			if len(held) == 0 || seenBlock[b.node] {
+				continue
 			}
-			for _, cs := range fn.calls {
-				if cs.dynamic || cs.spawned || cs.inPanic || !sp.contains(cs.call.Pos()) || seenBlock[cs.call] {
-					continue
-				}
-				blockingCallee := ""
-				if callee := ip.fnOf(cs.callee); callee != nil {
-					if callee.eff&effBlock != 0 {
-						blockingCallee = callee.short
-					}
-				} else if externEffect(cs.callee, ip)&effBlock != 0 {
-					blockingCallee = externName(cs.callee)
-				}
-				if blockingCallee != "" {
-					seenBlock[cs.call] = true
-					add(fn.pkg, cs.call,
-						"call to %s, which may block, while holding %s; a blocked lock holder stalls every other acquirer", blockingCallee, shortLockID(sp.id))
-				}
+			seenBlock[b.node] = true
+			add(fn.pkg, b.node,
+				"%s while holding %s; a blocked lock holder stalls every other acquirer", b.kind, shortLockID(held[0].id))
+		}
+		for _, cs := range fn.calls {
+			if cs.dynamic || cs.spawned || cs.inPanic || seenBlock[cs.call] {
+				continue
 			}
+			held := fn.heldCall[cs.call]
+			if len(held) == 0 {
+				continue
+			}
+			blockingCallee := ""
+			if callee := ip.fnOf(cs.callee); callee != nil {
+				if callee.eff&effBlock != 0 {
+					blockingCallee = callee.short
+				}
+			} else if externEffect(cs.callee, ip)&effBlock != 0 {
+				blockingCallee = externName(cs.callee)
+			}
+			if blockingCallee != "" {
+				seenBlock[cs.call] = true
+				add(fn.pkg, cs.call,
+					"call to %s, which may block, while holding %s; a blocked lock holder stalls every other acquirer", blockingCallee, shortLockID(held[0].id))
+			}
+		}
+	}
+
+	// Locks leaked past a return on some path.
+	for _, fn := range fns {
+		seenLeak := make(map[string]bool)
+		for _, lk := range fn.lockLeaks {
+			if seenLeak[lk.id] {
+				continue
+			}
+			seenLeak[lk.id] = true
+			add(fn.pkg, lk.acq,
+				"%s is still held when %s returns on some path; release it on every path or defer the unlock",
+				shortLockID(lk.id), fn.short)
 		}
 	}
 	return out

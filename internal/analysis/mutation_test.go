@@ -91,8 +91,10 @@ func applyEdits(t *testing.T, root string, edits []srcEdit) {
 // mutating a heap ordering key in place, dropping an event kind from
 // the dispatch switch, racing a worker pool on captured state, hiding
 // an allocation in the digest hot path, feeding the wall clock into the
-// replayable command surface, inverting a lock order — must produce a
-// diagnostic from the corresponding check on the real engine sources.
+// replayable command surface, inverting a lock order, touching a pooled
+// record after its hand-off, leaking a held lock past an early return —
+// must produce a diagnostic from the corresponding check on the real
+// engine sources.
 func TestSeededMutationsAreCaught(t *testing.T) {
 	cases := []struct {
 		name  string
@@ -211,6 +213,36 @@ func TestSeededMutationsAreCaught(t *testing.T) {
 					new:  "\tpp.statsMu.Lock()\n\tpp.mu.Lock()\n\tpp.free = append(pp.free, p)\n\tpp.mu.Unlock()\n\tpp.statsMu.Unlock()",
 				},
 			},
+		},
+		// The v4 flow-sensitive checks. Each seeds the bug class on the
+		// pooled wire path that motivated the CFG layer.
+		{
+			// A "cleanup" resets the record's request fields after the
+			// reply send — but the send handed the record to the blocked
+			// handler, which may already be freeing it on another CPU.
+			// ownxfer sees the write on the path after the hand-off.
+			name:  "use-after-send-of-pooled-record",
+			check: "ownxfer",
+			load:  "internal/serve",
+			edits: []srcEdit{{
+				file: "internal/serve/shard.go",
+				old:  "\t\tsh.advance(p.slots)\n\t\tp.reply <- reply{now: sh.eng.Now()}\n",
+				new:  "\t\tsh.advance(p.slots)\n\t\tp.reply <- reply{now: sh.eng.Now()}\n\t\tp.slots = 0\n",
+			}},
+		},
+		{
+			// The pool-hit fast path returns without releasing the pool
+			// mutex: every later newPending call deadlocks. The lexical
+			// spans closed this hole at the end of the body; the CFG leak
+			// rule sees the held lock reach the return.
+			name:  "early-return-leaks-pool-lock",
+			check: "lockorder",
+			load:  "internal/serve",
+			edits: []srcEdit{{
+				file: "internal/serve/mailbox.go",
+				old:  "\t\tpp.free = pp.free[:n-1]\n\t\tpp.mu.Unlock()\n\t\treturn p\n",
+				new:  "\t\tpp.free = pp.free[:n-1]\n\t\treturn p\n",
+			}},
 		},
 	}
 	byName := make(map[string]*Analyzer)

@@ -4,8 +4,8 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
+	"sort"
 )
 
 // PoolEscape flags pooled free-list pointers (the scheduler's subtask
@@ -29,7 +29,11 @@ import (
 //     guarded sink; stores into other fields, maps, slices-held-in-
 //     fields, or non-invoked closures are flagged.
 //  3. After Free(x), any use of an alias of x before reassignment is
-//     flagged.
+//     flagged. This rule runs on the function's CFG (cfg.go), so a
+//     free on one branch poisons exactly the paths through that
+//     branch: error-path frees followed by a return never leak into
+//     the happy path, and a loop-carried alias freed at the bottom of
+//     an iteration is caught at the next iteration's use.
 //
 // The analysis is intraprocedural: pointers received as parameters or
 // read from fields are trusted to already be owned (docs/LINT.md,
@@ -282,149 +286,187 @@ func (p *Pass) fieldQualName(sel *ast.SelectorExpr) string {
 	return tn + "." + f.Name()
 }
 
-// checkUseAfterFree enforces rule 3 with a position-ordered scan: a use
-// of an alias after Free(alias) with no intervening reassignment.
+// poolFlowState is the per-path state of rule 3: the aliases that may
+// dangle into a recycled record. Free(alias) adds the whole tracked
+// set (every alias names the same record); reassigning an alias
+// removes just that alias on that path.
+type poolFlowState struct {
+	dangling map[types.Object]bool
+}
+
+func clonePoolFlow(s poolFlowState) poolFlowState {
+	out := poolFlowState{dangling: make(map[types.Object]bool, len(s.dangling))}
+	for obj := range s.dangling {
+		out.dangling[obj] = true
+	}
+	return out
+}
+
+// checkUseAfterFree enforces rule 3 on the function's CFG: a use of an
+// alias on some path where the record was freed and the alias not
+// reassigned since. Dangling is a may-property — one freeing path
+// poisons the join — while a reassignment cleans exactly the paths
+// that run through it.
 func (p *Pass) checkUseAfterFree(fi *funcInfo, spec *poolSpec, aliases *aliasSet, diags *[]Diagnostic) {
 	info := p.Pkg.Info
 	body := fi.Decl.Body
 
-	// Free positions per object, plus the alias group freed together:
-	// freeing one alias frees every alias of the same record, so the
-	// whole tracked set is invalidated at the free position. Frees on a
-	// terminating path — the enclosing block returns before any alias
-	// use, the free-then-error-reply-then-return shape of handler error
-	// branches — cannot poison code after the block and are excluded
-	// from the position scan.
-	terminal := terminalFrees(p, body, info, spec, aliases)
-	var freeEnd token.Pos
-	freeCalls := 0
+	// Cheap pre-check: no Free(alias) in the body means no state to
+	// track (the common case for most functions of the package).
+	anyFree := false
 	ast.Inspect(body, func(n ast.Node) bool {
+		if anyFree {
+			return false
+		}
 		call, ok := n.(*ast.CallExpr)
-		if !ok || !p.callsPoolFunc(call, spec.Free) {
-			return true
+		if ok && p.callsPoolFunc(call, spec.Free) && len(call.Args) == 1 &&
+			aliases.contains(info, call.Args[0]) {
+			anyFree = true
 		}
-		if len(call.Args) == 1 {
-			if aliases.contains(info, call.Args[0]) && !terminal[call] {
-				freeCalls++
-				if freeEnd == token.NoPos || call.End() < freeEnd {
-					freeEnd = call.End()
-				}
-			}
-		}
-		return true
+		return !anyFree
 	})
-	if freeCalls == 0 {
+	if !anyFree {
 		return
 	}
 
-	// Reassignment positions kill the freed state for one object.
-	reassign := make(map[types.Object][]token.Pos)
-	ast.Inspect(body, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok {
-			return true
-		}
-		for _, lhs := range as.Lhs {
-			if id, ok := unparen(lhs).(*ast.Ident); ok {
-				if obj := identObj(info, id); obj != nil {
-					if _, tracked := aliases.objs[obj]; tracked {
-						reassign[obj] = append(reassign[obj], id.Pos())
-					}
-				}
-			}
-		}
-		return true
-	})
-
-	reported := make(map[types.Object]bool)
-	ast.Inspect(body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok || id.Pos() <= freeEnd {
-			return true
-		}
+	tracked := func(id *ast.Ident) types.Object {
 		obj := identObj(info, id)
-		if obj == nil || reported[obj] {
-			return true
+		if obj == nil {
+			return nil
 		}
-		if _, tracked := aliases.objs[obj]; !tracked {
-			return true
+		if _, ok := aliases.objs[obj]; !ok {
+			return nil
 		}
-		// A reassignment between the free and this use re-arms the alias;
-		// the reassigning identifier itself is also exempt.
-		for _, rp := range reassign[obj] {
-			if rp > freeEnd && rp <= id.Pos() {
-				return true
-			}
-		}
-		reported[obj] = true
-		p.report(diags, "poolescape", id,
-			"alias %s of a pooled %s used after %s; the reuse stamp has advanced and the record may be recycled",
-			obj.Name(), spec.Elem, spec.Free)
-		return true
-	})
-}
-
-// terminalFrees marks Free(alias) calls on terminating paths: the free
-// is a statement whose following siblings in the enclosing block are
-// straight-line statements (no branches, no alias touches) ending in a
-// return that does not mention the alias either. Control cannot reach
-// code after the block from such a free, so it must not poison later
-// uses on other paths. Anything less obviously terminal — an
-// intervening if, loop, branch statement, or alias use — keeps the
-// free in the position scan.
-func terminalFrees(p *Pass, body *ast.BlockStmt, info *types.Info, spec *poolSpec, aliases *aliasSet) map[*ast.CallExpr]bool {
-	out := make(map[*ast.CallExpr]bool)
-	usesAlias := func(n ast.Node) bool {
-		found := false
-		ast.Inspect(n, func(m ast.Node) bool {
-			if id, ok := m.(*ast.Ident); ok {
-				if obj := identObj(info, id); obj != nil {
-					if _, tracked := aliases.objs[obj]; tracked {
-						found = true
-					}
-				}
-			}
-			return !found
-		})
-		return found
+		return obj
 	}
-	ast.Inspect(body, func(n ast.Node) bool {
-		blk, ok := n.(*ast.BlockStmt)
-		if !ok {
-			return true
+
+	rec := false
+	type uafCand struct {
+		obj types.Object
+		id  *ast.Ident
+	}
+	var cands []uafCand
+	use := func(id *ast.Ident, s *poolFlowState) {
+		if !rec || len(s.dangling) == 0 {
+			return
 		}
-		for i, st := range blk.List {
-			es, ok := st.(*ast.ExprStmt)
-			if !ok {
-				continue
+		if obj := tracked(id); obj != nil && s.dangling[obj] {
+			cands = append(cands, uafCand{obj: obj, id: id})
+		}
+	}
+
+	var apply func(n ast.Node, s *poolFlowState)
+	apply = func(n ast.Node, s *poolFlowState) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				apply(r, s)
 			}
-			call, ok := unparen(es.X).(*ast.CallExpr)
-			if !ok || !p.callsPoolFunc(call, spec.Free) {
-				continue
-			}
-			if len(call.Args) != 1 || !aliases.contains(info, call.Args[0]) {
-				continue
-			}
-		rest:
-			for _, after := range blk.List[i+1:] {
-				switch after := after.(type) {
-				case *ast.ReturnStmt:
-					if !usesAlias(after) {
-						out[call] = true
+			for _, l := range n.Lhs {
+				if id, ok := unparen(l).(*ast.Ident); ok {
+					if obj := tracked(id); obj != nil {
+						// Reassignment re-arms this alias on this path; the
+						// target identifier itself is not a use.
+						delete(s.dangling, obj)
+						continue
 					}
-					break rest
-				case *ast.ExprStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt:
-					if usesAlias(after) {
-						break rest
+				}
+				apply(l, s)
+			}
+		case *ast.DeferStmt:
+			// The deferred call runs at return; only its arguments are
+			// evaluated here, and a deferred Free poisons nothing before
+			// the exit block.
+			for _, a := range n.Call.Args {
+				if id, ok := unparen(a).(*ast.Ident); ok {
+					use(id, s)
+					continue
+				}
+				apply(a, s)
+			}
+		default:
+			walkEvaluated(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.AssignStmt:
+					apply(m, s)
+					return false
+				case *ast.DeferStmt:
+					apply(m, s)
+					return false
+				case *ast.FuncLit:
+					// The literal's body runs when invoked; scan it for
+					// uses against the current state but let none of its
+					// frees or reassignments leak into this flow.
+					ast.Inspect(m.Body, func(mm ast.Node) bool {
+						if id, ok := mm.(*ast.Ident); ok {
+							use(id, s)
+						}
+						return true
+					})
+					return false
+				case *ast.CallExpr:
+					if p.callsPoolFunc(m, spec.Free) && len(m.Args) == 1 &&
+						aliases.contains(info, m.Args[0]) {
+						// Freeing one alias frees the record every alias
+						// points at: the whole set dangles from here.
+						for obj := range aliases.objs {
+							s.dangling[obj] = true
+						}
+						return false
 					}
-				default:
-					break rest
+				case *ast.Ident:
+					use(m, s)
+				}
+				return true
+			})
+		}
+	}
+
+	g := p.Pkg.funcCFG(fi.Decl)
+	fns := flowFns[poolFlowState]{
+		init:  poolFlowState{dangling: make(map[types.Object]bool)},
+		clone: clonePoolFlow,
+		join: func(dst, src poolFlowState) (poolFlowState, bool) {
+			changed := false
+			for obj := range src.dangling {
+				if !dst.dangling[obj] {
+					dst.dangling[obj] = true
+					changed = true
 				}
 			}
+			return dst, changed
+		},
+		transfer: func(b *cfgBlock, s poolFlowState) poolFlowState {
+			for _, n := range b.nodes {
+				apply(n, &s)
+			}
+			return s
+		},
+	}
+	in, reached := solveForward(g, fns)
+
+	// Replay reached blocks in ID order with recording on.
+	rec = true
+	for _, b := range g.blocks {
+		if !reached[b.id] {
+			continue
 		}
-		return true
-	})
-	return out
+		s := clonePoolFlow(in[b.id])
+		for _, n := range b.nodes {
+			apply(n, &s)
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].id.Pos() < cands[j].id.Pos() })
+	reported := make(map[types.Object]bool)
+	for _, cd := range cands {
+		if reported[cd.obj] {
+			continue
+		}
+		reported[cd.obj] = true
+		p.report(diags, "poolescape", cd.id,
+			"alias %s of a pooled %s used after %s; the reuse stamp has advanced and the record may be recycled",
+			cd.obj.Name(), spec.Elem, spec.Free)
+	}
 }
 
 // isNilExpr reports whether e is the predeclared nil.

@@ -106,3 +106,42 @@ func sendAllowed(x *box) {
 	x.ch <- 3 //lint:allow lockorder fixture: suppression coverage
 	x.a.Unlock()
 }
+
+// ---------------------------------------------------------------------
+// Path-sensitive cases: the held set comes from the CFG dataflow, not
+// lexical Lock..Unlock spans.
+
+// pathSend releases before blocking on the early branch; the lock is
+// gone on the only path that reaches the send (TN).
+func pathSend(x *box, n int) {
+	x.a.Lock()
+	if n > 0 {
+		x.a.Unlock()
+		x.ch <- n
+		return
+	}
+	x.v++
+	x.a.Unlock()
+}
+
+// leakyFastPath returns with the lock still held on the fast path
+// while the slow path releases it.
+func leakyFastPath(x *box, n int) int {
+	x.a.Lock() // TP: still held when the fast path returns
+	if n > 0 {
+		return x.v
+	}
+	x.v++
+	x.a.Unlock()
+	return 0
+}
+
+// okDeferUnlock releases via defer; every return path is covered (TN).
+func okDeferUnlock(x *box) int {
+	x.a.Lock()
+	defer x.a.Unlock()
+	if x.v > 0 {
+		return x.v
+	}
+	return 0
+}

@@ -1,0 +1,161 @@
+// Fixture for the ownxfer check: a miniature mailbox protocol,
+// mirroring the serving layer's pending-record wire path. The
+// annotation table (annotations.go) registers rec/get/put, the
+// conditional transfer svc.post (true = the mailbox owns the record),
+// and the unconditional hand-off consume.
+package ownxfer
+
+// rec is the pooled record; reply is the hand-back channel the
+// consumer answers on.
+type rec struct {
+	stamp uint64
+	out   []byte
+	reply chan int
+}
+
+// svc holds the free list and the mailbox.
+type svc struct {
+	pool []*rec
+	mbox chan *rec
+}
+
+// get returns a fresh owned record.
+func (s *svc) get() *rec {
+	n := len(s.pool)
+	if n == 0 {
+		return &rec{reply: make(chan int, 1)}
+	}
+	r := s.pool[n-1]
+	s.pool = s.pool[:n-1]
+	return r
+}
+
+// put retires an owned record to the free list.
+func (s *svc) put(r *rec) {
+	r.stamp++
+	s.pool = append(s.pool, r)
+}
+
+// post tries to enqueue r; true means the mailbox owns it from here.
+func (s *svc) post(r *rec) bool {
+	select {
+	case s.mbox <- r:
+		return true
+	default:
+		return false
+	}
+}
+
+// consume handles one record and replies on its channel, handing
+// ownership back to the poster.
+func consume(r *rec) {
+	r.out = r.out[:0]
+	r.reply <- 1
+}
+
+// ---------------------------------------------------------------------
+// True positives.
+
+// badUseAfterPut reads through the record after retiring it.
+func badUseAfterPut(s *svc) uint64 {
+	r := s.get()
+	s.put(r)
+	return r.stamp
+}
+
+// badDoubleFree retires the same record twice.
+func badDoubleFree(s *svc) {
+	r := s.get()
+	s.put(r)
+	s.put(r)
+}
+
+// badUseAfterSend touches the record after the mailbox took it.
+func badUseAfterSend(s *svc) int {
+	r := s.get()
+	s.mbox <- r
+	return len(r.out)
+}
+
+// badFreeAfterPost retires the record on the branch where the mailbox
+// already owns it.
+func badFreeAfterPost(s *svc) {
+	r := s.get()
+	if s.post(r) {
+		s.put(r)
+		return
+	}
+	s.put(r)
+}
+
+// badLeak returns still owning the record on the error path.
+func badLeak(s *svc, n int) bool {
+	r := s.get()
+	if n < 0 {
+		return false
+	}
+	s.put(r)
+	return true
+}
+
+// ---------------------------------------------------------------------
+// Accepted negatives.
+
+// okHandshake runs the full protocol: post, block on the reply,
+// re-own, retire.
+func okHandshake(s *svc, n int) int {
+	r := s.get()
+	r.out = append(r.out[:0], byte(n))
+	if !s.post(r) {
+		s.put(r)
+		return -1
+	}
+	v := <-r.reply
+	s.put(r)
+	return v
+}
+
+// okBoundOutcome binds the transfer outcome to a variable first; the
+// branch on that variable is refined the same way the direct
+// `if s.post(r)` form is.
+func okBoundOutcome(s *svc) {
+	r := s.get()
+	ok := s.post(r)
+	if !ok {
+		s.put(r)
+	}
+}
+
+// okConsume hands the record off unconditionally and never touches it
+// again.
+func okConsume(s *svc) {
+	r := s.get()
+	consume(r)
+}
+
+// okDefer retires via defer; every path is covered.
+func okDefer(s *svc) int {
+	r := s.get()
+	defer s.put(r)
+	return len(r.out)
+}
+
+// okStore parks the record in the free list through put on every path
+// of a branch, freeing exactly once each.
+func okStore(s *svc, n int) {
+	r := s.get()
+	if n > 0 {
+		r.out = append(r.out[:0], byte(n))
+	}
+	s.put(r)
+}
+
+// ---------------------------------------------------------------------
+// Suppression.
+
+// suppressedUse shows //lint:allow is honoured.
+func suppressedUse(s *svc) int {
+	r := s.get()
+	s.put(r)
+	return len(r.out) //lint:allow ownxfer fixture: suppression must be honoured
+}

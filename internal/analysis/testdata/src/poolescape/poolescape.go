@@ -118,6 +118,35 @@ func (o *owner) okRealloc() *rec {
 }
 
 // ---------------------------------------------------------------------
+// Path-sensitive rule-3 cases: the dangling set comes from the CFG
+// dataflow, so a free poisons only the paths that run through it.
+
+// okFreeOnErrPath frees on the error branch only; the happy path never
+// runs through the free, so its reads are clean (TN).
+func (o *owner) okFreeOnErrPath(n int) uint64 {
+	r := o.alloc()
+	if n < 0 {
+		o.free(r)
+		return 0
+	}
+	v := r.stamp
+	o.last = r
+	return v
+}
+
+// badLoopCarriedFree frees at the bottom of the loop body; the
+// back-edge carries the dangling alias into the next iteration's read.
+func badLoopCarriedFree(o *owner, n int) int64 {
+	r := o.alloc()
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += int64(r.stamp) // TP on the second iteration
+		o.free(r)
+	}
+	return sum
+}
+
+// ---------------------------------------------------------------------
 // Suppression.
 
 // suppressedHold shows //lint:allow is honoured.
