@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json bench-check lint-bench serve-smoke figures demos lint check clean
+.PHONY: all build test test-race bench bench-json bench-check lint-bench serve-smoke workgen-smoke figures demos lint check clean
 
 all: build test
 
@@ -54,6 +54,11 @@ lint-bench:
 # SIGTERM drain, snapshot, restore (scripts/serve_smoke.sh; the CI gate).
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Workload-generator smoke: pathological template -> record -> replay
+# digest compare against race-instrumented binaries (the CI trace gate).
+workgen-smoke:
+	./scripts/workgen_smoke.sh
 
 # Regenerate every evaluation artifact with the paper's 61-run protocol.
 figures:

@@ -38,23 +38,31 @@ func main() {
 		oiThreshold  = flag.String("oi-threshold", "1/8", "hybrid only: |to-from| below this uses rules O/I (exact rational)")
 		earlyRelease = flag.Bool("early-release", false, "enable the ERfair early-release extension")
 		recordSched  = flag.Bool("record-schedule", false, "record per-slot schedules (needed for byte-exact state dumps; unbounded memory)")
+		driftBound   = flag.String("drift-bound", "0", "anomaly threshold for per-task |drift| (exact rational; 0 disables the excursion counter)")
 		tick         = flag.Duration("tick", 0, "advance every shard one slot per tick (0 disables; slots then advance only on request)")
 		mailbox      = flag.Int("mailbox", 256, "mailbox capacity per shard")
 		retryAfter   = flag.Int("retry-after", 1, "Retry-After seconds advertised on 429")
 		snapshotDir  = flag.String("snapshot-dir", "", "directory for shard snapshots (empty disables persistence)")
 	)
 	flag.Parse()
-	if err := run(*addr, *shards, *m, *policy, *oiThreshold, *earlyRelease, *recordSched,
+	if err := run(*addr, *shards, *m, *policy, *oiThreshold, *driftBound, *earlyRelease, *recordSched,
 		*tick, *mailbox, *retryAfter, *snapshotDir); err != nil {
 		log.Fatalf("pd2d: %v", err)
 	}
 }
 
-func run(addr string, shards, m int, policy, oiThreshold string, earlyRelease, recordSched bool,
+func run(addr string, shards, m int, policy, oiThreshold, driftBound string, earlyRelease, recordSched bool,
 	tick time.Duration, mailbox, retryAfter int, snapshotDir string) error {
 	th, err := frac.Parse(oiThreshold)
 	if err != nil {
 		return fmt.Errorf("-oi-threshold: %w", err)
+	}
+	db, err := frac.Parse(driftBound)
+	if err != nil {
+		return fmt.Errorf("-drift-bound: %w", err)
+	}
+	if db.Sign() < 0 {
+		return fmt.Errorf("-drift-bound: must be >= 0, got %s", db)
 	}
 	opts := serve.Options{
 		Shards: shards,
@@ -64,6 +72,7 @@ func run(addr string, shards, m int, policy, oiThreshold string, earlyRelease, r
 			OIThreshold:    th,
 			EarlyRelease:   earlyRelease,
 			RecordSchedule: recordSched,
+			DriftBound:     db,
 		},
 		MailboxCap:        mailbox,
 		RetryAfterSeconds: retryAfter,

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/workgen"
 )
 
 type workerStats struct {
@@ -47,66 +48,99 @@ type workerStats struct {
 	backoff       time.Duration // total time slept honouring backpressure
 }
 
+// config is the resolved flag set; run takes it whole so tests can
+// drive every mode without re-parsing flags.
+type config struct {
+	base     string
+	shards   int
+	workers  int
+	requests int
+	batch    int
+	tasks    int
+	advEvery int
+	pipeline int
+	seed     int64
+	prefix   string
+	strict   bool
+	shape    string // load-shape name or inline grammar ("" = uniform)
+	template string // pathological template name ("" = none)
+	record   string // trace output path ("" = no recording)
+	replay   string // trace input path ("" = generate load instead)
+}
+
 func main() {
-	var (
-		base     = flag.String("addr", "http://127.0.0.1:8377", "pd2d base URL")
-		shards   = flag.Int("shards", 8, "number of shards to target")
-		workers  = flag.Int("workers", 8, "concurrent closed-loop workers")
-		requests = flag.Int("requests", 50000, "total commands to send across all workers")
-		batch    = flag.Int("batch", 8, "commands per HTTP request")
-		pipeline = flag.Int("pipeline", 4, "requests in flight per worker connection (1 = strict closed loop)")
-		tasks    = flag.Int("tasks", 16, "tasks to join per shard during setup")
-		advEvery = flag.Int("advance-every", 64, "per worker, advance the target shard one slot every N posts (0 never)")
-		seed     = flag.Int64("seed", 1, "RNG seed for the weight stream")
-		prefix   = flag.String("prefix", "L", "task-name prefix (shard names are never reusable; pick a fresh prefix when rerunning against a restored daemon)")
-		strict   = flag.Bool("strict", false, "exit non-zero unless the run is admission-clean")
-	)
+	var cfg config
+	flag.StringVar(&cfg.base, "addr", "http://127.0.0.1:8377", "pd2d base URL")
+	flag.IntVar(&cfg.shards, "shards", 8, "number of shards to target")
+	flag.IntVar(&cfg.workers, "workers", 8, "concurrent closed-loop workers")
+	flag.IntVar(&cfg.requests, "requests", 50000, "total commands to send across all workers")
+	flag.IntVar(&cfg.batch, "batch", 8, "commands per HTTP request")
+	flag.IntVar(&cfg.pipeline, "pipeline", 4, "requests in flight per worker connection (1 = strict closed loop)")
+	flag.IntVar(&cfg.tasks, "tasks", 16, "tasks to join per shard during setup")
+	flag.IntVar(&cfg.advEvery, "advance-every", 64, "per worker, advance the target shard one slot every N posts (0 never)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "RNG seed for the weight stream")
+	flag.StringVar(&cfg.prefix, "prefix", "L", "task-name prefix (shard names are never reusable; pick a fresh prefix when rerunning against a restored daemon)")
+	flag.BoolVar(&cfg.strict, "strict", false, "exit non-zero unless the run is admission-clean (with -shape/-template: unless it degrades gracefully)")
+	flag.StringVar(&cfg.shape, "shape", "", "temporal load shape: a built-in name (uniform, diurnal, ramp, spike, sine, flash-crowd) or inline name=rounds:rate:spread:churn,... (see docs/WORKGEN.md)")
+	flag.StringVar(&cfg.template, "template", "", "pathological client template: reweight-storm, join-leave-churn, admission-camp, heavy-flood")
+	flag.StringVar(&cfg.record, "record", "", "record the applied command stream to this trace file after the run")
+	flag.StringVar(&cfg.replay, "replay", "", "replay a recorded trace against a fresh daemon and verify per-shard digests (ignores the generation flags)")
 	flag.Parse()
-	if _, err := run(*base, *shards, *workers, *requests, *batch, *tasks, *advEvery, *pipeline, *seed, *prefix, *strict); err != nil {
+	if _, err := run(cfg); err != nil {
 		log.Fatalf("pd2load: %v", err)
 	}
 }
 
-func run(base string, shards, workers, requests, batch, tasks, advEvery, pipeline int, seed int64, prefix string, strict bool) (workerStats, error) {
+func run(cfg config) (workerStats, error) {
 	var tot workerStats
-	if shards < 1 || workers < 1 || batch < 1 || tasks < 1 {
+	if cfg.replay != "" {
+		return tot, runReplay(cfg)
+	}
+	if cfg.shards < 1 || cfg.workers < 1 || cfg.batch < 1 || cfg.tasks < 1 {
 		return tot, fmt.Errorf("shards, workers, batch, tasks must all be >= 1")
 	}
-	if pipeline < 1 || pipeline > 64 {
+	if cfg.pipeline < 1 || cfg.pipeline > 64 {
 		// The client writes a full window before reading any response;
 		// an unbounded window could deadlock against kernel socket
 		// buffers once window bytes outgrow them.
 		return tot, fmt.Errorf("pipeline must be in [1, 64]")
 	}
-	addr, host, err := parseBase(base)
+	if cfg.shape != "" && cfg.template != "" {
+		return tot, fmt.Errorf("-shape and -template are mutually exclusive")
+	}
+	addr, host, err := parseBase(cfg.base)
 	if err != nil {
 		return tot, err
 	}
 	client := &http.Client{
 		Transport: &http.Transport{
-			MaxIdleConns:        workers * 2,
-			MaxIdleConnsPerHost: workers * 2,
+			MaxIdleConns:        cfg.workers * 2,
+			MaxIdleConnsPerHost: cfg.workers * 2,
 		},
 		Timeout: 30 * time.Second,
 	}
 
-	if err := setup(client, base, prefix, shards, tasks); err != nil {
+	gens, tolerateRejections, err := buildGenerators(client, cfg)
+	if err != nil {
+		return tot, err
+	}
+	if err := setupRun(client, cfg, gens, tolerateRejections); err != nil {
 		return tot, fmt.Errorf("setup: %w", err)
 	}
 
 	// Each worker owns a slice of the total command budget and a
 	// distinct stats slot (the results[i] worker-pool idiom).
-	budgets := splitBudget(requests, workers)
-	st := make([]workerStats, workers)
+	budgets := splitBudget(cfg.requests, cfg.workers)
+	st := make([]workerStats, cfg.workers)
 	var wg sync.WaitGroup
 	start := time.Now()
-	for w := 0; w < workers; w++ {
+	for w := 0; w < cfg.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			pc := &pconn{addr: addr, host: host}
 			defer pc.close()
-			st[w] = drive(pc, prefix, w, shards, budgets[w], batch, tasks, advEvery, pipeline, seed)
+			st[w] = gens[w].drive(pc, budgets[w], cfg.batch, cfg.advEvery, cfg.pipeline)
 		}(w)
 	}
 	wg.Wait()
@@ -121,31 +155,139 @@ func run(base string, shards, workers, requests, batch, tasks, advEvery, pipelin
 		tot.transportErrs += s.transportErrs
 		tot.backoff += s.backoff
 	}
-	rate := float64(tot.sent) / elapsed.Seconds()
-	fmt.Printf("pd2load: %d commands in %.2fs = %.0f commands/s (%d posts, %d retries, %d rejected, %d 5xx, %d transport errors, %.3fs backoff)\n",
-		tot.sent, elapsed.Seconds(), rate, tot.posts, tot.retries, tot.rejected, tot.serverErrors, tot.transportErrs, tot.backoff.Seconds())
 
-	// Flush: one final advance per shard applies any still-staged batch,
-	// so the audit sees applied == accepted for an admission-clean run.
-	for s := 0; s < shards; s++ {
-		if code, body, err := post(client, fmt.Sprintf("%s/v1/shards/%d/advance", base, s), map[string]int{"slots": 1}); err != nil || code != http.StatusOK {
-			return tot, fmt.Errorf("final advance shard %d: %d %s: %v", s, code, body, err)
-		}
+	// Drain: advance each shard until no admitted work is pending, so
+	// the audit (and any recording) sees every accepted command applied
+	// — an admission-clean run then shows applied == accepted, and
+	// deferred-join queues are proven to empty.
+	if err := drainShards(client, cfg.base, cfg.shards); err != nil {
+		return tot, fmt.Errorf("drain: %w", err)
 	}
 
-	clean, err := audit(client, base, shards)
+	if cfg.record != "" {
+		if err := recordTrace(client, cfg.base, cfg.record, cfg.shards); err != nil {
+			return tot, fmt.Errorf("record: %w", err)
+		}
+		fmt.Printf("pd2load: recorded trace to %s\n", cfg.record)
+	}
+
+	rep, err := audit(client, cfg.base, cfg.shards)
 	if err != nil {
 		return tot, fmt.Errorf("audit: %w", err)
 	}
-	if strict {
-		ok := clean && tot.rejected == 0 && tot.serverErrors == 0 && tot.transportErrs == 0
+	fmt.Println(statsLine(tot, elapsed))
+	fmt.Println(anomalyLine(tot, rep))
+	if cfg.strict {
+		ok := rep.healthy && tot.serverErrors == 0 && tot.transportErrs == 0
+		if !tolerateRejections {
+			ok = ok && rep.admissionClean && tot.rejected == 0
+		}
 		if !ok {
 			fmt.Println("pd2load: STRICT FAIL")
 			os.Exit(1)
 		}
-		fmt.Println("pd2load: strict checks passed (admission-clean, zero failed applies, zero violations)")
+		if tolerateRejections {
+			fmt.Println("pd2load: strict checks passed (graceful degradation: zero failed applies, zero violations)")
+		} else {
+			fmt.Println("pd2load: strict checks passed (admission-clean, zero failed applies, zero violations)")
+		}
 	}
 	return tot, nil
+}
+
+// statsLine renders the end-of-run throughput summary; TestStatsLine
+// pins the format.
+func statsLine(tot workerStats, elapsed time.Duration) string {
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(tot.sent) / elapsed.Seconds()
+	}
+	return fmt.Sprintf("pd2load: %d commands in %.2fs = %.0f commands/s (%d posts, %d retries, %d rejected, %d 5xx, %d transport errors, %.3fs backoff)",
+		tot.sent, elapsed.Seconds(), rate, tot.posts, tot.retries, tot.rejected, tot.serverErrors, tot.transportErrs, tot.backoff.Seconds())
+}
+
+// anomalyLine renders the degradation summary: client-side backpressure
+// plus the server's anomaly counters from the audit. TestStatsLine pins
+// the format.
+func anomalyLine(tot workerStats, rep auditReport) string {
+	return fmt.Sprintf("pd2load: anomalies: %d 429s, %.3fs backoff, max deferred-join depth %d, reject spikes %d, drift excursions %d, backpressure spikes %d",
+		tot.retries, tot.backoff.Seconds(), rep.deferredJoinPeak, rep.rejectSpikes, rep.driftExcursions, rep.backpressureSpikes)
+}
+
+// runReplay replays a recorded trace against a fresh daemon and
+// verifies every shard reproduces its recorded digest byte-for-byte.
+func runReplay(cfg config) error {
+	f, err := os.Open(cfg.replay)
+	if err != nil {
+		return err
+	}
+	tr, derr := workgen.DecodeTrace(f)
+	if cerr := f.Close(); cerr != nil && derr == nil {
+		derr = cerr
+	}
+	if derr != nil {
+		return derr
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	results, rerr := workgen.Replay(client, cfg.base, tr)
+	for _, r := range results {
+		verdict := "MATCH"
+		if !r.Match {
+			verdict = "MISMATCH"
+		}
+		fmt.Printf("pd2load: replayed shard %d: %d commands over %d slots, digest %016x vs recorded %016x: %s\n",
+			r.Shard, r.Commands, r.Slots, r.Digest, r.Want, verdict)
+	}
+	if rerr != nil {
+		return rerr
+	}
+	fmt.Printf("pd2load: replay verified %d shard(s) byte-identical\n", len(results))
+	return nil
+}
+
+// recordTrace snapshots every shard into a trace file (temp file +
+// rename, so a crash never leaves a truncated trace).
+func recordTrace(client *http.Client, base, path string, shards int) error {
+	tr, err := workgen.Record(client, base, shards)
+	if err != nil {
+		return err
+	}
+	data, err := tr.EncodeToBytes()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// drainShards advances each shard until its staged batch and deferral
+// queues are empty. Admission guarantees every admitted command
+// eventually applies, so a queue that refuses to drain is a bug.
+func drainShards(client *http.Client, base string, shards int) error {
+	for s := 0; s < shards; s++ {
+		pending := 1
+		for i := 0; pending > 0; i++ {
+			if i >= 256 {
+				return fmt.Errorf("shard %d still has %d pending commands after 256 drain advances", s, pending)
+			}
+			if code, body, err := post(client, fmt.Sprintf("%s/v1/shards/%d/advance", base, s), map[string]int{"slots": 1}); err != nil || code != http.StatusOK {
+				return fmt.Errorf("drain advance shard %d: %d %s: %v", s, code, body, err)
+			}
+			var st struct {
+				PendingBatch   int `json:"pending_batch"`
+				DeferredJoins  int `json:"deferred_joins"`
+				DeferredLeaves int `json:"deferred_leaves"`
+			}
+			if err := getStatus(client, base, s, &st); err != nil {
+				return err
+			}
+			pending = st.PendingBatch + st.DeferredJoins + st.DeferredLeaves
+		}
+	}
+	return nil
 }
 
 // splitBudget divides requests across workers so the parts sum exactly
@@ -212,6 +354,249 @@ type command struct {
 	Weight string `json:"weight,omitempty"`
 }
 
+// genKind selects how a worker produces batches.
+type genKind int
+
+const (
+	genUniform  genKind = iota // the classic anchor-reweight stream
+	genShape                   // phase-modulated stream (workgen.ShapeStream)
+	genTemplate                // pathological template (workgen.TemplateStream)
+)
+
+// genState is one worker's command source. Uniform workers rotate
+// across shards over time; shape and template workers stay pinned to
+// one shard, because their churn leaves must land on the shard that
+// admitted the matching joins.
+type genState struct {
+	kind    genKind
+	prefix  string
+	shards  int
+	shard   int  // current target shard
+	rotate  bool // uniform only
+	tasks   int
+	batch   int // shape phases scale off the configured batch, not the tail
+	rng     *stats.RNG
+	sstream *workgen.ShapeStream
+	tstream *workgen.TemplateStream
+	scratch []workgen.Cmd
+}
+
+// nextBatch appends one batch's JSON body to b and reports how many
+// commands it carries. Uniform and template streams emit exactly n;
+// a shape stream emits whatever the current phase dictates (possibly
+// zero for an idle phase), so -requests is a target rather than an
+// exact count under -shape.
+func (g *genState) nextBatch(b []byte, n int) ([]byte, int) {
+	switch g.kind {
+	case genUniform:
+		return appendBatch(b, g.prefix, g.shard, n, g.tasks, g.rng), n
+	case genShape:
+		g.scratch = g.sstream.NextBatch(g.scratch[:0], g.batch)
+		return appendCmds(b, g.scratch), len(g.scratch)
+	case genTemplate:
+		g.scratch = g.tstream.Next(g.scratch[:0], n)
+		return appendCmds(b, g.scratch), len(g.scratch)
+	default:
+		panic("pd2load: unknown generator kind")
+	}
+}
+
+// maybeRotate moves a uniform worker to the next shard every 13 posts
+// so every shard sees load even when workers < shards.
+func (g *genState) maybeRotate(posts int64) {
+	if g.rotate && g.shards > 1 && posts%13 == 0 {
+		g.shard = (g.shard + 1) % g.shards
+	}
+}
+
+// advanced tells the stream a slot boundary passed on its shard, so
+// churn joins posted before it may now be left.
+func (g *genState) advanced() {
+	if g.sstream != nil {
+		g.sstream.Advanced()
+	}
+	if g.tstream != nil {
+		g.tstream.Advanced()
+	}
+}
+
+// appendCmds encodes workgen commands as a JSON array of wire commands.
+// Task names go through AppendQuote, so arbitrary names stay valid JSON.
+func appendCmds(b []byte, cmds []workgen.Cmd) []byte {
+	b = append(b, '[')
+	for i, c := range cmds {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"op":"`...)
+		switch c.Op {
+		case workgen.TraceJoin:
+			b = append(b, "join"...)
+		case workgen.TraceLeave:
+			b = append(b, "leave"...)
+		case workgen.TraceReweight:
+			b = append(b, "reweight"...)
+		default:
+			panic("pd2load: generator emitted a non-wire trace op")
+		}
+		b = append(b, `","task":`...)
+		b = strconv.AppendQuote(b, c.Task)
+		if c.Op != workgen.TraceLeave {
+			b = append(b, `,"weight":"`...)
+			b = append(b, c.Weight.String()...)
+			b = append(b, '"')
+		}
+		b = append(b, '}')
+	}
+	return append(b, ']')
+}
+
+// shardM fetches the shard list and returns shard 0's processor count
+// (all shards share one config); template and shape weight envelopes
+// are sized against it.
+func shardM(client *http.Client, base string) (int, error) {
+	resp, err := client.Get(base + "/v1/shards")
+	if err != nil {
+		return 0, err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		return 0, cerr
+	}
+	if rerr != nil {
+		return 0, rerr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("listing shards: %d: %s", resp.StatusCode, body)
+	}
+	var shards []struct {
+		M int `json:"m"`
+	}
+	if err := json.Unmarshal(body, &shards); err != nil {
+		return 0, err
+	}
+	if len(shards) == 0 {
+		return 0, fmt.Errorf("daemon reports no shards")
+	}
+	return shards[0].M, nil
+}
+
+// buildGenerators constructs one command source per worker and reports
+// whether strict mode should tolerate per-command rejections (true for
+// shapes, whose churn races slot boundaries, and for templates that
+// exist to provoke rejections).
+func buildGenerators(client *http.Client, cfg config) ([]*genState, bool, error) {
+	gens := make([]*genState, cfg.workers)
+	switch {
+	case cfg.template != "":
+		tmpl, err := workgen.TemplateByName(cfg.template)
+		if err != nil {
+			return nil, false, err
+		}
+		m, err := shardM(client, cfg.base)
+		if err != nil {
+			return nil, false, err
+		}
+		for w := range gens {
+			rng := stats.NewStream(uint64(cfg.seed), uint64(w))
+			ts, err := workgen.NewTemplateStream(tmpl, rng, fmt.Sprintf("%sw%d", cfg.prefix, w), m, cfg.tasks)
+			if err != nil {
+				return nil, false, err
+			}
+			gens[w] = &genState{kind: genTemplate, shards: cfg.shards, shard: w % cfg.shards, batch: cfg.batch, tstream: ts}
+		}
+		return gens, tmpl.ExpectsRejections(), nil
+	case cfg.shape != "":
+		sh, err := workgen.ShapeByName(cfg.shape)
+		if err != nil {
+			return nil, false, err
+		}
+		productive := false
+		for i := range sh.Phases {
+			if sh.Phases[i].BatchSize(cfg.batch) > 0 {
+				productive = true
+				break
+			}
+		}
+		if !productive {
+			return nil, false, fmt.Errorf("shape %s produces no commands at batch %d", sh.Name, cfg.batch)
+		}
+		m, err := shardM(client, cfg.base)
+		if err != nil {
+			return nil, false, err
+		}
+		maxNum := (32 * m) / cfg.tasks // total anchor weight stays <= m/2
+		for w := range gens {
+			rng := stats.NewStream(uint64(cfg.seed), uint64(w))
+			shard := w % cfg.shards
+			prefix := cfg.prefix
+			anchor := func(i int) string { return taskName(prefix, shard, i) }
+			ss, err := workgen.NewShapeStream(sh, rng, fmt.Sprintf("%sw%d", cfg.prefix, w), anchor, cfg.tasks, maxNum)
+			if err != nil {
+				return nil, false, err
+			}
+			gens[w] = &genState{kind: genShape, shards: cfg.shards, shard: shard, batch: cfg.batch, sstream: ss}
+		}
+		return gens, true, nil
+	default:
+		for w := range gens {
+			gens[w] = &genState{
+				kind: genUniform, prefix: cfg.prefix, shards: cfg.shards, shard: w % cfg.shards,
+				rotate: true, tasks: cfg.tasks, batch: cfg.batch,
+				rng: stats.NewStream(uint64(cfg.seed), uint64(w)),
+			}
+		}
+		return gens, false, nil
+	}
+}
+
+// setupRun prepares the shards' task populations. Uniform and shape
+// runs share the anchor tasks joined by setup; template runs post each
+// worker stream's own setup commands to its pinned shard. tolerate
+// allows per-command rejections during setup — expected when several
+// camp workers share a shard and the later ones find it full.
+func setupRun(client *http.Client, cfg config, gens []*genState, tolerate bool) error {
+	if cfg.template == "" {
+		return setup(client, cfg.base, cfg.prefix, cfg.shards, cfg.tasks)
+	}
+	var buf []byte
+	for w, g := range gens {
+		g.scratch = g.tstream.Setup(g.scratch[:0])
+		if len(g.scratch) == 0 {
+			continue
+		}
+		buf = appendCmds(buf[:0], g.scratch)
+		code, body, err := post(client, fmt.Sprintf("%s/v1/shards/%d/commands", cfg.base, g.shard), json.RawMessage(buf))
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("worker %d template setup: %d: %s", w, code, body)
+		}
+		var results []struct {
+			Status string `json:"status"`
+			Reason string `json:"reason"`
+		}
+		if err := json.Unmarshal(body, &results); err != nil {
+			return err
+		}
+		for i, r := range results {
+			if r.Status != "queued" && !tolerate {
+				return fmt.Errorf("worker %d template setup command %d: %s (%s)", w, i, r.Status, r.Reason)
+			}
+		}
+	}
+	for s := 0; s < cfg.shards; s++ {
+		if code, body, err := post(client, fmt.Sprintf("%s/v1/shards/%d/advance", cfg.base, s), map[string]int{"slots": 1}); err != nil || code != http.StatusOK {
+			return fmt.Errorf("shard %d setup advance: %d %s: %v", s, code, body, err)
+		}
+	}
+	for _, g := range gens {
+		g.advanced()
+	}
+	return nil
+}
+
 // setup joins the task population on every shard and advances one slot
 // so the joins are applied before the load starts.
 func setup(client *http.Client, base, prefix string, shards, tasks int) error {
@@ -264,17 +649,20 @@ type wireReq struct {
 var queuedMarker = []byte(`"status":"queued"`)
 
 // drive is one worker's loop: keep up to `pipeline` batch requests in
-// flight on one connection, read replies in order, retry 429s.
-func drive(pc *pconn, prefix string, w, shards, budget, batch, tasks, advEvery, pipeline int, seed int64) workerStats {
+// flight on one connection, read replies in order, retry 429s. The
+// budget counts *delivered* commands — queued or rejected — so
+// templates built to be rejected (admission camping, heavy flood)
+// still terminate.
+func (g *genState) drive(pc *pconn, budget, batch, advEvery, pipeline int) workerStats {
 	var st workerStats
-	// One deterministic stats.RNG stream per worker: the command
-	// sequence of a given (-seed, worker) pair is reproducible, and
-	// Bounded keeps the per-command draw cost to a single multiply
-	// (Lemire's nearly-divisionless mapping — see internal/stats).
-	rng := stats.NewStream(uint64(seed), uint64(w))
-	shard := w % shards
-	cmdPaths := make([]string, shards)
-	advPaths := make([]string, shards)
+	// rng also feeds the backoff jitter; fall back to a fixed stream for
+	// generators that carry their RNG inside a workgen stream.
+	rng := g.rng
+	if rng == nil {
+		rng = stats.NewStream(uint64(g.shard), 1)
+	}
+	cmdPaths := make([]string, g.shards)
+	advPaths := make([]string, g.shards)
 	for s := range cmdPaths {
 		cmdPaths[s] = fmt.Sprintf("/v1/shards/%d/commands", s)
 		advPaths[s] = fmt.Sprintf("/v1/shards/%d/advance", s)
@@ -284,7 +672,7 @@ func drive(pc *pconn, prefix string, w, shards, budget, batch, tasks, advEvery, 
 	var free [][]byte
 	attempt := 0
 	var advancesDone int64
-	for st.sent < int64(budget) || len(retryQ) > 0 {
+	for st.sent+st.rejected < int64(budget) || len(retryQ) > 0 {
 		// Assemble the window: queued retries first, then fresh batches
 		// up to the part of the budget not already in flight or queued.
 		window = window[:0]
@@ -302,7 +690,7 @@ func drive(pc *pconn, prefix string, w, shards, budget, batch, tasks, advEvery, 
 			pendingCmds += it.n
 		}
 		for len(window) < pipeline {
-			need := budget - int(st.sent) - pendingCmds
+			need := budget - int(st.sent+st.rejected) - pendingCmds
 			if need <= 0 {
 				break
 			}
@@ -314,62 +702,65 @@ func drive(pc *pconn, prefix string, w, shards, budget, batch, tasks, advEvery, 
 			if len(free) > 0 {
 				body, free = free[len(free)-1], free[:len(free)-1]
 			}
-			body = appendBatch(body[:0], prefix, shard, n, tasks, rng)
-			window = append(window, wireReq{path: cmdPaths[shard], body: body, n: n})
-			pendingCmds += n
-			st.posts++
-			// Spread workers across shards over time so every shard
-			// sees load even when workers < shards.
-			if shards > 1 && st.posts%13 == 0 {
-				shard = (shard + 1) % shards
+			var got int
+			body, got = g.nextBatch(body[:0], n)
+			st.posts++ // idle shape rounds still count, so advance pacing stays phase-driven
+			if got == 0 {
+				// Idle phase round: nothing to post. Fall through so the
+				// pending advances still fire; the shape cycle is
+				// guaranteed to reach a productive phase.
+				free = append(free, body)
+				break
 			}
-		}
-		if len(window) == 0 {
-			break
-		}
-		if err := pc.ensure(); err != nil {
-			st.transportErrs++
-			return st
-		}
-		for i := range window {
-			if err := pc.writeReq(window[i].path, window[i].body); err != nil {
-				st.transportErrs++
-				return st
-			}
-		}
-		if err := pc.flush(); err != nil {
-			st.transportErrs++
-			return st
+			window = append(window, wireReq{path: cmdPaths[g.shard], body: body, n: got})
+			pendingCmds += got
+			g.maybeRotate(st.posts)
 		}
 		var hint time.Duration
 		got429 := false
-		for i := range window {
-			resp, err := pc.readResp()
-			if err != nil {
+		if len(window) > 0 {
+			if err := pc.ensure(); err != nil {
 				st.transportErrs++
-				pc.close()
 				return st
 			}
-			it := window[i]
-			switch {
-			case resp.status == http.StatusTooManyRequests:
-				st.retries++
-				got429 = true
-				if resp.retryAfter > hint {
-					hint = resp.retryAfter
+			for i := range window {
+				if err := pc.writeReq(window[i].path, window[i].body); err != nil {
+					st.transportErrs++
+					return st
 				}
-				retryQ = append(retryQ, it)
-			case resp.status >= 500:
-				st.serverErrors++
-				free = append(free, it.body)
-			case resp.status != http.StatusOK:
-				st.rejected += int64(it.n)
-				free = append(free, it.body)
-			default:
-				q := bytes.Count(resp.body, queuedMarker)
-				st.sent += int64(q)
-				st.rejected += int64(it.n - q)
-				free = append(free, it.body)
+			}
+			if err := pc.flush(); err != nil {
+				st.transportErrs++
+				return st
+			}
+			for i := range window {
+				resp, err := pc.readResp()
+				if err != nil {
+					st.transportErrs++
+					pc.close()
+					return st
+				}
+				it := window[i]
+				switch {
+				case resp.status == http.StatusTooManyRequests:
+					st.retries++
+					got429 = true
+					if resp.retryAfter > hint {
+						hint = resp.retryAfter
+					}
+					retryQ = append(retryQ, it)
+				case resp.status >= 500:
+					st.serverErrors++
+					free = append(free, it.body)
+				case resp.status != http.StatusOK:
+					st.rejected += int64(it.n)
+					free = append(free, it.body)
+				default:
+					q := bytes.Count(resp.body, queuedMarker)
+					st.sent += int64(q)
+					st.rejected += int64(it.n - q)
+					free = append(free, it.body)
+				}
 			}
 		}
 		if got429 {
@@ -381,12 +772,13 @@ func drive(pc *pconn, prefix string, w, shards, budget, batch, tasks, advEvery, 
 			attempt = 0
 		}
 		if advEvery > 0 {
+			advanced := false
 			for due := st.posts / int64(advEvery); advancesDone < due; advancesDone++ {
 				if err := pc.ensure(); err != nil {
 					st.transportErrs++
 					return st
 				}
-				if err := pc.writeReq(advPaths[shard], []byte(`{"slots":1}`)); err != nil {
+				if err := pc.writeReq(advPaths[g.shard], []byte(`{"slots":1}`)); err != nil {
 					st.transportErrs++
 					return st
 				}
@@ -403,6 +795,15 @@ func drive(pc *pconn, prefix string, w, shards, budget, batch, tasks, advEvery, 
 				if resp.status >= 500 {
 					st.serverErrors++
 				}
+				advanced = true
+			}
+			if advanced {
+				// The advance was written after every window response was
+				// read, so all posted joins reached the shard first; churn
+				// streams may now leave them. (A 429'd join still waiting
+				// in retryQ can slip past this and draw a 404 on its
+				// leave — tolerated, shape/template runs expect strays.)
+				g.advanced()
 			}
 		}
 	}
@@ -674,43 +1075,75 @@ func htoiBytes(b []byte) (int, bool) {
 	return n, true
 }
 
-// audit fetches every shard's status and reports whether the run was
-// admission-clean server-side.
-func audit(client *http.Client, base string, shards int) (bool, error) {
-	clean := true
+// auditReport aggregates the per-shard post-run audit. admissionClean
+// means no property-(W) rejections anywhere; healthy means zero failed
+// applies and zero lag-bound violations — the invariant every
+// pathological template must leave intact. The anomaly fields sum the
+// per-shard spike counters and take the maximum deferred-join depth.
+type auditReport struct {
+	admissionClean     bool
+	healthy            bool
+	deferredJoinPeak   int64
+	rejectSpikes       int64
+	driftExcursions    int64
+	backpressureSpikes int64
+}
+
+// audit fetches every shard's status, prints the per-shard line, and
+// folds the results into one report.
+func audit(client *http.Client, base string, shards int) (auditReport, error) {
+	rep := auditReport{admissionClean: true, healthy: true}
 	for s := 0; s < shards; s++ {
-		resp, err := client.Get(fmt.Sprintf("%s/v1/shards/%d", base, s))
-		if err != nil {
-			return false, err
-		}
-		body, rerr := io.ReadAll(resp.Body)
-		if cerr := resp.Body.Close(); cerr != nil {
-			return false, cerr
-		}
-		if rerr != nil {
-			return false, rerr
-		}
-		if resp.StatusCode != http.StatusOK {
-			return false, fmt.Errorf("shard %d status: %d: %s", s, resp.StatusCode, body)
-		}
 		var st struct {
-			Now           int64 `json:"now"`
-			RejectedW     int64 `json:"rejected_weight"`
-			FailedApplies int64 `json:"failed_applies"`
-			Violations    int64 `json:"violations"`
-			Accepted      int64 `json:"accepted"`
-			Applied       int64 `json:"applied"`
+			Now                int64 `json:"now"`
+			RejectedW          int64 `json:"rejected_weight"`
+			FailedApplies      int64 `json:"failed_applies"`
+			Violations         int64 `json:"violations"`
+			Accepted           int64 `json:"accepted"`
+			Applied            int64 `json:"applied"`
+			DeferredJoinPeak   int64 `json:"deferred_join_peak"`
+			RejectSpikes       int64 `json:"anomaly_reject_spikes"`
+			DriftExcursions    int64 `json:"anomaly_drift_excursions"`
+			BackpressureSpikes int64 `json:"anomaly_backpressure_spikes"`
 		}
-		if err := json.Unmarshal(body, &st); err != nil {
-			return false, err
+		if err := getStatus(client, base, s, &st); err != nil {
+			return rep, err
 		}
 		fmt.Printf("pd2load: shard %d: now=%d accepted=%d applied=%d rejectedW=%d failed=%d violations=%d\n",
 			s, st.Now, st.Accepted, st.Applied, st.RejectedW, st.FailedApplies, st.Violations)
-		if st.RejectedW != 0 || st.FailedApplies != 0 || st.Violations != 0 {
-			clean = false
+		if st.RejectedW != 0 {
+			rep.admissionClean = false
 		}
+		if st.FailedApplies != 0 || st.Violations != 0 {
+			rep.healthy = false
+		}
+		if st.DeferredJoinPeak > rep.deferredJoinPeak {
+			rep.deferredJoinPeak = st.DeferredJoinPeak
+		}
+		rep.rejectSpikes += st.RejectSpikes
+		rep.driftExcursions += st.DriftExcursions
+		rep.backpressureSpikes += st.BackpressureSpikes
 	}
-	return clean, nil
+	return rep, nil
+}
+
+// getStatus decodes shard s's status reply into v.
+func getStatus(client *http.Client, base string, s int, v any) error {
+	resp, err := client.Get(fmt.Sprintf("%s/v1/shards/%d", base, s))
+	if err != nil {
+		return err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		return cerr
+	}
+	if rerr != nil {
+		return rerr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard %d status: %d: %s", s, resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, v)
 }
 
 // post marshals v and POSTs it, returning status and body.

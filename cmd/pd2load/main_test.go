@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -161,7 +163,11 @@ func TestExactDeliveryEndToEnd(t *testing.T) {
 	}
 	for i, tc := range cases {
 		prefix := fmt.Sprintf("E%d", i)
-		tot, err := run(ts.URL, 4, tc.workers, tc.requests, tc.batch, 4, 16, tc.pipeline, 1, prefix, false)
+		tot, err := run(config{
+			base: ts.URL, shards: 4, workers: tc.workers, requests: tc.requests,
+			batch: tc.batch, tasks: 4, advEvery: 16, pipeline: tc.pipeline,
+			seed: 1, prefix: prefix,
+		})
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
@@ -171,5 +177,143 @@ func TestExactDeliveryEndToEnd(t *testing.T) {
 		if tot.rejected != 0 || tot.serverErrors != 0 || tot.transportErrs != 0 {
 			t.Errorf("case %d: not clean: %+v", i, tot)
 		}
+	}
+}
+
+// TestStatsLine pins the end-of-run summary formats so -strict audits
+// and the smoke scripts can grep them.
+func TestStatsLine(t *testing.T) {
+	tot := workerStats{
+		sent: 1200, posts: 150, retries: 3, rejected: 40,
+		serverErrors: 1, transportErrs: 2, backoff: 250 * time.Millisecond,
+	}
+	got := statsLine(tot, 2*time.Second)
+	want := "pd2load: 1200 commands in 2.00s = 600 commands/s (150 posts, 3 retries, 40 rejected, 1 5xx, 2 transport errors, 0.250s backoff)"
+	if got != want {
+		t.Errorf("statsLine:\n got %q\nwant %q", got, want)
+	}
+	rep := auditReport{deferredJoinPeak: 5, rejectSpikes: 7, driftExcursions: 2, backpressureSpikes: 1}
+	got = anomalyLine(tot, rep)
+	want = "pd2load: anomalies: 3 429s, 0.250s backoff, max deferred-join depth 5, reject spikes 7, drift excursions 2, backpressure spikes 1"
+	if got != want {
+		t.Errorf("anomalyLine:\n got %q\nwant %q", got, want)
+	}
+	// Zero elapsed must not divide by zero.
+	if got := statsLine(workerStats{}, 0); got == "" {
+		t.Error("empty stats line")
+	}
+}
+
+// startTestDaemon brings up an in-process serve instance for end-to-end
+// runs.
+func startTestDaemon(t *testing.T, shards, m int) string {
+	t.Helper()
+	srv, err := serve.New(serve.Options{Shards: shards, Config: serve.ShardConfig{M: m}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Stop()
+	})
+	return ts.URL
+}
+
+// TestTemplateRunsEndToEnd drives each pathological template through
+// the full generator against an in-process daemon. Every run must
+// finish (rejected commands count against the budget) and the
+// rejection-expecting templates must actually provoke rejections.
+func TestTemplateRunsEndToEnd(t *testing.T) {
+	for _, tc := range []struct {
+		template     string
+		wantRejected bool
+	}{
+		{"reweight-storm", false},
+		{"join-leave-churn", false}, // tolerated, but a clean run is the norm
+		{"admission-camp", true},
+		{"heavy-flood", true},
+	} {
+		t.Run(tc.template, func(t *testing.T) {
+			base := startTestDaemon(t, 2, 2)
+			tot, err := run(config{
+				base: base, shards: 2, workers: 2, requests: 400,
+				batch: 8, tasks: 4, advEvery: 8, pipeline: 2,
+				seed: 1, prefix: "T", template: tc.template,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tot.sent+tot.rejected < 400 {
+				t.Errorf("delivered %d+%d commands, want >= 400", tot.sent, tot.rejected)
+			}
+			if tc.wantRejected && tot.rejected == 0 {
+				t.Errorf("%s drew no rejections", tc.template)
+			}
+			if tot.serverErrors != 0 || tot.transportErrs != 0 {
+				t.Errorf("unhealthy run: %+v", tot)
+			}
+		})
+	}
+}
+
+// TestShapeRunEndToEnd drives a phase-modulated shape, including an
+// idle phase, through the full generator.
+func TestShapeRunEndToEnd(t *testing.T) {
+	base := startTestDaemon(t, 2, 2)
+	tot, err := run(config{
+		base: base, shards: 2, workers: 2, requests: 300,
+		batch: 8, tasks: 4, advEvery: 8, pipeline: 2,
+		seed: 1, prefix: "S", shape: "idle=2:0:1:0,busy=4:1.5:4:0.2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.sent+tot.rejected < 300 {
+		t.Errorf("delivered %d+%d commands, want >= 300", tot.sent, tot.rejected)
+	}
+	if tot.serverErrors != 0 || tot.transportErrs != 0 {
+		t.Errorf("unhealthy run: %+v", tot)
+	}
+}
+
+// TestRecordReplayThroughCLI runs generate→record against one daemon
+// and replay against a fresh one, end to end through run().
+func TestRecordReplayThroughCLI(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "run.trace")
+	base := startTestDaemon(t, 2, 2)
+	if _, err := run(config{
+		base: base, shards: 2, workers: 2, requests: 200,
+		batch: 8, tasks: 4, advEvery: 8, pipeline: 2,
+		seed: 1, prefix: "R", record: tracePath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace not recorded: %v", err)
+	}
+	fresh := startTestDaemon(t, 2, 2)
+	if _, err := run(config{base: fresh, replay: tracePath}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+// TestModeFlagValidation pins the mutual exclusions.
+func TestModeFlagValidation(t *testing.T) {
+	if _, err := run(config{
+		base: "http://127.0.0.1:1", shards: 1, workers: 1, requests: 1, batch: 1,
+		tasks: 1, pipeline: 1, shape: "diurnal", template: "reweight-storm",
+	}); err == nil {
+		t.Error("-shape with -template accepted")
+	}
+	if _, err := run(config{base: "http://127.0.0.1:1", replay: "/nonexistent/x.trace"}); err == nil {
+		t.Error("replay of a missing file succeeded")
+	}
+	if _, err := run(config{
+		base: "http://127.0.0.1:1", shards: 1, workers: 1, requests: 1, batch: 1,
+		tasks: 1, pipeline: 1, shape: "idle=4:0:1:0",
+	}); err == nil {
+		t.Error("an all-idle shape should be rejected up front")
 	}
 }

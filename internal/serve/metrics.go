@@ -24,6 +24,16 @@ type counters struct {
 	advances      atomic.Int64 // slots stepped
 	queries       atomic.Int64 // status queries served
 
+	// Anomaly counters: slot-boundary windows in which the shard was
+	// observably degrading. They quantify *graceful* degradation — the
+	// pathological-workload tests assert these fire while failedApplies
+	// stays zero. Bumped by the shard loop (noteAnomalies) except for
+	// deferred-join peak, which flush maintains.
+	anomRejectSpikes atomic.Int64 // windows whose rejection rate spiked (see anomalyMinDecisions)
+	anomDriftExcur   atomic.Int64 // boundaries where a task's |drift| exceeded the configured bound
+	anomBackpressure atomic.Int64 // windows with fresh 429 backpressure
+	deferredJoinPeak atomic.Int64 // high-watermark of the condition-J join queue
+
 	gauge atomic.Pointer[ShardStatus]
 }
 
@@ -38,6 +48,10 @@ func (c *counters) fill(st *ShardStatus) {
 	st.FailedApplies = c.failedApplies.Load()
 	st.Advances = c.advances.Load()
 	st.Queries = c.queries.Load()
+	st.AnomalyRejectSpikes = c.anomRejectSpikes.Load()
+	st.AnomalyDriftExcursions = c.anomDriftExcur.Load()
+	st.AnomalyBackpressureSpikes = c.anomBackpressure.Load()
+	st.DeferredJoinPeak = c.deferredJoinPeak.Load()
 }
 
 // writeMetrics renders all shards in the Prometheus text exposition
@@ -61,9 +75,13 @@ func writeMetrics(w io.Writer, shards []*Shard) error {
 			{"pd2d_commands_failed_applies_total", c.failedApplies.Load()},
 			{"pd2d_slots_advanced_total", c.advances.Load()},
 			{"pd2d_queries_total", c.queries.Load()},
+			{"pd2d_anomaly_reject_spikes_total", c.anomRejectSpikes.Load()},
+			{"pd2d_anomaly_drift_excursions_total", c.anomDriftExcur.Load()},
+			{"pd2d_anomaly_backpressure_spikes_total", c.anomBackpressure.Load()},
 		} {
 			fmt.Fprintf(&b, "%s{shard=\"%d\"} %d\n", kv.name, id, kv.v)
 		}
+		fmt.Fprintf(&b, "pd2d_anomaly_deferred_join_peak{shard=\"%d\"} %d\n", id, c.deferredJoinPeak.Load())
 		st := c.gauge.Load()
 		if st == nil {
 			continue

@@ -29,6 +29,13 @@ type ShardConfig struct {
 	// RecordSchedule keeps the per-slot schedule log; required for the
 	// byte-exact differential tests, costly over long horizons.
 	RecordSchedule bool `json:"record_schedule,omitempty"`
+	// DriftBound, when positive, is the anomaly threshold for
+	// instantaneous per-task |drift|: a slot boundary where any task
+	// exceeds it bumps pd2d_anomaly_drift_excursions_total. Exact
+	// rational so the comparison is deterministic. Observability only —
+	// it never influences scheduling, admission, or digests (coreConfig
+	// ignores it).
+	DriftBound frac.Rat `json:"drift_bound,omitempty"`
 }
 
 func parsePolicy(s string) (core.PolicyKind, error) {
@@ -102,6 +109,12 @@ type Shard struct {
 	defJoins  []wireCmd      // admitted joins awaiting condition-J headroom
 	defLeaves []string       // admitted leaves awaiting rule L
 	drain     []*pending     // reused scratch for one mailbox drain
+
+	// Anomaly-window baselines: counter values at the previous
+	// publishStatus, so noteAnomalies sees per-window deltas.
+	lastDecisions     int64
+	lastRejections    int64
+	lastBackpressured int64
 
 	ctr counters
 }
@@ -413,6 +426,12 @@ func (sh *Shard) flush() {
 		}
 	}
 	sh.batch = sh.batch[:0]
+	// Deferred-join depth peaks right after a flush that deferred work;
+	// track it here so multi-slot advances cannot hide a transient.
+	// Single-writer, so the load/store pair cannot race another writer.
+	if d := int64(len(sh.defJoins)); d > sh.ctr.deferredJoinPeak.Load() {
+		sh.ctr.deferredJoinPeak.Store(d)
+	}
 }
 
 // applyJoin applies an admitted join whose condition-J check passed.
@@ -484,8 +503,53 @@ func (sh *Shard) status(withTasks bool) *ShardStatus {
 	return st
 }
 
+// anomalyMinDecisions is the minimum admission decisions in a window
+// before its rejection rate is judged: tiny windows (a lone 409) are
+// noise, not an anomaly.
+const anomalyMinDecisions = 8
+
+// noteAnomalies closes the observation window that ended at this slot
+// boundary and bumps the anomaly counters the window earned:
+//
+//   - reject spike: at least anomalyMinDecisions admission decisions
+//     and a majority of them rejections;
+//   - backpressure spike: any fresh 429s since the last boundary;
+//   - drift excursion: some task's instantaneous |drift| exceeds the
+//     configured DriftBound (exact comparison; zero bound disables).
+//
+// Counters cross the window monotonically, so deltas against the saved
+// baselines are exact. Run-goroutine only.
+//
+//lint:allocok AllMetrics composes the per-task metric slice; runs once per publish boundary, not per slot
+func (sh *Shard) noteAnomalies() {
+	accepted := sh.ctr.accepted.Load()
+	rejections := sh.ctr.rejectedW.Load() + sh.ctr.rejectedOther.Load()
+	decisions := accepted + rejections
+	dDec := decisions - sh.lastDecisions
+	dRej := rejections - sh.lastRejections
+	sh.lastDecisions = decisions
+	sh.lastRejections = rejections
+	if dDec >= anomalyMinDecisions && 2*dRej > dDec {
+		sh.ctr.anomRejectSpikes.Add(1)
+	}
+	if bp := sh.ctr.backpressured.Load(); bp > sh.lastBackpressured {
+		sh.ctr.anomBackpressure.Add(1)
+		sh.lastBackpressured = bp
+	}
+	if sh.cfg.DriftBound.Sign() > 0 {
+		for _, m := range sh.eng.AllMetrics() {
+			if sh.cfg.DriftBound.Less(m.Drift.Abs()) {
+				sh.ctr.anomDriftExcur.Add(1)
+				break
+			}
+		}
+	}
+}
+
 // publishStatus refreshes the lock-free gauge the /metrics handler
-// reads. Called at every boundary and at loop exit.
+// reads. Called at every boundary and at loop exit. Anomaly windows
+// close first so the published status carries their fresh values.
 func (sh *Shard) publishStatus() {
+	sh.noteAnomalies()
 	sh.ctr.gauge.Store(sh.status(false))
 }

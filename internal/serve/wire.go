@@ -104,6 +104,14 @@ type ShardStatus struct {
 	Advances      int64 `json:"advances"`
 	Queries       int64 `json:"queries"`
 
+	// Anomaly counters (see metrics.go): windows of observable
+	// degradation. Graceful degradation means these may rise while
+	// FailedApplies and Violations stay zero.
+	AnomalyRejectSpikes       int64 `json:"anomaly_reject_spikes"`
+	AnomalyDriftExcursions    int64 `json:"anomaly_drift_excursions"`
+	AnomalyBackpressureSpikes int64 `json:"anomaly_backpressure_spikes"`
+	DeferredJoinPeak          int64 `json:"deferred_join_peak"`
+
 	Tasks []TaskStatus `json:"tasks,omitempty"`
 }
 

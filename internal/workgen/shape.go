@@ -1,0 +1,217 @@
+package workgen
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// A Phase is one named segment of a temporal load shape. A generator
+// consults the phase in effect each issue round and modulates what it
+// sends accordingly; the phase itself holds no state, so shapes are
+// shareable across workers.
+type Phase struct {
+	// Name labels the segment in stats lines and docs ("night", "peak").
+	Name string
+	// Rounds is how many issue rounds the phase covers (>= 1).
+	Rounds int
+	// Rate multiplies the generator's base batch size; 0 is an idle
+	// phase (the generator paces virtual time but sends no commands).
+	Rate float64
+	// Spread widens the reweight magnitude: target numerators are drawn
+	// from [1, Spread] over a /64 grid (>= 1). Large spreads are the
+	// paper's wide-dynamic-range reweighting regime.
+	Spread int
+	// Churn is the probability in [0, 1] that a generated command is a
+	// join/leave churn step instead of a reweight.
+	Churn float64
+}
+
+// A Shape is a cyclic sequence of phases: round r falls into the phase
+// covering r modulo the shape's total rounds, so every shape describes
+// a repeating (multi-period) temporal pattern.
+type Shape struct {
+	Name   string
+	Phases []Phase
+}
+
+// TotalRounds returns the length of one full cycle.
+func (s *Shape) TotalRounds() int {
+	n := 0
+	for i := range s.Phases {
+		n += s.Phases[i].Rounds
+	}
+	return n
+}
+
+// Phase returns the phase in effect at issue round r (cycling).
+// It panics on a shape with no rounds; Validate rejects those.
+func (s *Shape) Phase(r int) *Phase {
+	total := s.TotalRounds()
+	if total <= 0 {
+		panic("workgen: shape has no rounds; Validate before use")
+	}
+	r %= total
+	for i := range s.Phases {
+		if r < s.Phases[i].Rounds {
+			return &s.Phases[i]
+		}
+		r -= s.Phases[i].Rounds
+	}
+	// Unreachable: the loop consumes exactly total rounds.
+	panic("workgen: phase cursor escaped the cycle")
+}
+
+// Validate checks every phase's ranges.
+func (s *Shape) Validate() error {
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("workgen: shape %q has no phases", s.Name)
+	}
+	for i := range s.Phases {
+		p := &s.Phases[i]
+		if p.Name == "" {
+			return fmt.Errorf("workgen: shape %q phase %d has no name", s.Name, i)
+		}
+		if p.Rounds < 1 {
+			return fmt.Errorf("workgen: shape %q phase %q needs rounds >= 1, got %d", s.Name, p.Name, p.Rounds)
+		}
+		if p.Rate < 0 || math.IsNaN(p.Rate) || math.IsInf(p.Rate, 0) {
+			return fmt.Errorf("workgen: shape %q phase %q needs a finite rate >= 0, got %v", s.Name, p.Name, p.Rate)
+		}
+		if p.Spread < 1 || p.Spread > 32 {
+			return fmt.Errorf("workgen: shape %q phase %q needs spread in [1, 32], got %d", s.Name, p.Name, p.Spread)
+		}
+		if p.Churn < 0 || p.Churn > 1 || math.IsNaN(p.Churn) {
+			return fmt.Errorf("workgen: shape %q phase %q needs churn in [0, 1], got %v", s.Name, p.Name, p.Churn)
+		}
+	}
+	return nil
+}
+
+// shapeNames lists the built-in shapes in documentation order.
+var shapeNames = []string{"uniform", "diurnal", "ramp", "spike", "sine", "flash-crowd"}
+
+// ShapeNames returns the built-in shape names.
+func ShapeNames() []string { return append([]string(nil), shapeNames...) }
+
+// builtinShape constructs a built-in shape by name.
+func builtinShape(name string) (*Shape, bool) {
+	switch name {
+	case "uniform":
+		// The closed-loop baseline: steady rate, narrow reweights.
+		return &Shape{Name: name, Phases: []Phase{
+			{Name: "steady", Rounds: 64, Rate: 1, Spread: 2},
+		}}, true
+	case "diurnal":
+		// A day: quiet night, morning ramp, busy peak with churn as
+		// users arrive and depart, evening tail.
+		return &Shape{Name: name, Phases: []Phase{
+			{Name: "night", Rounds: 24, Rate: 0.25, Spread: 2},
+			{Name: "morning", Rounds: 16, Rate: 0.75, Spread: 4, Churn: 0.1},
+			{Name: "peak", Rounds: 24, Rate: 1.5, Spread: 8, Churn: 0.2},
+			{Name: "evening", Rounds: 16, Rate: 0.75, Spread: 4, Churn: 0.1},
+		}}, true
+	case "ramp":
+		// Monotone load growth: each phase doubles pressure.
+		return &Shape{Name: name, Phases: []Phase{
+			{Name: "r1", Rounds: 16, Rate: 0.25, Spread: 2},
+			{Name: "r2", Rounds: 16, Rate: 0.5, Spread: 4},
+			{Name: "r3", Rounds: 16, Rate: 1, Spread: 8},
+			{Name: "r4", Rounds: 16, Rate: 2, Spread: 16, Churn: 0.1},
+		}}, true
+	case "spike":
+		// Steady state with a short violent burst and a recovery tail.
+		return &Shape{Name: name, Phases: []Phase{
+			{Name: "steady", Rounds: 32, Rate: 1, Spread: 2},
+			{Name: "spike", Rounds: 8, Rate: 4, Spread: 24, Churn: 0.2},
+			{Name: "recovery", Rounds: 16, Rate: 0.5, Spread: 2},
+		}}, true
+	case "sine":
+		return sineShape(), true
+	case "flash-crowd":
+		// Calm, then a crowd floods in (high churn joins), then decays.
+		return &Shape{Name: name, Phases: []Phase{
+			{Name: "calm", Rounds: 24, Rate: 0.5, Spread: 2},
+			{Name: "flash", Rounds: 12, Rate: 4, Spread: 16, Churn: 0.5},
+			{Name: "decay", Rounds: 12, Rate: 2, Spread: 8, Churn: 0.25},
+			{Name: "settle", Rounds: 16, Rate: 1, Spread: 4, Churn: 0.1},
+		}}, true
+	}
+	return nil, false
+}
+
+// sineShape samples one sinusoid period into 16 equal segments with
+// rate 1 + 0.75*sin, so the cycle swings between 0.25x and 1.75x.
+func sineShape() *Shape {
+	const segments = 16
+	s := &Shape{Name: "sine", Phases: make([]Phase, segments)}
+	for i := 0; i < segments; i++ {
+		rate := 1 + 0.75*math.Sin(2*math.Pi*float64(i)/segments)
+		spread := 2 + int(6*rate)
+		s.Phases[i] = Phase{Name: "s" + strconv.Itoa(i), Rounds: 8, Rate: rate, Spread: spread}
+	}
+	return s
+}
+
+// ShapeByName resolves spec to a shape: a built-in name ("diurnal"), or
+// an inline phase grammar when the spec contains '='. The grammar is
+//
+//	name=rounds:rate:spread:churn[,name=rounds:rate:spread:churn...]
+//
+// e.g. "calm=32:1:2:0,surge=16:3:24:0.25". docs/WORKGEN.md is the
+// normative description.
+func ShapeByName(spec string) (*Shape, error) {
+	if s, ok := builtinShape(spec); ok {
+		return s, nil
+	}
+	if !strings.Contains(spec, "=") {
+		return nil, fmt.Errorf("workgen: unknown shape %q (built-ins: %s; or inline name=rounds:rate:spread:churn,...)",
+			spec, strings.Join(shapeNames, ", "))
+	}
+	s := &Shape{Name: "custom"}
+	for _, seg := range strings.Split(spec, ",") {
+		name, rest, ok := strings.Cut(seg, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("workgen: shape segment %q is not name=rounds:rate:spread:churn", seg)
+		}
+		fields := strings.Split(rest, ":")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("workgen: shape segment %q needs 4 fields rounds:rate:spread:churn, got %d", seg, len(fields))
+		}
+		rounds, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("workgen: shape segment %q rounds: %v", seg, err)
+		}
+		rate, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workgen: shape segment %q rate: %v", seg, err)
+		}
+		spread, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("workgen: shape segment %q spread: %v", seg, err)
+		}
+		churn, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workgen: shape segment %q churn: %v", seg, err)
+		}
+		s.Phases = append(s.Phases, Phase{Name: name, Rounds: rounds, Rate: rate, Spread: spread, Churn: churn})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// BatchSize scales base by the phase rate, rounding half-up, clamped to
+// [0, 4*base] so a hot phase cannot outgrow wire limits.
+func (p *Phase) BatchSize(base int) int {
+	n := int(math.Floor(float64(base)*p.Rate + 0.5))
+	if n < 0 {
+		n = 0
+	}
+	if max := 4 * base; n > max {
+		n = max
+	}
+	return n
+}

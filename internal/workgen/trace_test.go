@@ -1,0 +1,180 @@
+package workgen
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frac"
+)
+
+// goldenTrace is the fixture trace: two shards, every encodable op,
+// names that stress the quoting (spaces, quotes, backslashes, unicode,
+// empty group), and a digest with leading zeros.
+func goldenTrace() *Trace {
+	return &Trace{Shards: []ShardTrace{
+		{
+			Shard: 0, M: 2, Policy: "oi", OIThreshold: frac.New(1, 8),
+			Now: 3, Digest: 0x00000000deadbeef,
+			Log: []core.Command{
+				{At: 0, Op: core.OpJoin, Task: "plain", Weight: frac.New(1, 64)},
+				{At: 0, Op: core.OpJoin, Task: "with space", Weight: frac.New(1, 4), Group: "grp A"},
+				{At: 1, Op: core.OpReweight, Task: "plain", Weight: frac.New(3, 64)},
+				{At: 2, Op: core.OpLeave, Task: "with space"},
+			},
+		},
+		{
+			Shard: 1, M: 4, Policy: "hybrid", OIThreshold: frac.New(1, 16),
+			EarlyRelease: true, RecordSchedule: true,
+			Now: 5, Digest: 0xfedcba9876543210,
+			Log: []core.Command{
+				{At: 0, Op: core.OpJoin, Task: `quo"te\slash`, Weight: frac.New(1, 2)},
+				{At: 1, Op: core.OpJoin, Task: "uniçode", Weight: frac.New(1, 3), Group: "g"},
+				{At: 4, Op: core.OpReweight, Task: "uniçode", Weight: frac.New(2, 5)},
+			},
+		},
+	}}
+}
+
+// TestTraceGolden pins the canonical encoding byte-for-byte against the
+// committed fixture. Regenerate with -run TestTraceGolden -update.
+func TestTraceGolden(t *testing.T) {
+	path := filepath.Join("testdata", "golden_v1.trace")
+	got, err := goldenTrace().EncodeToBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("encoding drifted from golden fixture:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestTraceRoundTrip checks decode(encode(tr)) reproduces the trace and
+// that re-encoding is a byte-stable fixed point.
+func TestTraceRoundTrip(t *testing.T) {
+	tr := goldenTrace()
+	enc, err := tr.EncodeToBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeTrace(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("decoding own encoding: %v", err)
+	}
+	if !reflect.DeepEqual(tr, dec) {
+		t.Errorf("round trip changed the trace:\n got %+v\nwant %+v", dec, tr)
+	}
+	enc2, err := dec.EncodeToBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Errorf("re-encoding is not byte-stable:\n first %q\n second %q", enc, enc2)
+	}
+}
+
+// TestTraceShardsUnsortedEncodeSorted checks Encode emits shards in
+// ascending id order regardless of input order.
+func TestTraceShardsUnsortedEncodeSorted(t *testing.T) {
+	tr := goldenTrace()
+	tr.Shards[0], tr.Shards[1] = tr.Shards[1], tr.Shards[0]
+	enc, err := tr.EncodeToBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := goldenTrace().EncodeToBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, want) {
+		t.Error("shard order in the input leaked into the encoding")
+	}
+}
+
+// TestDecodeTraceErrors feeds malformed traces and requires an error —
+// never a panic — for each.
+func TestDecodeTraceErrors(t *testing.T) {
+	valid, err := goldenTrace().EncodeToBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := string(valid)
+	cases := map[string]string{
+		"empty":               "",
+		"garbage header":      "hello world\n",
+		"bad version":         "pd2dtrace v2 shards=0\nend\n",
+		"negative shards":     "pd2dtrace v1 shards=-1\nend\n",
+		"huge shards":         "pd2dtrace v1 shards=999999999\nend\n",
+		"missing end":         strings.TrimSuffix(vs, "end\n"),
+		"truncated mid-shard": vs[:len(vs)/2],
+		"trailing data":       vs + "extra\n",
+		"short shard line":    "pd2dtrace v1 shards=1\nshard 0 m=1\nend\n",
+		"bad digest":          "pd2dtrace v1 shards=1\nshard 0 m=1 policy=oi oithresh=1/8 er=0 rs=0 now=1 digest=xyz cmds=0\nend\n",
+		"short digest":        "pd2dtrace v1 shards=1\nshard 0 m=1 policy=oi oithresh=1/8 er=0 rs=0 now=1 digest=abc cmds=0\nend\n",
+		"bad bit":             "pd2dtrace v1 shards=1\nshard 0 m=1 policy=oi oithresh=1/8 er=2 rs=0 now=1 digest=0000000000000000 cmds=0\nend\n",
+		"negative now":        "pd2dtrace v1 shards=1\nshard 0 m=1 policy=oi oithresh=1/8 er=0 rs=0 now=-1 digest=0000000000000000 cmds=0\nend\n",
+		"cmd count mismatch":  "pd2dtrace v1 shards=1\nshard 0 m=1 policy=oi oithresh=1/8 er=0 rs=0 now=1 digest=0000000000000000 cmds=2\nc 0 join \"a\" w=1/4\nend\n",
+		"unknown op":          "pd2dtrace v1 shards=1\nshard 0 m=1 policy=oi oithresh=1/8 er=0 rs=0 now=1 digest=0000000000000000 cmds=1\nc 0 explode \"a\"\nend\n",
+		"join without weight": "pd2dtrace v1 shards=1\nshard 0 m=1 policy=oi oithresh=1/8 er=0 rs=0 now=1 digest=0000000000000000 cmds=1\nc 0 join \"a\"\nend\n",
+		"leave with weight":   "pd2dtrace v1 shards=1\nshard 0 m=1 policy=oi oithresh=1/8 er=0 rs=0 now=1 digest=0000000000000000 cmds=1\nc 0 leave \"a\" w=1/4\nend\n",
+		"unquoted task":       "pd2dtrace v1 shards=1\nshard 0 m=1 policy=oi oithresh=1/8 er=0 rs=0 now=1 digest=0000000000000000 cmds=1\nc 0 join a w=1/4\nend\n",
+		"at >= now":           "pd2dtrace v1 shards=1\nshard 0 m=1 policy=oi oithresh=1/8 er=0 rs=0 now=1 digest=0000000000000000 cmds=1\nc 1 join \"a\" w=1/4\nend\n",
+		"unsorted log":        "pd2dtrace v1 shards=1\nshard 0 m=1 policy=oi oithresh=1/8 er=0 rs=0 now=3 digest=0000000000000000 cmds=2\nc 2 join \"a\" w=1/4\nc 1 join \"b\" w=1/4\nend\n",
+		"duplicate shard id":  "pd2dtrace v1 shards=2\nshard 0 m=1 policy=oi oithresh=1/8 er=0 rs=0 now=1 digest=0000000000000000 cmds=0\nshard 0 m=1 policy=oi oithresh=1/8 er=0 rs=0 now=1 digest=0000000000000000 cmds=0\nend\n",
+	}
+	for name, in := range cases {
+		if _, err := DecodeTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// FuzzTraceDecode requires DecodeTrace never panics, and that any trace
+// it accepts is already in canonical form up to a re-encode fixed
+// point: encode(decode(in)) must itself decode to the same trace.
+func FuzzTraceDecode(f *testing.F) {
+	valid, err := goldenTrace().EncodeToBytes()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(valid))
+	f.Add("")
+	f.Add("pd2dtrace v1 shards=0\nend\n")
+	f.Add("pd2dtrace v1 shards=1\nshard 0 m=1 policy=oi oithresh=1/8 er=0 rs=0 now=1 digest=0000000000000000 cmds=1\nc 0 join \"a\" w=1/4\nend\n")
+	f.Add("pd2dtrace v2 shards=1\nend\n")
+	f.Add(string(valid[:len(valid)/3]))
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := DecodeTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		enc, err := tr.EncodeToBytes()
+		if err != nil {
+			t.Fatalf("decoded trace fails to encode: %v", err)
+		}
+		tr2, err := DecodeTrace(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("canonical re-encoding fails to decode: %v\n%s", err, enc)
+		}
+		enc2, err := tr2.EncodeToBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not a fixed point:\n first %q\n second %q", enc, enc2)
+		}
+	})
+}
