@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json bench-check lint-bench serve-smoke workgen-smoke figures demos lint check clean
+.PHONY: all build test test-race bench bench-json bench-check lint-bench serve-smoke workgen-smoke cluster-smoke figures demos lint check clean
 
 all: build test
 
@@ -20,13 +20,16 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem -run XXX ./...
 
-# Refresh BENCH_core.json with the scheduler and wire hot-path numbers.
-# The file's committed baseline_ns_per_op section (the pre-event-engine
-# per-slot loop) is preserved; only current_ns_per_op and the speedups
-# are rewritten.
+# Refresh BENCH_core.json with the scheduler, wire, cluster, and lint
+# numbers. The file's committed baseline_ns_per_op section (the
+# pre-event-engine per-slot loop) is preserved; only current_ns_per_op
+# and the speedups are rewritten — every benchmark the file carries must
+# therefore be piped in here, or a refresh would drop it.
 bench-json:
 	{ $(GO) test -bench 'SchedulerSlot|ReweightStorm' -benchtime=1s -run XXX . ; \
-	  $(GO) test -bench WirePath -benchtime=1s -run XXX ./internal/serve ; } \
+	  $(GO) test -bench WirePath -benchtime=1s -run XXX ./internal/serve ; \
+	  $(GO) test -bench ClusterMigration -benchtime=1s -run XXX ./internal/cluster ; \
+	  $(GO) test -bench 'LintModule|CFGBuild' -benchtime=3x -run XXX ./internal/analysis ; } \
 		| $(GO) run ./cmd/benchjson -out BENCH_core.json
 
 # Perf regression gate: rerun the hot-path benchmarks and fail if any is
@@ -59,6 +62,13 @@ serve-smoke:
 # digest compare against race-instrumented binaries (the CI trace gate).
 workgen-smoke:
 	./scripts/workgen_smoke.sh
+
+# Cluster smoke: race-instrumented 3-node pd2d cluster + pd2cluster
+# coordinator; routed load, a live migration under load, a kill -9
+# primary failover, and a full digest verification of every shard
+# (scripts/cluster_smoke.sh; the CI cluster gate).
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Regenerate every evaluation artifact with the paper's 61-run protocol.
 figures:

@@ -1,0 +1,81 @@
+// Command pd2cluster is the cluster coordinator for multi-node pd2d
+// deployments: it registers nodes, computes the rendezvous shard
+// placement once enough nodes joined, serves and pushes the versioned
+// routing table (/v1/cluster/route), orchestrates live shard
+// migrations (/v1/cluster/migrate), and health-checks nodes to drive
+// promote-on-primary-death failover. See docs/CLUSTER.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8370", "listen address")
+		shards    = flag.Int("shards", 8, "global shard count (must match the nodes' -shards)")
+		replicas  = flag.Int("replicas", 1, "followers per shard")
+		minNodes  = flag.Int("min-nodes", 1, "defer the initial placement until this many nodes registered")
+		heartbeat = flag.Duration("heartbeat", 500*time.Millisecond, "node health-check interval")
+		misses    = flag.Int("heartbeat-misses", 2, "consecutive failed health checks before failover")
+	)
+	flag.Parse()
+	if err := run(*addr, *shards, *replicas, *minNodes, *heartbeat, *misses); err != nil {
+		log.Fatalf("pd2cluster: %v", err)
+	}
+}
+
+func run(addr string, shards, replicas, minNodes int, heartbeat time.Duration, misses int) error {
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorOptions{
+		Shards:          shards,
+		Replicas:        replicas,
+		MinNodes:        minNodes,
+		HeartbeatMisses: misses,
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- httpSrv.ListenAndServe()
+	}()
+	coord.Start(heartbeat)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	log.Printf("pd2cluster listening on %s: %d shard(s), %d replica(s), placing at %d node(s)",
+		addr, shards, replicas, minNodes)
+	select {
+	case err := <-errc:
+		return fmt.Errorf("listen on %s: %w", addr, err)
+	case sig := <-sigc:
+		log.Printf("received %s; shutting down", sig)
+	}
+	coord.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if serveErr := <-errc; !errors.Is(serveErr, http.ErrServerClosed) {
+		log.Printf("serve loop: %v", serveErr)
+	}
+	log.Printf("clean shutdown")
+	return nil
+}

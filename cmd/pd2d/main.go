@@ -25,9 +25,20 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/frac"
 	"repro/internal/serve"
 )
+
+// clusterConfig carries the optional multi-node mode: when Coordinator
+// is set, the daemon wraps its serve layer in a cluster.Node, registers
+// with the coordinator, and routes/replicates per the routing table.
+type clusterConfig struct {
+	ID          string
+	Coordinator string
+	Advertise   string
+	AntiEntropy time.Duration
+}
 
 func main() {
 	var (
@@ -43,16 +54,35 @@ func main() {
 		mailbox      = flag.Int("mailbox", 256, "mailbox capacity per shard")
 		retryAfter   = flag.Int("retry-after", 1, "Retry-After seconds advertised on 429")
 		snapshotDir  = flag.String("snapshot-dir", "", "directory for shard snapshots (empty disables persistence)")
+
+		clusterCoord = flag.String("cluster-coordinator", "", "coordinator base URL; enables cluster mode (routing, replication, migration)")
+		clusterID    = flag.String("cluster-id", "", "cluster mode: this node's unique name (defaults to the listen address)")
+		clusterAdv   = flag.String("cluster-advertise", "", "cluster mode: base URL peers reach this node at (defaults to http://<addr>)")
+		antiEntropy  = flag.Duration("cluster-anti-entropy", 500*time.Millisecond, "cluster mode: follower catch-up push interval")
 	)
 	flag.Parse()
+	cc := clusterConfig{
+		ID:          *clusterID,
+		Coordinator: *clusterCoord,
+		Advertise:   *clusterAdv,
+		AntiEntropy: *antiEntropy,
+	}
+	if cc.Coordinator != "" {
+		if cc.ID == "" {
+			cc.ID = *addr
+		}
+		if cc.Advertise == "" {
+			cc.Advertise = "http://" + *addr
+		}
+	}
 	if err := run(*addr, *shards, *m, *policy, *oiThreshold, *driftBound, *earlyRelease, *recordSched,
-		*tick, *mailbox, *retryAfter, *snapshotDir); err != nil {
+		*tick, *mailbox, *retryAfter, *snapshotDir, cc); err != nil {
 		log.Fatalf("pd2d: %v", err)
 	}
 }
 
 func run(addr string, shards, m int, policy, oiThreshold, driftBound string, earlyRelease, recordSched bool,
-	tick time.Duration, mailbox, retryAfter int, snapshotDir string) error {
+	tick time.Duration, mailbox, retryAfter int, snapshotDir string, cc clusterConfig) error {
 	th, err := frac.Parse(oiThreshold)
 	if err != nil {
 		return fmt.Errorf("-oi-threshold: %w", err)
@@ -93,15 +123,36 @@ func run(addr string, shards, m int, policy, oiThreshold, driftBound string, ear
 	}
 	srv.Start()
 
+	// Cluster mode wraps the serve handler in the node middleware:
+	// routing, synchronous replication, and the migration protocol.
+	var node *cluster.Node
+	handler := srv.Handler()
+	if cc.Coordinator != "" {
+		cs := serve.NewClusterStats(srv.NumShards())
+		srv.AttachClusterStats(cs)
+		node, err = cluster.NewNode(cluster.NodeOptions{
+			ID:     cc.ID,
+			Base:   cc.Advertise,
+			Server: srv,
+			Stats:  cs,
+		})
+		if err != nil {
+			return err
+		}
+		handler = node.Handler()
+	}
+
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	// Wall-clock slot ticker. serve itself never reads a clock; real time
 	// enters the system only here. Ticks are delivered non-blocking, so a
 	// shard busy with a long advance coalesces them instead of queueing.
+	// In cluster mode only primary shards tick, and each advance is
+	// replicated so followers track the clock.
 	var ticker *time.Ticker
 	tickDone := make(chan struct{})
 	if tick > 0 {
@@ -109,6 +160,10 @@ func run(addr string, shards, m int, policy, oiThreshold, driftBound string, ear
 		go func() {
 			defer close(tickDone)
 			for range ticker.C {
+				if node != nil {
+					node.TickPrimaries(1)
+					continue
+				}
 				for i := 0; i < srv.NumShards(); i++ {
 					select {
 					case srv.ShardTick(i) <- struct{}{}:
@@ -127,6 +182,27 @@ func run(addr string, shards, m int, policy, oiThreshold, driftBound string, ear
 	}()
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	if node != nil {
+		// Register once the listener answers, retrying while the
+		// coordinator comes up; then start the anti-entropy pushes.
+		go func() {
+			client := &http.Client{Timeout: 2 * time.Second}
+			if err := cluster.WaitHealthy(client, cc.Advertise, 10*time.Second); err != nil {
+				log.Printf("cluster: %v", err)
+			}
+			for attempt := 0; attempt < 40; attempt++ {
+				if err := node.Register(cc.Coordinator); err == nil {
+					log.Printf("cluster: registered as %s with %s", cc.ID, cc.Coordinator)
+					return
+				} else if attempt == 39 {
+					log.Printf("cluster: giving up on registration: %v", err)
+				}
+				time.Sleep(250 * time.Millisecond)
+			}
+		}()
+		node.Start(cc.AntiEntropy)
+	}
 
 	log.Printf("pd2d listening on %s: %d shard(s), M=%d, policy=%s, tick=%s", addr, shards, m, policy, tick)
 	select {
@@ -148,6 +224,9 @@ func run(addr string, shards, m int, policy, oiThreshold, driftBound string, ear
 	}
 	if ticker != nil {
 		ticker.Stop()
+	}
+	if node != nil {
+		node.Stop()
 	}
 	srv.Stop()
 

@@ -66,6 +66,8 @@ type config struct {
 	template string // pathological template name ("" = none)
 	record   string // trace output path ("" = no recording)
 	replay   string // trace input path ("" = generate load instead)
+	route    string // cluster coordinator base URL ("" = single daemon at base)
+	verify   bool   // replay every shard's log locally and compare digests
 }
 
 func main() {
@@ -85,6 +87,8 @@ func main() {
 	flag.StringVar(&cfg.template, "template", "", "pathological client template: reweight-storm, join-leave-churn, admission-camp, heavy-flood")
 	flag.StringVar(&cfg.record, "record", "", "record the applied command stream to this trace file after the run")
 	flag.StringVar(&cfg.replay, "replay", "", "replay a recorded trace against a fresh daemon and verify per-shard digests (ignores the generation flags)")
+	flag.StringVar(&cfg.route, "route", "", "cluster coordinator base URL: resolve each shard's primary from its routing table and follow 307 reroutes (mutually exclusive with -record/-replay)")
+	flag.BoolVar(&cfg.verify, "verify", false, "generate no load; fetch every shard's full log, replay it locally, and compare digests")
 	flag.Parse()
 	if _, err := run(cfg); err != nil {
 		log.Fatalf("pd2load: %v", err)
@@ -93,8 +97,16 @@ func main() {
 
 func run(cfg config) (workerStats, error) {
 	var tot workerStats
+	if cfg.route != "" && (cfg.record != "" || cfg.replay != "") {
+		// Traces are per-daemon state; a routed cluster has no single
+		// daemon to record from or replay against.
+		return tot, fmt.Errorf("-record/-replay are not supported with -route")
+	}
 	if cfg.replay != "" {
 		return tot, runReplay(cfg)
+	}
+	if cfg.verify {
+		return tot, runVerify(cfg)
 	}
 	if cfg.shards < 1 || cfg.workers < 1 || cfg.batch < 1 || cfg.tasks < 1 {
 		return tot, fmt.Errorf("shards, workers, batch, tasks must all be >= 1")
@@ -108,10 +120,6 @@ func run(cfg config) (workerStats, error) {
 	if cfg.shape != "" && cfg.template != "" {
 		return tot, fmt.Errorf("-shape and -template are mutually exclusive")
 	}
-	addr, host, err := parseBase(cfg.base)
-	if err != nil {
-		return tot, err
-	}
 	client := &http.Client{
 		Transport: &http.Transport{
 			MaxIdleConns:        cfg.workers * 2,
@@ -119,12 +127,30 @@ func run(cfg config) (workerStats, error) {
 		},
 		Timeout: 30 * time.Second,
 	}
+	// Route mode resolves each shard's primary from the coordinator's
+	// table; workers then retarget their connections per window, so
+	// -addr is only dialled in the single-daemon default.
+	var addr, host string
+	var err error
+	resolve := fixedResolver(cfg.base)
+	var rt *router
+	if cfg.route != "" {
+		rt = newRouter(cfg.route, client)
+		if err := rt.waitReady(10 * time.Second); err != nil {
+			return tot, fmt.Errorf("route: %w", err)
+		}
+		resolve = rt.resolve
+	} else {
+		if addr, host, err = parseBase(cfg.base); err != nil {
+			return tot, err
+		}
+	}
 
-	gens, tolerateRejections, err := buildGenerators(client, cfg)
+	gens, tolerateRejections, err := buildGenerators(client, cfg, rt, resolve)
 	if err != nil {
 		return tot, err
 	}
-	if err := setupRun(client, cfg, gens, tolerateRejections); err != nil {
+	if err := setupRun(client, cfg, resolve, gens, tolerateRejections); err != nil {
 		return tot, fmt.Errorf("setup: %w", err)
 	}
 
@@ -160,7 +186,7 @@ func run(cfg config) (workerStats, error) {
 	// the audit (and any recording) sees every accepted command applied
 	// — an admission-clean run then shows applied == accepted, and
 	// deferred-join queues are proven to empty.
-	if err := drainShards(client, cfg.base, cfg.shards); err != nil {
+	if err := drainShards(client, resolve, cfg.shards); err != nil {
 		return tot, fmt.Errorf("drain: %w", err)
 	}
 
@@ -171,7 +197,7 @@ func run(cfg config) (workerStats, error) {
 		fmt.Printf("pd2load: recorded trace to %s\n", cfg.record)
 	}
 
-	rep, err := audit(client, cfg.base, cfg.shards)
+	rep, err := audit(client, resolve, cfg.shards)
 	if err != nil {
 		return tot, fmt.Errorf("audit: %w", err)
 	}
@@ -266,15 +292,19 @@ func recordTrace(client *http.Client, base, path string, shards int) error {
 // drainShards advances each shard until its staged batch and deferral
 // queues are empty. Admission guarantees every admitted command
 // eventually applies, so a queue that refuses to drain is a bug.
-func drainShards(client *http.Client, base string, shards int) error {
+func drainShards(client *http.Client, resolve resolver, shards int) error {
 	for s := 0; s < shards; s++ {
 		pending := 1
 		for i := 0; pending > 0; i++ {
 			if i >= 256 {
 				return fmt.Errorf("shard %d still has %d pending commands after 256 drain advances", s, pending)
 			}
-			if code, body, err := post(client, fmt.Sprintf("%s/v1/shards/%d/advance", base, s), map[string]int{"slots": 1}); err != nil || code != http.StatusOK {
+			if code, body, err := postShard(client, resolve, s, "advance", map[string]int{"slots": 1}); err != nil || code != http.StatusOK {
 				return fmt.Errorf("drain advance shard %d: %d %s: %v", s, code, body, err)
+			}
+			base, err := resolve(s)
+			if err != nil {
+				return err
 			}
 			var st struct {
 				PendingBatch   int `json:"pending_batch"`
@@ -379,6 +409,22 @@ type genState struct {
 	sstream *workgen.ShapeStream
 	tstream *workgen.TemplateStream
 	scratch []workgen.Cmd
+
+	rt         *router // nil = single daemon, no routing
+	reroutes   int     // consecutive 307s without a non-redirect response
+	rerouteCap int     // 0 = maxReroutes; tests lower it
+}
+
+// noteReroute counts a 307 and reports whether the worker should give
+// up: the cap bounds a redirect loop (two nodes pointing at each other,
+// or a table that never converges) at rerouteCap consecutive redirects.
+func (g *genState) noteReroute() bool {
+	g.reroutes++
+	limit := g.rerouteCap
+	if limit == 0 {
+		limit = maxReroutes
+	}
+	return g.reroutes > limit
 }
 
 // nextBatch appends one batch's JSON body to b and reports how many
@@ -454,7 +500,11 @@ func appendCmds(b []byte, cmds []workgen.Cmd) []byte {
 // shardM fetches the shard list and returns shard 0's processor count
 // (all shards share one config); template and shape weight envelopes
 // are sized against it.
-func shardM(client *http.Client, base string) (int, error) {
+func shardM(client *http.Client, resolve resolver) (int, error) {
+	base, err := resolve(0)
+	if err != nil {
+		return 0, err
+	}
 	resp, err := client.Get(base + "/v1/shards")
 	if err != nil {
 		return 0, err
@@ -485,7 +535,7 @@ func shardM(client *http.Client, base string) (int, error) {
 // whether strict mode should tolerate per-command rejections (true for
 // shapes, whose churn races slot boundaries, and for templates that
 // exist to provoke rejections).
-func buildGenerators(client *http.Client, cfg config) ([]*genState, bool, error) {
+func buildGenerators(client *http.Client, cfg config, rt *router, resolve resolver) ([]*genState, bool, error) {
 	gens := make([]*genState, cfg.workers)
 	switch {
 	case cfg.template != "":
@@ -493,7 +543,7 @@ func buildGenerators(client *http.Client, cfg config) ([]*genState, bool, error)
 		if err != nil {
 			return nil, false, err
 		}
-		m, err := shardM(client, cfg.base)
+		m, err := shardM(client, resolve)
 		if err != nil {
 			return nil, false, err
 		}
@@ -503,7 +553,7 @@ func buildGenerators(client *http.Client, cfg config) ([]*genState, bool, error)
 			if err != nil {
 				return nil, false, err
 			}
-			gens[w] = &genState{kind: genTemplate, shards: cfg.shards, shard: w % cfg.shards, batch: cfg.batch, tstream: ts}
+			gens[w] = &genState{kind: genTemplate, shards: cfg.shards, shard: w % cfg.shards, batch: cfg.batch, tstream: ts, rt: rt}
 		}
 		return gens, tmpl.ExpectsRejections(), nil
 	case cfg.shape != "":
@@ -521,7 +571,7 @@ func buildGenerators(client *http.Client, cfg config) ([]*genState, bool, error)
 		if !productive {
 			return nil, false, fmt.Errorf("shape %s produces no commands at batch %d", sh.Name, cfg.batch)
 		}
-		m, err := shardM(client, cfg.base)
+		m, err := shardM(client, resolve)
 		if err != nil {
 			return nil, false, err
 		}
@@ -535,15 +585,18 @@ func buildGenerators(client *http.Client, cfg config) ([]*genState, bool, error)
 			if err != nil {
 				return nil, false, err
 			}
-			gens[w] = &genState{kind: genShape, shards: cfg.shards, shard: shard, batch: cfg.batch, sstream: ss}
+			gens[w] = &genState{kind: genShape, shards: cfg.shards, shard: shard, batch: cfg.batch, sstream: ss, rt: rt}
 		}
 		return gens, true, nil
 	default:
 		for w := range gens {
 			gens[w] = &genState{
 				kind: genUniform, prefix: cfg.prefix, shards: cfg.shards, shard: w % cfg.shards,
-				rotate: true, tasks: cfg.tasks, batch: cfg.batch,
+				// Routed workers stay pinned to one shard: rotation would
+				// redial a different primary every 13 posts for no gain.
+				rotate: cfg.route == "", tasks: cfg.tasks, batch: cfg.batch,
 				rng: stats.NewStream(uint64(cfg.seed), uint64(w)),
+				rt:  rt,
 			}
 		}
 		return gens, false, nil
@@ -555,9 +608,9 @@ func buildGenerators(client *http.Client, cfg config) ([]*genState, bool, error)
 // worker stream's own setup commands to its pinned shard. tolerate
 // allows per-command rejections during setup — expected when several
 // camp workers share a shard and the later ones find it full.
-func setupRun(client *http.Client, cfg config, gens []*genState, tolerate bool) error {
+func setupRun(client *http.Client, cfg config, resolve resolver, gens []*genState, tolerate bool) error {
 	if cfg.template == "" {
-		return setup(client, cfg.base, cfg.prefix, cfg.shards, cfg.tasks)
+		return setup(client, resolve, cfg.prefix, cfg.shards, cfg.tasks)
 	}
 	var buf []byte
 	for w, g := range gens {
@@ -566,7 +619,7 @@ func setupRun(client *http.Client, cfg config, gens []*genState, tolerate bool) 
 			continue
 		}
 		buf = appendCmds(buf[:0], g.scratch)
-		code, body, err := post(client, fmt.Sprintf("%s/v1/shards/%d/commands", cfg.base, g.shard), json.RawMessage(buf))
+		code, body, err := postShard(client, resolve, g.shard, "commands", json.RawMessage(buf))
 		if err != nil {
 			return err
 		}
@@ -587,7 +640,7 @@ func setupRun(client *http.Client, cfg config, gens []*genState, tolerate bool) 
 		}
 	}
 	for s := 0; s < cfg.shards; s++ {
-		if code, body, err := post(client, fmt.Sprintf("%s/v1/shards/%d/advance", cfg.base, s), map[string]int{"slots": 1}); err != nil || code != http.StatusOK {
+		if code, body, err := postShard(client, resolve, s, "advance", map[string]int{"slots": 1}); err != nil || code != http.StatusOK {
 			return fmt.Errorf("shard %d setup advance: %d %s: %v", s, code, body, err)
 		}
 	}
@@ -599,7 +652,7 @@ func setupRun(client *http.Client, cfg config, gens []*genState, tolerate bool) 
 
 // setup joins the task population on every shard and advances one slot
 // so the joins are applied before the load starts.
-func setup(client *http.Client, base, prefix string, shards, tasks int) error {
+func setup(client *http.Client, resolve resolver, prefix string, shards, tasks int) error {
 	for s := 0; s < shards; s++ {
 		cmds := make([]command, tasks)
 		for i := range cmds {
@@ -608,7 +661,7 @@ func setup(client *http.Client, base, prefix string, shards, tasks int) error {
 			// admission-clean by construction.
 			cmds[i] = command{Op: "join", Task: taskName(prefix, s, i), Weight: "1/64"}
 		}
-		code, body, err := post(client, fmt.Sprintf("%s/v1/shards/%d/commands", base, s), cmds)
+		code, body, err := postShard(client, resolve, s, "commands", cmds)
 		if err != nil {
 			return err
 		}
@@ -627,7 +680,7 @@ func setup(client *http.Client, base, prefix string, shards, tasks int) error {
 				return fmt.Errorf("shard %d setup join %d: %s (%s)", s, i, r.Status, r.Reason)
 			}
 		}
-		if code, body, err = post(client, fmt.Sprintf("%s/v1/shards/%d/advance", base, s), map[string]int{"slots": 1}); err != nil || code != http.StatusOK {
+		if code, body, err = postShard(client, resolve, s, "advance", map[string]int{"slots": 1}); err != nil || code != http.StatusOK {
 			return fmt.Errorf("shard %d setup advance: %d %s: %v", s, code, body, err)
 		}
 	}
@@ -719,6 +772,17 @@ func (g *genState) drive(pc *pconn, budget, batch, advEvery, pipeline int) worke
 		var hint time.Duration
 		got429 := false
 		if len(window) > 0 {
+			// Routed workers re-resolve their shard's primary before every
+			// window; a table refresh (307 or version mismatch last round)
+			// retargets the connection here.
+			if g.rt != nil {
+				if base, err := g.rt.resolve(g.shard); err == nil {
+					if err := pc.retarget(base); err != nil {
+						st.transportErrs++
+						return st
+					}
+				}
+			}
 			if err := pc.ensure(); err != nil {
 				st.transportErrs++
 				return st
@@ -733,6 +797,9 @@ func (g *genState) drive(pc *pconn, budget, batch, advEvery, pipeline int) worke
 				st.transportErrs++
 				return st
 			}
+			// Retargeting must wait until the whole window is read off the
+			// old connection; remember the redirect and apply it after.
+			redirectTo := ""
 			for i := range window {
 				resp, err := pc.readResp()
 				if err != nil {
@@ -740,9 +807,42 @@ func (g *genState) drive(pc *pconn, budget, batch, advEvery, pipeline int) worke
 					pc.close()
 					return st
 				}
+				if g.rt != nil && resp.routeVersion > 0 {
+					g.rt.noteVersion(resp.routeVersion)
+				}
 				it := window[i]
+				if resp.status != http.StatusTemporaryRedirect {
+					g.reroutes = 0
+				}
 				switch {
 				case resp.status == http.StatusTooManyRequests:
+					st.retries++
+					got429 = true
+					if resp.retryAfter > hint {
+						hint = resp.retryAfter
+					}
+					retryQ = append(retryQ, it)
+				case resp.status == http.StatusTemporaryRedirect:
+					// Stale route: the shard moved. Requeue through the same
+					// capped backoff path as a 429 and chase Location.
+					if g.noteReroute() {
+						st.transportErrs++
+						pc.close()
+						return st
+					}
+					st.retries++
+					got429 = true
+					if resp.retryAfter > hint {
+						hint = resp.retryAfter
+					}
+					if resp.location != "" {
+						redirectTo = resp.location
+					}
+					retryQ = append(retryQ, it)
+				case resp.status == http.StatusServiceUnavailable && g.rt != nil:
+					// Cluster backpressure (migration gate draining, a
+					// follower ack outstanding, table propagating): the
+					// command was not acked, so retry it like a 429.
 					st.retries++
 					got429 = true
 					if resp.retryAfter > hint {
@@ -760,6 +860,15 @@ func (g *genState) drive(pc *pconn, budget, batch, advEvery, pipeline int) worke
 					st.sent += int64(q)
 					st.rejected += int64(it.n - q)
 					free = append(free, it.body)
+				}
+			}
+			if redirectTo != "" {
+				if g.rt != nil {
+					_ = g.rt.refresh() // best effort; resolve falls back to the cached table
+				}
+				if err := pc.retarget(redirectTo); err != nil {
+					st.transportErrs++
+					return st
 				}
 			}
 		}
@@ -792,7 +901,26 @@ func (g *genState) drive(pc *pconn, budget, batch, advEvery, pipeline int) worke
 					pc.close()
 					return st
 				}
-				if resp.status >= 500 {
+				if g.rt != nil && resp.routeVersion > 0 {
+					g.rt.noteVersion(resp.routeVersion)
+				}
+				switch {
+				case resp.status == http.StatusTemporaryRedirect:
+					// The shard moved: chase the redirect for subsequent
+					// requests. This advance is dropped — advances pace
+					// the load, they are not part of the budget.
+					if g.rt != nil {
+						_ = g.rt.refresh()
+					}
+					if resp.location != "" {
+						if err := pc.retarget(resp.location); err != nil {
+							st.transportErrs++
+							return st
+						}
+					}
+				case resp.status == http.StatusServiceUnavailable && g.rt != nil:
+					// Cluster backpressure; the next due advance retries.
+				case resp.status >= 500:
 					st.serverErrors++
 				}
 				advanced = true
@@ -846,9 +974,11 @@ type pconn struct {
 }
 
 type wireResp struct {
-	status     int
-	retryAfter time.Duration
-	body       []byte // valid until the next readResp
+	status       int
+	retryAfter   time.Duration
+	body         []byte // valid until the next readResp
+	location     string // Location header ("" if absent); 307 reroute target
+	routeVersion int64  // X-PD2-Route-Version header (0 if absent)
 }
 
 func (p *pconn) ensure() error {
@@ -937,6 +1067,12 @@ func (p *pconn) readResp() (wireResp, error) {
 		case headerIs(key, "retry-after"):
 			if n, ok := atoiBytes(val); ok {
 				r.retryAfter = time.Duration(n) * time.Second
+			}
+		case headerIs(key, "location"):
+			r.location = string(val) // copied: the line buffer is reused
+		case headerIs(key, "x-pd2-route-version"):
+			if n, ok := atoiBytes(val); ok {
+				r.routeVersion = int64(n)
 			}
 		}
 	}
@@ -1091,9 +1227,13 @@ type auditReport struct {
 
 // audit fetches every shard's status, prints the per-shard line, and
 // folds the results into one report.
-func audit(client *http.Client, base string, shards int) (auditReport, error) {
+func audit(client *http.Client, resolve resolver, shards int) (auditReport, error) {
 	rep := auditReport{admissionClean: true, healthy: true}
 	for s := 0; s < shards; s++ {
+		base, err := resolve(s)
+		if err != nil {
+			return rep, err
+		}
 		var st struct {
 			Now                int64 `json:"now"`
 			RejectedW          int64 `json:"rejected_weight"`

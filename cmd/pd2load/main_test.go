@@ -1,14 +1,19 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 	"repro/internal/stats"
 )
@@ -75,6 +80,183 @@ func TestBackoffDelay(t *testing.T) {
 		if da, db := backoffDelay(attempt, 0, a), backoffDelay(attempt, 0, b); da != db {
 			t.Fatalf("attempt %d: %v != %v from identical streams", attempt, da, db)
 		}
+	}
+}
+
+// TestRouterResolveRefresh pins the routing-table cache: waitReady
+// blocks for the first table, resolve maps a shard to its primary's
+// base, noteVersion refetches only when a response advertises a newer
+// version, and a stale advertisement can never roll the table back.
+func TestRouterResolveRefresh(t *testing.T) {
+	var mu sync.Mutex
+	version := int64(1)
+	base := "http://a1.test"
+	fetches := 0
+	coord := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/cluster/route" {
+			http.NotFound(w, r)
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		fetches++
+		_ = json.NewEncoder(w).Encode(routeTable{
+			Version: version,
+			Shards:  []routeShard{{Shard: 0, Primary: "a"}},
+			Nodes:   map[string]string{"a": base},
+		})
+	}))
+	defer coord.Close()
+
+	rt := newRouter(coord.URL, coord.Client())
+	if err := rt.waitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := rt.resolve(0); err != nil || got != "http://a1.test" {
+		t.Fatalf("resolve(0) = %q, %v", got, err)
+	}
+	if _, err := rt.resolve(7); err == nil {
+		t.Error("resolve outside the table succeeded")
+	}
+	mu.Lock()
+	before := fetches
+	mu.Unlock()
+	rt.noteVersion(1) // matches the cache: no refetch
+	mu.Lock()
+	after := fetches
+	version, base = 2, "http://a2.test"
+	mu.Unlock()
+	if after != before {
+		t.Errorf("noteVersion(same) refetched: %d -> %d", before, after)
+	}
+	rt.noteVersion(2) // newer: refetch and adopt
+	if got, err := rt.resolve(0); err != nil || got != "http://a2.test" {
+		t.Fatalf("after refresh resolve(0) = %q, %v", got, err)
+	}
+	mu.Lock()
+	version, base = 1, "http://a1.test" // coordinator "rolls back"
+	mu.Unlock()
+	rt.noteVersion(1) // older: ignored
+	_ = rt.refresh()  // even an explicit refresh keeps the newer table
+	if got, _ := rt.resolve(0); got != "http://a2.test" {
+		t.Errorf("stale table rolled the cache back to %q", got)
+	}
+}
+
+// TestNoteReroute pins the consecutive-redirect cap: the default is
+// maxReroutes, any non-redirect response resets the streak.
+func TestNoteReroute(t *testing.T) {
+	g := &genState{}
+	for i := 0; i < maxReroutes; i++ {
+		if g.noteReroute() {
+			t.Fatalf("cap fired after %d reroutes, want %d tolerated", i+1, maxReroutes)
+		}
+	}
+	if !g.noteReroute() {
+		t.Fatalf("cap did not fire after %d consecutive reroutes", maxReroutes+1)
+	}
+	g.reroutes = 0 // what drive does on any non-307 response
+	if g.noteReroute() {
+		t.Error("streak did not reset")
+	}
+	g2 := &genState{rerouteCap: 2}
+	if g2.noteReroute() || g2.noteReroute() {
+		t.Fatal("lowered cap fired early")
+	}
+	if !g2.noteReroute() {
+		t.Error("lowered cap never fired")
+	}
+}
+
+// TestDriveFollowsReroute points a worker at a server that answers 307
+// with a Location on the real daemon: the batch must be requeued
+// through the backoff path, the connection retargeted, and every
+// command still delivered exactly once. With a router attached, the
+// redirect must also refresh the cached table.
+func TestDriveFollowsReroute(t *testing.T) {
+	daemon := startTestDaemon(t, 1, 2)
+	client := &http.Client{Timeout: 5 * time.Second}
+	if err := setup(client, fixedResolver(daemon), "RR", 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	var redirects int32
+	old := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&redirects, 1)
+		w.Header().Set("Location", daemon+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer old.Close()
+
+	// Coordinator: the first table (v1) points at the stale server, every
+	// fetch after it at the daemon — exactly what a live migration does.
+	var mu sync.Mutex
+	served := 0
+	coord := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		served++
+		tab := routeTable{Version: 1, Shards: []routeShard{{Shard: 0, Primary: "n"}},
+			Nodes: map[string]string{"n": old.URL}}
+		if served > 1 {
+			tab.Version, tab.Nodes = 2, map[string]string{"n": daemon}
+		}
+		_ = json.NewEncoder(w).Encode(tab)
+	}))
+	defer coord.Close()
+	rt := newRouter(coord.URL, coord.Client())
+	if err := rt.waitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, host, err := parseBase(old.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := &pconn{addr: addr, host: host}
+	defer pc.close()
+	g := &genState{kind: genUniform, prefix: "RR", shards: 1, tasks: 4,
+		rng: stats.NewStream(1, 0), rt: rt}
+	st := g.drive(pc, 32, 8, 0, 2)
+	if st.sent != 32 || st.transportErrs != 0 || st.serverErrors != 0 {
+		t.Fatalf("rerouted run not clean: %+v", st)
+	}
+	if n := atomic.LoadInt32(&redirects); n < 1 {
+		t.Error("stale server saw no requests")
+	}
+	if st.retries < 1 {
+		t.Errorf("307s drew no retries, got %d", st.retries)
+	}
+	if got, _ := rt.resolve(0); got != daemon {
+		t.Errorf("redirect did not refresh the table: resolve(0) = %q", got)
+	}
+}
+
+// TestDriveRerouteCap aims a worker at a redirect loop: it must give up
+// with a transport error after the cap instead of spinning forever.
+func TestDriveRerouteCap(t *testing.T) {
+	var self *httptest.Server
+	self = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Location", self.URL+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer self.Close()
+	addr, host, err := parseBase(self.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := &pconn{addr: addr, host: host}
+	defer pc.close()
+	g := &genState{kind: genUniform, prefix: "RC", shards: 1, tasks: 4,
+		rng: stats.NewStream(1, 0), rerouteCap: 3}
+	st := g.drive(pc, 8, 8, 0, 1)
+	if st.transportErrs != 1 {
+		t.Fatalf("redirect loop did not fail the worker: %+v", st)
+	}
+	if st.sent != 0 {
+		t.Errorf("redirect loop claimed %d sent commands", st.sent)
+	}
+	if st.retries != 3 || g.reroutes != 4 {
+		t.Errorf("got %d retries, %d reroutes; want 3 retried + the 4th tripping the cap", st.retries, g.reroutes)
 	}
 }
 
@@ -299,6 +481,106 @@ func TestRecordReplayThroughCLI(t *testing.T) {
 	}
 }
 
+// TestVerifyDigests drives a load, then checks -verify replays every
+// shard's log to a matching digest.
+func TestVerifyDigests(t *testing.T) {
+	base := startTestDaemon(t, 2, 2)
+	if _, err := run(config{
+		base: base, shards: 2, workers: 2, requests: 100,
+		batch: 8, tasks: 4, advEvery: 8, pipeline: 2, seed: 1, prefix: "V",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(config{base: base, shards: 2, verify: true}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+// hload lets an httptest server exist (so its URL is known) before the
+// cluster node that handles its requests does.
+type hload struct{ h http.Handler }
+
+// startTestCluster brings up an in-process coordinator plus n cluster
+// nodes, registers them, and returns the coordinator's base URL once
+// the routing table is placed.
+func startTestCluster(t *testing.T, n, shards int) string {
+	t.Helper()
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorOptions{
+		Shards: shards, Replicas: 1, MinNodes: n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsC := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() {
+		tsC.Close()
+		coord.Stop()
+	})
+	for i := 0; i < n; i++ {
+		srv, err := serve.New(serve.Options{Shards: shards, Config: serve.ShardConfig{M: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		var h atomic.Value
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			v := h.Load()
+			if v == nil {
+				http.Error(w, "starting", http.StatusServiceUnavailable)
+				return
+			}
+			v.(hload).h.ServeHTTP(w, r)
+		}))
+		cs := serve.NewClusterStats(shards)
+		srv.AttachClusterStats(cs)
+		node, err := cluster.NewNode(cluster.NodeOptions{
+			ID: fmt.Sprintf("n%d", i), Base: ts.URL, Server: srv, Stats: cs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Store(hload{node.Handler()})
+		node.Start(50 * time.Millisecond)
+		if err := node.Register(tsC.URL); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			node.Stop()
+			ts.Close()
+			srv.Stop()
+		})
+	}
+	if coord.Table() == nil {
+		t.Fatal("coordinator placed no table after all nodes registered")
+	}
+	return tsC.URL
+}
+
+// TestRouteModeEndToEnd runs the full generator in -route mode against
+// an in-process cluster (two nodes, every shard replicated), then
+// verifies each shard's digest through the router. Exercises resolver
+// setup, synchronous replication on the ack path, and the routed
+// drain/audit helpers.
+func TestRouteModeEndToEnd(t *testing.T) {
+	coordURL := startTestCluster(t, 2, 2)
+	tot, err := run(config{
+		route: coordURL, shards: 2, workers: 2, requests: 200,
+		batch: 8, tasks: 4, advEvery: 8, pipeline: 2, seed: 1, prefix: "CL",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.sent != 200 {
+		t.Errorf("delivered %d commands, want exactly 200", tot.sent)
+	}
+	if tot.rejected != 0 || tot.serverErrors != 0 || tot.transportErrs != 0 {
+		t.Errorf("routed run not clean: %+v", tot)
+	}
+	if _, err := run(config{route: coordURL, shards: 2, verify: true}); err != nil {
+		t.Fatalf("routed verify: %v", err)
+	}
+}
+
 // TestModeFlagValidation pins the mutual exclusions.
 func TestModeFlagValidation(t *testing.T) {
 	if _, err := run(config{
@@ -309,6 +591,12 @@ func TestModeFlagValidation(t *testing.T) {
 	}
 	if _, err := run(config{base: "http://127.0.0.1:1", replay: "/nonexistent/x.trace"}); err == nil {
 		t.Error("replay of a missing file succeeded")
+	}
+	if _, err := run(config{route: "http://127.0.0.1:1", replay: "x.trace"}); err == nil {
+		t.Error("-route with -replay accepted")
+	}
+	if _, err := run(config{route: "http://127.0.0.1:1", record: "x.trace"}); err == nil {
+		t.Error("-route with -record accepted")
 	}
 	if _, err := run(config{
 		base: "http://127.0.0.1:1", shards: 1, workers: 1, requests: 1, batch: 1,

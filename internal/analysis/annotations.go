@@ -218,6 +218,8 @@ var ownerXferTable = []ownXferSpec{
 				Why: "true means the record entered the mailbox and the shard goroutine owns it until the reply is sent; false means the mailbox was full and the caller still holds it"},
 			{Func: "Server.exchange", Cond: true, BoolResult: 1, OwnerWhen: true,
 				Why: "ok means the round trip completed and the handler owns the record again; on !ok exchange has already freed it or left it with the draining shard"},
+			{Func: "Server.exchangeErr",
+				Why: "the in-process exchange consumes the record on every path: replies carry fresh copies so it frees the record itself, or abandons it to the draining shard"},
 			{Func: "Shard.drainAndHandle",
 				Why: "consumes the mailbox record passed in: every drained record is handled and replied to"},
 			{Func: "Shard.handle",

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Rendezvous (highest-random-weight) placement. Every (node, shard)
+// pair gets a score from a stable hash; a shard's primary is the
+// highest-scoring node, its followers the next ones down. Adding a node
+// moves only the shards the new node now wins — no global reshuffle —
+// and removing a node only re-homes the shards it held. The same
+// property, applied to the follower ranks, keeps replica sets stable.
+
+// score ranks node n for shard s. FNV-1a over "node\x00shard" keeps the
+// function dependency-free and identical across processes, which is all
+// rendezvous hashing needs (the engine's own digests also use FNV).
+func score(node string, shard int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(node))
+	_, _ = h.Write([]byte{0})
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(shard) >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	return h.Sum64()
+}
+
+// rankNodes returns the node IDs ordered by descending rendezvous score
+// for the shard, ties broken by ID so the order is total.
+func rankNodes(nodes []string, shard int) []string {
+	ranked := append([]string(nil), nodes...)
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := score(ranked[i], shard), score(ranked[j], shard)
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+// ShardRoute is one shard's placement: the node that owns writes and
+// the nodes that hold warm replicas.
+type ShardRoute struct {
+	Shard     int      `json:"shard"`
+	Primary   string   `json:"primary"`
+	Followers []string `json:"followers,omitempty"`
+}
+
+// RouteTable is the versioned shard→node map the coordinator serves
+// from /v1/cluster/route. Version increases on every placement change;
+// nodes and clients compare it (X-PD2-Route-Version) to detect stale
+// caches. Nodes maps node ID → HTTP base URL.
+type RouteTable struct {
+	Version int64             `json:"version"`
+	Shards  []ShardRoute      `json:"shards"`
+	Nodes   map[string]string `json:"nodes"`
+}
+
+// Place computes a fresh full placement of `shards` shards over the
+// given nodes with up to `replicas` followers each. It ignores any
+// previous placement — use Rebalance to preserve primaries across node
+// joins.
+func Place(nodes []string, shards, replicas int) []ShardRoute {
+	routes := make([]ShardRoute, shards)
+	for s := 0; s < shards; s++ {
+		routes[s] = placeOne(nodes, s, replicas, "")
+	}
+	return routes
+}
+
+// placeOne ranks the nodes for one shard and keeps `keep` as primary if
+// it is still alive (non-empty and present in nodes).
+func placeOne(nodes []string, shard, replicas int, keep string) ShardRoute {
+	ranked := rankNodes(nodes, shard)
+	r := ShardRoute{Shard: shard}
+	if keep != "" {
+		for _, n := range ranked {
+			if n == keep {
+				r.Primary = keep
+				break
+			}
+		}
+	}
+	if r.Primary == "" && len(ranked) > 0 {
+		r.Primary = ranked[0]
+	}
+	for _, n := range ranked {
+		if len(r.Followers) >= replicas {
+			break
+		}
+		if n != r.Primary {
+			r.Followers = append(r.Followers, n)
+		}
+	}
+	return r
+}
+
+// Rebalance recomputes the placement over the current nodes while
+// keeping every surviving primary in place. Shard data lives on the
+// primary; moving it is a migration, not a routing edit, so only shards
+// whose primary is gone get a new one — the highest-ranked survivor,
+// which by follower placement already holds a replica. Follower sets
+// are recomputed freely (a new follower just resyncs from index 0).
+func Rebalance(prev []ShardRoute, nodes []string, replicas int) []ShardRoute {
+	alive := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		alive[n] = true
+	}
+	routes := make([]ShardRoute, len(prev))
+	for s, old := range prev {
+		keep := ""
+		if alive[old.Primary] {
+			keep = old.Primary
+		}
+		routes[s] = placeOne(nodes, s, replicas, keep)
+	}
+	return routes
+}
+
+// Route returns the placement for one shard, or an error outside the
+// table.
+func (t *RouteTable) Route(shard int) (ShardRoute, error) {
+	if shard < 0 || shard >= len(t.Shards) {
+		return ShardRoute{}, fmt.Errorf("shard %d outside route table of %d", shard, len(t.Shards))
+	}
+	return t.Shards[shard], nil
+}
+
+// PrimaryBase resolves a shard to its primary's HTTP base URL.
+func (t *RouteTable) PrimaryBase(shard int) (string, error) {
+	r, err := t.Route(shard)
+	if err != nil {
+		return "", err
+	}
+	base, ok := t.Nodes[r.Primary]
+	if !ok || base == "" {
+		return "", fmt.Errorf("shard %d primary %q has no known base", shard, r.Primary)
+	}
+	return base, nil
+}
+
+// Clone deep-copies the table so handlers can serve it while the
+// coordinator mutates its working copy.
+func (t *RouteTable) Clone() *RouteTable {
+	c := &RouteTable{Version: t.Version, Nodes: make(map[string]string, len(t.Nodes))}
+	for id, base := range t.Nodes {
+		c.Nodes[id] = base
+	}
+	c.Shards = make([]ShardRoute, len(t.Shards))
+	for i, r := range t.Shards {
+		cr := r
+		cr.Followers = append([]string(nil), r.Followers...)
+		c.Shards[i] = cr
+	}
+	return c
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPlaceDeterministic: the same inputs always give the same
+// placement, the primary never appears in its own follower set, and
+// every role lands on a real node.
+func TestPlaceDeterministic(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	a := Place(nodes, 16, 2)
+	b := Place([]string{"n4", "n2", "n3", "n1"}, 16, 2) // order must not matter
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("placement depends on node order")
+	}
+	known := map[string]bool{"n1": true, "n2": true, "n3": true, "n4": true}
+	for _, r := range a {
+		if !known[r.Primary] {
+			t.Fatalf("shard %d primary %q unknown", r.Shard, r.Primary)
+		}
+		if len(r.Followers) != 2 {
+			t.Fatalf("shard %d has %d followers, want 2", r.Shard, len(r.Followers))
+		}
+		seen := map[string]bool{r.Primary: true}
+		for _, f := range r.Followers {
+			if !known[f] || seen[f] {
+				t.Fatalf("shard %d follower set %v invalid", r.Shard, r.Followers)
+			}
+			seen[f] = true
+		}
+	}
+}
+
+// TestPlaceSpreads: with enough shards, no node in a 4-node cluster is
+// completely idle and no node owns everything — the hash actually
+// spreads.
+func TestPlaceSpreads(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	counts := map[string]int{}
+	for _, r := range Place(nodes, 64, 1) {
+		counts[r.Primary]++
+	}
+	for _, n := range nodes {
+		if counts[n] == 0 {
+			t.Fatalf("node %s owns no shards: %v", n, counts)
+		}
+		if counts[n] == 64 {
+			t.Fatalf("node %s owns every shard", n)
+		}
+	}
+}
+
+// TestRebalanceKeepsPrimaries: adding a node must not move any existing
+// primary (data lives there; moving it is a migration, not a routing
+// edit), and removing a node must re-home only its own shards — onto a
+// node that was already in the old route's ranking.
+func TestRebalanceKeepsPrimaries(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	prev := Place(nodes, 32, 1)
+
+	grown := Rebalance(prev, append(nodes, "n4"), 1)
+	for s := range prev {
+		if grown[s].Primary != prev[s].Primary {
+			t.Fatalf("shard %d primary moved %s → %s on node join", s, prev[s].Primary, grown[s].Primary)
+		}
+	}
+
+	shrunk := Rebalance(prev, []string{"n1", "n2"}, 1)
+	for s := range prev {
+		if prev[s].Primary != "n3" {
+			if shrunk[s].Primary != prev[s].Primary {
+				t.Fatalf("shard %d primary moved %s → %s though its node survived", s, prev[s].Primary, shrunk[s].Primary)
+			}
+			continue
+		}
+		if shrunk[s].Primary == "n3" {
+			t.Fatalf("shard %d still routed to removed node", s)
+		}
+		// The new primary is the highest-ranked survivor, i.e. the node a
+		// single-follower placement over the survivors would pick first.
+		want := placeOne([]string{"n1", "n2"}, s, 0, "").Primary
+		if shrunk[s].Primary != want {
+			t.Fatalf("shard %d re-homed to %s, want highest-ranked survivor %s", s, shrunk[s].Primary, want)
+		}
+	}
+}
+
+// TestRouteTableHelpers: lookup, base resolution, and clone isolation.
+func TestRouteTableHelpers(t *testing.T) {
+	tab := &RouteTable{
+		Version: 7,
+		Shards:  Place([]string{"a", "b"}, 4, 1),
+		Nodes:   map[string]string{"a": "http://a:1", "b": "http://b:2"},
+	}
+	if _, err := tab.Route(-1); err == nil {
+		t.Fatal("negative shard accepted")
+	}
+	if _, err := tab.Route(4); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	base, err := tab.PrimaryBase(0)
+	if err != nil || base == "" {
+		t.Fatalf("PrimaryBase: %q, %v", base, err)
+	}
+	c := tab.Clone()
+	c.Nodes["a"] = "mutated"
+	c.Shards[0].Primary = "mutated"
+	if tab.Nodes["a"] == "mutated" || tab.Shards[0].Primary == "mutated" {
+		t.Fatal("Clone shares storage with the original")
+	}
+}

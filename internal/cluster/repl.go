@@ -1,0 +1,489 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Primary-side replication push and the follower/migration endpoints.
+
+// replicate is the anti-entropy push: skips followers that look caught
+// up (same log length and clock). An admitted-but-unapplied command
+// changes neither, so the mutation ack path must use replicateSync —
+// this cheap form only heals laggards and carries tick progress.
+func (n *Node) replicate(shard int) error { return n.replicateMode(shard, false) }
+
+// replicateSync pushes the shard's tail to every follower
+// unconditionally and returns nil only when all of them acked — the
+// condition a mutation ack waits on. Unconditional because a freshly
+// admitted command rides in the tail's pending batch without growing
+// the log, which the caught-up check cannot see.
+func (n *Node) replicateSync(shard int) error { return n.replicateMode(shard, true) }
+
+func (n *Node) replicateMode(shard int, force bool) error {
+	tab := n.Table()
+	if tab == nil || shard >= len(tab.Shards) {
+		return nil
+	}
+	route := tab.Shards[shard]
+	st := &n.states[shard]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.role != RolePrimary {
+		return fmt.Errorf("cluster: shard %d is no longer primary here", shard)
+	}
+	if st.frozen {
+		return fmt.Errorf("cluster: shard %d is handing off", shard)
+	}
+	//lint:allow lockorder pushes run under st.mu by design: the lock serializes them against role flips and the migration hand-off
+	return n.replicateLocked(shard, st, route, tab, force)
+}
+
+// replicateLocked does the push with st.mu held, serializing pushes
+// against role flips and the migration hand-off.
+func (n *Node) replicateLocked(shard int, st *shardState, route ShardRoute, tab *RouteTable, force bool) error {
+	if st.followers == nil {
+		st.followers = make(map[string]*followerState)
+	}
+	minAcked := -1
+	for _, fid := range route.Followers {
+		if fid == n.id {
+			continue
+		}
+		fs, ok := st.followers[fid]
+		if !ok {
+			fs = &followerState{}
+			st.followers[fid] = fs
+		}
+		if minAcked < 0 || fs.acked < minAcked {
+			minAcked = fs.acked
+		}
+	}
+	if minAcked < 0 {
+		n.cs.SetReplLag(shard, 0)
+		return nil // no followers configured
+	}
+	tail, err := n.srv.ShardTail(shard, minAcked)
+	if err != nil {
+		// The log may have been replaced shorter than acked (reinstall);
+		// fall back to a complete tail.
+		tail, err = n.srv.ShardTail(shard, 0)
+		if err != nil {
+			return err
+		}
+	}
+	var firstErr error
+	var maxLag int64
+	for _, fid := range route.Followers {
+		if fid == n.id {
+			continue
+		}
+		fs := st.followers[fid]
+		if !force && fs.acked == tail.Total && fs.now == tail.Now && !fs.stale {
+			continue // caught up (as far as log and clock can tell)
+		}
+		base := tab.Nodes[fid]
+		if base == "" {
+			fs.stale = true
+			if firstErr == nil {
+				firstErr = fmt.Errorf("follower %s has no known base", fid)
+			}
+			continue
+		}
+		if err := n.pushToFollower(shard, base, tail, fs); err != nil {
+			fs.stale = true
+			if firstErr == nil {
+				firstErr = fmt.Errorf("follower %s: %w", fid, err)
+			}
+			continue
+		}
+		fs.stale = false
+		if lag := tail.Now - fs.now; lag > maxLag {
+			maxLag = lag
+		}
+	}
+	n.cs.SetReplLag(shard, maxLag)
+	return firstErr
+}
+
+// pushToFollower sends the sub-tail the follower needs, following at
+// most a few want-redirects (gap or refused pushes).
+func (n *Node) pushToFollower(shard int, base string, tail *serve.Tail, fs *followerState) error {
+	from := fs.acked
+	for attempt := 0; attempt < 3; attempt++ {
+		sub, err := subTail(tail, from)
+		if err != nil {
+			// The follower wants history older than the fetched tail; cut a
+			// fresh one from its index.
+			sub, err = n.srv.ShardTail(shard, from)
+			if err != nil {
+				return err
+			}
+		}
+		ack, status, err := n.postTail(base, shard, sub)
+		if err != nil {
+			return err
+		}
+		switch status {
+		case http.StatusOK:
+			fs.acked, fs.now = ack.Acked, ack.Now
+			return nil
+		case http.StatusConflict:
+			if ack.Want < 0 {
+				return fmt.Errorf("push refused (receiver believes it is primary)")
+			}
+			from = ack.Want
+		default:
+			return fmt.Errorf("push answered %d", status)
+		}
+	}
+	return fmt.Errorf("push did not converge after 3 attempts")
+}
+
+// subTail narrows a tail to start at `from` without refetching; errors
+// when from precedes the tail's coverage.
+func subTail(t *serve.Tail, from int) (*serve.Tail, error) {
+	if from < t.From {
+		return nil, fmt.Errorf("cluster: tail covers [%d,%d), need %d", t.From, t.Total, from)
+	}
+	if from == t.From {
+		return t, nil
+	}
+	if from > t.Total {
+		return nil, fmt.Errorf("cluster: from %d past log end %d", from, t.Total)
+	}
+	c := *t
+	c.From = from
+	c.Commands = t.Commands[from-t.From:]
+	return &c, nil
+}
+
+// postTail POSTs one tail to a peer's repl endpoint.
+func (n *Node) postTail(base string, shard int, t *serve.Tail) (replAck, int, error) {
+	body, err := json.Marshal(t)
+	if err != nil {
+		return replAck{}, 0, err
+	}
+	url := fmt.Sprintf("%s/v1/cluster/shards/%d/repl", base, shard)
+	resp, err := n.client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return replAck{}, 0, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var ack replAck
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusConflict {
+		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+			return replAck{}, resp.StatusCode, err
+		}
+	}
+	return ack, resp.StatusCode, nil
+}
+
+// handleRepl is the follower half of the push: fold the tail into the
+// local replica and ack with the new log length, or answer 409 with the
+// index this node wants.
+func (n *Node) handleRepl(w http.ResponseWriter, r *http.Request) {
+	shard, ok := n.clusterShard(w, r)
+	if !ok {
+		return
+	}
+	var t serve.Tail
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&t); err != nil {
+		writeClusterError(w, http.StatusBadRequest, "invalid", "decoding tail: "+err.Error())
+		return
+	}
+	st := &n.states[shard]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.role == RolePrimary {
+		// Split-brain guard: a primary never accepts pushes.
+		writeJSONStatus(w, http.StatusConflict, replAck{Want: -1})
+		return
+	}
+	if st.replica == nil {
+		// First contact (fresh follower or incoming migration stream).
+		st.replica = NewReplica(shard)
+	}
+	if err := st.replica.Apply(&t); err != nil {
+		if want, ok := wantIndex(err); ok {
+			writeJSONStatus(w, http.StatusConflict, replAck{Want: want})
+			return
+		}
+		// Divergence (digest mismatch or replay failure): drop the replica
+		// and ask for a full resync.
+		log.Printf("cluster: node %s shard %d replica reset: %v", n.id, shard, err)
+		st.replica = nil
+		writeJSONStatus(w, http.StatusConflict, replAck{Want: 0})
+		return
+	}
+	n.cs.SetReplLag(shard, 0) // in lockstep with the primary's push
+	writeJSONStatus(w, http.StatusOK, replAck{Acked: st.replica.Len(), Now: st.replica.Now()})
+}
+
+// handlePromote installs this node's replica as the live shard and
+// takes the primary role. Idempotent: an already-primary node re-acks
+// with its current state. The install path replays the full log and
+// verifies the digest (serve.InstallShard), so a diverged replica can
+// never take over silently.
+func (n *Node) handlePromote(w http.ResponseWriter, r *http.Request) {
+	shard, ok := n.clusterShard(w, r)
+	if !ok {
+		return
+	}
+	st := &n.states[shard]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.role == RolePrimary {
+		//lint:allow lockorder the idempotent re-ack reads the tail under st.mu so the answered state cannot race a demotion
+		tail, err := n.srv.ShardTail(shard, 0)
+		if err != nil {
+			writeClusterError(w, http.StatusInternalServerError, "promote", err.Error())
+			return
+		}
+		writeJSONStatus(w, http.StatusOK, PromoteResponse{Shard: shard, Digest: tail.Digest, Now: tail.Now, Log: tail.Total})
+		return
+	}
+	if st.replica == nil || st.replica.last == nil {
+		writeClusterError(w, http.StatusConflict, "no_replica",
+			fmt.Sprintf("shard %d has no replicated state to promote", shard))
+		return
+	}
+	snap, err := st.replica.Snapshot()
+	if err != nil {
+		writeClusterError(w, http.StatusInternalServerError, "promote", err.Error())
+		return
+	}
+	//lint:allow lockorder the verified install must land before the role flips to primary, so it runs under st.mu
+	if err := n.srv.InstallShard(snap); err != nil {
+		writeClusterError(w, http.StatusConflict, "promote", "install: "+err.Error())
+		return
+	}
+	st.role = RolePrimary
+	st.replica = nil
+	st.forward = ""
+	st.followers = make(map[string]*followerState)
+	n.cs.SetRole(shard, RolePrimary)
+	writeJSONStatus(w, http.StatusOK, PromoteResponse{Shard: shard, Digest: snap.Digest, Now: snap.Now, Log: len(snap.Log)})
+}
+
+// handleMigrate hands the shard to the target node: stream the full
+// state while writes continue, freeze the gate, push the final delta,
+// promote the target (digest-checked), then demote and drain queued
+// writes to the new primary. On any failure the gate reopens and the
+// shard stays here.
+func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	shard, ok := n.clusterShard(w, r)
+	if !ok {
+		return
+	}
+	var req migrateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeClusterError(w, http.StatusBadRequest, "invalid", "decoding migrate: "+err.Error())
+		return
+	}
+	if req.TargetBase == "" || req.TargetID == n.id {
+		writeClusterError(w, http.StatusBadRequest, "invalid", "migrate needs a target other than the source")
+		return
+	}
+	st := &n.states[shard]
+	st.mu.Lock()
+	if st.role != RolePrimary || st.frozen {
+		st.mu.Unlock()
+		writeClusterError(w, http.StatusConflict, "not_primary",
+			fmt.Sprintf("shard %d is not an idle primary here", shard))
+		return
+	}
+	st.mu.Unlock()
+
+	// Phase 1 — warm stream outside the gate: writes keep flowing while
+	// the bulk of the log crosses over.
+	fs := &followerState{}
+	warm := func() error {
+		for round := 0; round < 5; round++ {
+			tail, err := n.srv.ShardTail(shard, fs.acked)
+			if err != nil {
+				tail, err = n.srv.ShardTail(shard, 0)
+				if err != nil {
+					return err
+				}
+			}
+			if err := n.pushToFollower(shard, req.TargetBase, tail, fs); err != nil {
+				return err
+			}
+			if fs.acked >= tail.Total {
+				return nil
+			}
+		}
+		return fmt.Errorf("warm stream did not converge")
+	}
+	if err := warm(); err != nil {
+		n.cs.MigrationDone(false)
+		writeClusterError(w, http.StatusBadGateway, "migrate", "warm stream: "+err.Error())
+		return
+	}
+
+	prom, stage, err := n.migrateHandoff(shard, &req, fs)
+	if err != nil {
+		n.cs.MigrationDone(false)
+		log.Printf("cluster: node %s shard %d migration to %s failed at %s: %v", n.id, shard, req.TargetID, stage, err)
+		writeClusterError(w, http.StatusBadGateway, "migrate", stage+": "+err.Error())
+		return
+	}
+	n.cs.SetRole(shard, RoleFollower)
+	n.cs.MigrationDone(true)
+	writeJSONStatus(w, http.StatusOK, prom)
+}
+
+// migrateHandoff is phase 2 of the migration: freeze the gate, push the
+// final delta, promote the target (digest-checked), then demote this
+// node to a forwarding follower. New writes queue at the gate;
+// in-flight ones either made the final tail or fail their replication
+// ack (so nothing acked can be missing on the target). On error the
+// deferred reopen leaves the shard primary here, and the returned stage
+// names the failed step. st.mu is held for the whole hand-off so queued
+// writes observe either the old primary or the demoted forwarder, never
+// a half-migrated shard.
+func (n *Node) migrateHandoff(shard int, req *migrateRequest, fs *followerState) (PromoteResponse, string, error) {
+	st := &n.states[shard]
+	st.mu.Lock()
+	st.frozen = true
+	st.unfrozen = make(chan struct{})
+	defer func() {
+		st.frozen = false
+		close(st.unfrozen)
+		st.mu.Unlock()
+	}()
+	// The final delta and promote round trips deliberately run with
+	// st.mu held: the gate freeze IS the serialization point, and every
+	// other acquirer (mutations, replication pushes) must queue behind
+	// it until the hand-off lands or is rolled back.
+	//lint:allow lockorder the migration gate holds st.mu across the final delta by design; queued writers wait on st.unfrozen
+	final, err := n.srv.ShardTail(shard, fs.acked)
+	if err != nil {
+		return PromoteResponse{}, "final tail", err
+	}
+	//lint:allow lockorder the final push runs under the closed gate so no acked write can miss the target
+	if err := n.pushToFollower(shard, req.TargetBase, final, fs); err != nil {
+		return PromoteResponse{}, "final push", err
+	}
+	if fs.acked != final.Total {
+		return PromoteResponse{}, "final push", fmt.Errorf("target acked %d of %d", fs.acked, final.Total)
+	}
+	prom, err := n.postPromote(req.TargetBase, shard)
+	if err != nil {
+		return PromoteResponse{}, "promote", err
+	}
+	if prom.Digest != final.Digest || prom.Log != final.Total {
+		return PromoteResponse{}, "promote", fmt.Errorf("target took over at (log=%d, %016x), expected (log=%d, %016x)",
+			prom.Log, prom.Digest, final.Total, final.Digest)
+	}
+	// Hand-off done: demote, keep a warm replica seeded from the local
+	// log (no network round trip), and drain queued writes forward.
+	st.role = RoleFollower
+	st.followers = nil
+	st.forward = req.TargetBase
+	rep := NewReplica(shard)
+	//lint:allow lockorder seeding the warm replica from the local log happens before the gate reopens so the demoted state is complete
+	if full, err := n.srv.ShardTail(shard, 0); err == nil {
+		if err := rep.Apply(full); err == nil {
+			st.replica = rep
+		} else {
+			st.replica = nil
+		}
+	}
+	return prom, "", nil
+}
+
+// postPromote asks a peer to take over the shard.
+func (n *Node) postPromote(base string, shard int) (PromoteResponse, error) {
+	url := fmt.Sprintf("%s/v1/cluster/shards/%d/promote", base, shard)
+	resp, err := n.client.Post(url, "application/json", nil)
+	if err != nil {
+		return PromoteResponse{}, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		var e serve.ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return PromoteResponse{}, fmt.Errorf("promote answered %d (%s: %s)", resp.StatusCode, e.Error, e.Reason)
+	}
+	var prom PromoteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&prom); err != nil {
+		return PromoteResponse{}, err
+	}
+	return prom, nil
+}
+
+// handleRoutePush installs a table pushed by the coordinator.
+func (n *Node) handleRoutePush(w http.ResponseWriter, r *http.Request) {
+	var tab RouteTable
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&tab); err != nil {
+		writeClusterError(w, http.StatusBadRequest, "invalid", "decoding route table: "+err.Error())
+		return
+	}
+	n.UpdateTable(&tab)
+	cur := n.Table()
+	w.Header().Set(RouteVersionHeader, strconv.FormatInt(cur.Version, 10))
+	writeJSONStatus(w, http.StatusOK, map[string]int64{"version": cur.Version})
+}
+
+// handleRouteGet serves the node's cached table, so clients can refresh
+// from any node they already talk to.
+func (n *Node) handleRouteGet(w http.ResponseWriter, r *http.Request) {
+	tab := n.Table()
+	if tab == nil {
+		writeClusterError(w, http.StatusServiceUnavailable, "no_route", "node has no routing table yet")
+		return
+	}
+	w.Header().Set(RouteVersionHeader, strconv.FormatInt(tab.Version, 10))
+	writeJSONStatus(w, http.StatusOK, tab)
+}
+
+// clusterShard parses the {shard} path value for the cluster endpoints.
+func (n *Node) clusterShard(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("shard"))
+	if err != nil || id < 0 || id >= len(n.states) {
+		writeClusterError(w, http.StatusNotFound, "unknown_shard",
+			fmt.Sprintf("shard %q not in [0,%d)", r.PathValue("shard"), len(n.states)))
+		return 0, false
+	}
+	return id, true
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// WaitHealthy polls a base's /healthz until it answers or the deadline
+// passes — a convenience for process orchestration (cmd, scripts).
+func WaitHealthy(client *http.Client, base string, deadline time.Duration) error {
+	//lint:allow determinism health polling is process orchestration, not simulation; the wall clock never reaches a scheduling decision
+	stop := time.Now().Add(deadline)
+	for {
+		resp, err := client.Get(strings.TrimRight(base, "/") + "/healthz")
+		if err == nil {
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		//lint:allow determinism deadline check on the same orchestration clock
+		if time.Now().After(stop) {
+			if err != nil {
+				return fmt.Errorf("cluster: %s never became healthy: %w", base, err)
+			}
+			return fmt.Errorf("cluster: %s never became healthy", base)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

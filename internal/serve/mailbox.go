@@ -41,6 +41,10 @@ const (
 	pendState
 	// pendSnapshot asks for a full serialized Snapshot.
 	pendSnapshot
+	// pendLog asks for the replication tail from a log index: the
+	// commands applied since, plus the admitted-but-unapplied sets and
+	// the admission books (see Tail in snapshot.go).
+	pendLog
 )
 
 // wireCmd is one parsed, admission-ready command inside a pending. raw
@@ -69,6 +73,7 @@ type pending struct {
 	cmds      []wireCmd // pendCommands
 	slots     int64     // pendAdvance
 	withTasks bool      // pendQuery: include per-task status rows
+	from      int       // pendLog: first log index the tail should carry
 
 	// Pooled wire buffers, owned by the record so the whole
 	// read-decode-admit-encode round trip reuses one allocation set:
@@ -90,7 +95,8 @@ type reply struct {
 	status  *ShardStatus    // pendQuery
 	state   []byte          // pendState (WriteState text), pendSnapshot (JSON)
 	digest  uint64          // pendState
-	err     error           // request-level failure (draining)
+	tail    *Tail           // pendLog: fresh copy, not pooled
+	err     error           // request-level failure (draining, bad from)
 }
 
 // pendingPool recycles pending records. Access is mutex-guarded: the
@@ -126,6 +132,7 @@ func (pp *pendingPool) freePending(p *pending) {
 	p.cmds = p.cmds[:0]
 	p.slots = 0
 	p.withTasks = false
+	p.from = 0
 	p.body = p.body[:0]
 	p.esc = p.esc[:0]
 	for i := range p.results {

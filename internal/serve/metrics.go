@@ -54,10 +54,93 @@ func (c *counters) fill(st *ShardStatus) {
 	st.DeferredJoinPeak = c.deferredJoinPeak.Load()
 }
 
+// Cluster role codes published on pd2d_cluster_role{shard}: 0 when the
+// node does not host the shard, 1 when it follows, 2 when it is the
+// primary. The JSON status carries the same fact as a string.
+const (
+	RoleNone int32 = iota
+	RoleFollower
+	RolePrimary
+)
+
+// RoleName renders a role code for the JSON status.
+func RoleName(code int32) string {
+	switch code {
+	case RoleFollower:
+		return "follower"
+	case RolePrimary:
+		return "primary"
+	}
+	return "none"
+}
+
+// ClusterStats is the per-node cluster observability surface the
+// cluster layer feeds and /metrics + the shard status JSON read:
+// per-shard role and replication lag gauges plus node-wide migration
+// counters. All fields are atomics — the writers are the cluster
+// node's reconcile/replication goroutines, the readers are handlers.
+type ClusterStats struct {
+	roles          []atomic.Int32 // RoleNone / RoleFollower / RolePrimary per shard
+	replLag        []atomic.Int64 // slots the furthest-behind replica trails by
+	migrationsOK   atomic.Int64
+	migrationsFail atomic.Int64
+}
+
+// NewClusterStats sizes the gauges for a node hosting `shards` slots.
+func NewClusterStats(shards int) *ClusterStats {
+	return &ClusterStats{
+		roles:   make([]atomic.Int32, shards),
+		replLag: make([]atomic.Int64, shards),
+	}
+}
+
+// SetRole publishes the node's role for a shard.
+func (cs *ClusterStats) SetRole(shard int, role int32) {
+	if shard >= 0 && shard < len(cs.roles) {
+		cs.roles[shard].Store(role)
+	}
+}
+
+// SetReplLag publishes the replication lag, in slots, for a shard: on a
+// primary the furthest-behind live follower, on a follower its own lag
+// behind the last pushed tail.
+func (cs *ClusterStats) SetReplLag(shard int, slots int64) {
+	if shard >= 0 && shard < len(cs.replLag) {
+		cs.replLag[shard].Store(slots)
+	}
+}
+
+// MigrationDone counts one finished migration attempt on this node.
+func (cs *ClusterStats) MigrationDone(ok bool) {
+	if ok {
+		cs.migrationsOK.Add(1)
+	} else {
+		cs.migrationsFail.Add(1)
+	}
+}
+
+// Migrations returns the (ok, failed) migration counts.
+func (cs *ClusterStats) Migrations() (int64, int64) {
+	return cs.migrationsOK.Load(), cs.migrationsFail.Load()
+}
+
+// fillStatus copies the cluster gauges for one shard into its status
+// reply (the anomaly-counter JSON surface).
+func (cs *ClusterStats) fillStatus(shard int, st *ShardStatus) {
+	if st == nil || shard < 0 || shard >= len(cs.roles) {
+		return
+	}
+	st.ClusterRole = RoleName(cs.roles[shard].Load())
+	st.ReplLagSlots = cs.replLag[shard].Load()
+	st.MigrationsOK = cs.migrationsOK.Load()
+	st.MigrationsFailed = cs.migrationsFail.Load()
+}
+
 // writeMetrics renders all shards in the Prometheus text exposition
 // format (counters as *_total, gauges bare). Shards print in index
-// order, so the output is stable.
-func writeMetrics(w io.Writer, shards []*Shard) error {
+// order, so the output is stable. cs adds the per-node cluster gauges
+// when the cluster layer is attached (nil otherwise).
+func writeMetrics(w io.Writer, shards []*Shard, cs *ClusterStats) error {
 	var b strings.Builder
 	for _, sh := range shards {
 		c := &sh.ctr
@@ -97,6 +180,16 @@ func writeMetrics(w io.Writer, shards []*Shard) error {
 		fmt.Fprintf(&b, "pd2d_shard_total_sched_weight{shard=\"%d\"} %g\n", id, st.TotalSchedWtFloat)
 		fmt.Fprintf(&b, "pd2d_shard_max_abs_drift{shard=\"%d\"} %g\n", id, st.MaxAbsDriftFloat)
 		fmt.Fprintf(&b, "pd2d_shard_sum_abs_lag{shard=\"%d\"} %g\n", id, st.SumAbsLagFloat)
+	}
+	if cs != nil {
+		for i := range cs.roles {
+			fmt.Fprintf(&b, "pd2d_cluster_role{shard=\"%d\"} %d\n", i, cs.roles[i].Load())
+		}
+		for i := range cs.replLag {
+			fmt.Fprintf(&b, "pd2d_repl_lag_slots{shard=\"%d\"} %d\n", i, cs.replLag[i].Load())
+		}
+		fmt.Fprintf(&b, "pd2d_migrations_total{result=\"ok\"} %d\n", cs.migrationsOK.Load())
+		fmt.Fprintf(&b, "pd2d_migrations_total{result=\"fail\"} %d\n", cs.migrationsFail.Load())
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -33,11 +33,19 @@ type Options struct {
 // listener or the wall clock: cmd/pd2d wires Handler() into an
 // http.Server and pumps shard ticks. Lifecycle is New → Start → (serve
 // traffic) → quiesce HTTP → Stop → Snapshots.
+//
+// Shard slots are atomic pointers so the cluster layer can replace a
+// live shard (InstallShard: migration receive, follower promotion)
+// while handlers race it: a handler that grabbed the outgoing shard
+// completes or gets 503 via the shard's done channel, and everything
+// after the swap sees the replacement.
 type Server struct {
-	shards     []*Shard
+	shards     []atomic.Pointer[Shard]
 	mux        *http.ServeMux
 	retryAfter string
+	mailboxCap int
 	stopping   atomic.Bool
+	cstats     atomic.Pointer[ClusterStats]
 }
 
 // New builds a stopped server.
@@ -62,8 +70,9 @@ func New(opts Options) (*Server, error) {
 		restore[snap.Shard] = snap
 	}
 	s := &Server{
-		shards:     make([]*Shard, opts.Shards),
+		shards:     make([]atomic.Pointer[Shard], opts.Shards),
 		retryAfter: strconv.Itoa(opts.RetryAfterSeconds),
+		mailboxCap: opts.MailboxCap,
 	}
 	for i := range s.shards {
 		var (
@@ -78,16 +87,19 @@ func New(opts Options) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.shards[i] = sh
+		s.shards[i].Store(sh)
 	}
 	s.mux = s.buildMux()
 	return s, nil
 }
 
+// shardAt returns the shard currently occupying slot i.
+func (s *Server) shardAt(i int) *Shard { return s.shards[i].Load() }
+
 // Start launches every shard's single-writer loop.
 func (s *Server) Start() {
-	for _, sh := range s.shards {
-		sh.start()
+	for i := range s.shards {
+		s.shardAt(i).start()
 	}
 }
 
@@ -96,16 +108,16 @@ func (s *Server) Start() {
 // shard done channels.
 func (s *Server) Stop() {
 	s.stopping.Store(true)
-	for _, sh := range s.shards {
-		sh.stop()
+	for i := range s.shards {
+		s.shardAt(i).stop()
 	}
 }
 
 // Snapshots serializes every shard. Call after Stop.
 func (s *Server) Snapshots() []*Snapshot {
 	out := make([]*Snapshot, len(s.shards))
-	for i, sh := range s.shards {
-		out[i] = sh.buildSnapshot()
+	for i := range s.shards {
+		out[i] = s.shardAt(i).buildSnapshot()
 	}
 	return out
 }
@@ -114,11 +126,106 @@ func (s *Server) Snapshots() []*Snapshot {
 func (s *Server) NumShards() int { return len(s.shards) }
 
 // ShardTick returns shard i's tick channel for the external clock.
-func (s *Server) ShardTick(i int) chan<- struct{} { return s.shards[i].TickC() }
+func (s *Server) ShardTick(i int) chan<- struct{} { return s.shardAt(i).TickC() }
+
+// InstallShard replaces slot snap.Shard with a shard restored from the
+// snapshot, started and ready for traffic. The restore replays the
+// snapshot log and verifies its digest, so a migration receiver or a
+// promoted follower cannot install corrupt state. The outgoing shard is
+// drained and stopped after the swap: handlers that already resolved it
+// finish against it (or get 503 once it is down), new requests see the
+// replacement. Returns the restore error without touching the slot.
+func (s *Server) InstallShard(snap *Snapshot) error {
+	if snap.Shard < 0 || snap.Shard >= len(s.shards) {
+		return fmt.Errorf("serve: install for shard %d outside [0,%d)", snap.Shard, len(s.shards))
+	}
+	sh, err := restoreShard(snap, s.mailboxCap)
+	if err != nil {
+		return err
+	}
+	sh.start()
+	if old := s.shards[snap.Shard].Swap(sh); old != nil {
+		old.stop()
+	}
+	return nil
+}
+
+// ShardTail fetches shard i's replication tail from log index `from`
+// through the shard's mailbox, so the tail is slot-atomic with respect
+// to every other mutation. It is the in-process face of the
+// /v1/shards/{shard}/log endpoint, used by the cluster layer's
+// replication push.
+func (s *Server) ShardTail(i, from int) (*Tail, error) {
+	if i < 0 || i >= len(s.shards) {
+		return nil, fmt.Errorf("serve: shard %d not in [0,%d)", i, len(s.shards))
+	}
+	sh := s.shardAt(i)
+	p := sh.pool.newPending()
+	p.kind = pendLog
+	p.from = from
+	rep, err := s.exchangeErr(sh, p)
+	if err != nil {
+		return nil, err
+	}
+	return rep.tail, rep.err
+}
+
+// Advance steps shard i's clock by slots through the mailbox — the
+// in-process equivalent of POST /v1/shards/{shard}/advance, used by the
+// cluster layer's tick path so replicated advances stay slot-atomic.
+func (s *Server) Advance(i int, slots int64) (int64, error) {
+	if i < 0 || i >= len(s.shards) {
+		return 0, fmt.Errorf("serve: shard %d not in [0,%d)", i, len(s.shards))
+	}
+	sh := s.shardAt(i)
+	p := sh.pool.newPending()
+	p.kind = pendAdvance
+	p.slots = slots
+	rep, err := s.exchangeErr(sh, p)
+	if err != nil {
+		return 0, err
+	}
+	return rep.now, nil
+}
+
+// exchangeErr is exchange for in-process callers: same ownership
+// protocol, errors instead of HTTP replies. Unlike exchange, it
+// consumes the record on every path: replies carry fresh copies (never
+// pooled storage), so the record is freed as soon as the reply lands,
+// and the only non-freeing path deliberately abandons it to a draining
+// shard. Registered as an unconditional transfer in ownerXferTable.
+func (s *Server) exchangeErr(sh *Shard, p *pending) (reply, error) {
+	if s.stopping.Load() {
+		sh.pool.freePending(p)
+		return reply{}, errors.New("serve: server is shutting down")
+	}
+	if !sh.submit(p) {
+		sh.pool.freePending(p)
+		return reply{}, errors.New("serve: shard mailbox is full")
+	}
+	select {
+	case rep := <-p.reply:
+		sh.pool.freePending(p)
+		return rep, nil
+	case <-sh.done:
+		select {
+		case rep := <-p.reply:
+			sh.pool.freePending(p)
+			return rep, nil
+		default:
+			return reply{}, errors.New("serve: shard stopped before replying")
+		}
+	}
+}
 
 // Handler returns the HTTP surface: the /v1 API, /metrics, /healthz,
 // and /debug/pprof.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// AttachClusterStats hands the server the cluster layer's gauges:
+// /metrics starts rendering them and shard status replies carry the
+// role/lag/migration fields.
+func (s *Server) AttachClusterStats(cs *ClusterStats) { s.cstats.Store(cs) }
 
 func (s *Server) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
@@ -127,6 +234,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/shards/{shard}", s.handleQuery)
 	mux.HandleFunc("GET /v1/shards/{shard}/state", s.handleState)
 	mux.HandleFunc("GET /v1/shards/{shard}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/shards/{shard}/log", s.handleLog)
 	mux.HandleFunc("GET /v1/shards", s.handleList)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -149,7 +257,7 @@ func (s *Server) shardFrom(w http.ResponseWriter, r *http.Request) *Shard {
 			fmt.Sprintf("shard %q not in [0,%d)", r.PathValue("shard"), len(s.shards)))
 		return nil
 	}
-	return s.shards[id]
+	return s.shardAt(id)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -340,6 +448,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sh.pool.freePending(p) // the status reply is a fresh copy, not pooled
+	if cs := s.cstats.Load(); cs != nil {
+		cs.fillStatus(sh.id, rep.status)
+	}
 	writeJSON(w, http.StatusOK, rep.status)
 }
 
@@ -383,6 +494,39 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(rep.state)
 }
 
+// handleLog serves the replication tail from ?from=N (default 0): the
+// commands applied since that log index plus the pending sets and
+// admission books — the pull half of primary→follower streaming and
+// the fetch half of live migration.
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	sh := s.shardFrom(w, r)
+	if sh == nil {
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, errInvalid, fmt.Sprintf("from %q is not a non-negative integer", q))
+			return
+		}
+		from = n
+	}
+	p := sh.pool.newPending()
+	p.kind = pendLog
+	p.from = from
+	rep, ok := s.exchange(w, sh, p)
+	if !ok {
+		return
+	}
+	sh.pool.freePending(p) // the tail reply is a fresh copy, not pooled
+	if rep.err != nil {
+		writeError(w, http.StatusBadRequest, errInvalid, rep.err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, rep.tail)
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	type shardInfo struct {
 		Shard  int    `json:"shard"`
@@ -390,7 +534,8 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		M      int    `json:"m"`
 	}
 	out := make([]shardInfo, len(s.shards))
-	for i, sh := range s.shards {
+	for i := range s.shards {
+		sh := s.shardAt(i)
 		out[i] = shardInfo{Shard: sh.id, Policy: sh.cfg.policyName(), M: sh.cfg.M}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -398,5 +543,9 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_ = writeMetrics(w, s.shards) // client gone; nothing useful to do
+	shards := make([]*Shard, len(s.shards))
+	for i := range s.shards {
+		shards[i] = s.shardAt(i)
+	}
+	_ = writeMetrics(w, shards, s.cstats.Load()) // client gone; nothing useful to do
 }

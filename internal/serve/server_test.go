@@ -127,7 +127,7 @@ func TestBackpressure429(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Shards deliberately not started: fill the mailbox by hand.
-	sh := srv.shards[0]
+	sh := srv.shardAt(0)
 	for i := 0; i < 2; i++ {
 		p := sh.pool.newPending()
 		p.kind = pendQuery

@@ -57,6 +57,12 @@ func (c ShardConfig) policyName() string {
 	return c.Policy
 }
 
+// CoreConfig resolves the wire config into an engine config — the
+// exported face of coreConfig for the cluster layer, whose follower
+// replicas run bare engines against the same configuration a serve
+// shard would.
+func (c ShardConfig) CoreConfig() (core.Config, error) { return c.coreConfig() }
+
 // coreConfig resolves the wire config into an engine config. Policing
 // is always on — property (W) is the service's admission contract — and
 // invariant checking is always on so violations are observable on the
@@ -276,6 +282,9 @@ func (sh *Shard) handle(p *pending, checkW bool) {
 	case pendSnapshot:
 		data, err := json.Marshal(sh.buildSnapshot()) //lint:allow hotalloc snapshot serialization is a rare administrative operation
 		p.reply <- reply{state: data, err: err, now: sh.eng.Now()}
+	case pendLog:
+		t, err := sh.buildTail(p.from)
+		p.reply <- reply{tail: t, err: err, now: sh.eng.Now()}
 	default:
 		panic(fmt.Sprintf("serve: unhandled pending kind %d", p.kind))
 	}

@@ -117,6 +117,106 @@ func (sh *Shard) buildSnapshot() *Snapshot {
 	}
 }
 
+// A Tail is the replication wire unit: everything that changed on a
+// shard since log index From, plus the full admitted-but-unapplied
+// state (which is small and rides whole on every tail). A Tail with
+// From == 0 is a complete snapshot of the shard; a follower that holds
+// log[0:From) and applies Commands ends up with the primary's full log.
+// Digest and Now certify the engine state after the last carried
+// command — the follower's periodic digest exchange compares against
+// them after stepping its replica to Now.
+type Tail struct {
+	Shard  int          `json:"shard"`
+	Config ShardConfig  `json:"config"`
+	Seed   model.System `json:"seed"`
+	From   int          `json:"from"`
+	// Total is the primary's full log length after Commands; a follower
+	// whose own log does not reach From answers with the index it wants.
+	Total    int            `json:"total"`
+	Now      int64          `json:"now"`
+	Digest   uint64         `json:"digest"`
+	Commands []core.Command `json:"commands,omitempty"`
+
+	Batch          []pendingCmd   `json:"batch,omitempty"`
+	DeferredJoins  []pendingCmd   `json:"deferred_joins,omitempty"`
+	DeferredLeaves []string       `json:"deferred_leaves,omitempty"`
+	Admission      admissionState `json:"admission"`
+}
+
+// buildTail serializes the shard's state from log index `from` on.
+// Run-goroutine only (or after the loop has exited).
+//
+//lint:allocok tails copy the log suffix and pending sets by design; replication traffic, not the per-slot path
+func (sh *Shard) buildTail(from int) (*Tail, error) {
+	if from < 0 || from > len(sh.log) {
+		return nil, fmt.Errorf("serve: shard %d tail from %d outside [0,%d]", sh.id, from, len(sh.log))
+	}
+	cmds := make([]core.Command, len(sh.log)-from)
+	copy(cmds, sh.log[from:])
+	return &Tail{
+		Shard:          sh.id,
+		Config:         sh.cfg,
+		Seed:           sh.seed,
+		From:           from,
+		Total:          len(sh.log),
+		Now:            sh.eng.Now(),
+		Digest:         sh.eng.StateDigest(),
+		Commands:       cmds,
+		Batch:          toPendingCmds(sh.batch),
+		DeferredJoins:  toPendingCmds(sh.defJoins),
+		DeferredLeaves: append([]string(nil), sh.defLeaves...),
+		Admission:      sh.adm.state(),
+	}, nil
+}
+
+// BuildSnapshot assembles a full shard snapshot from this tail and the
+// log prefix the receiver already holds (len(prefix) must equal From).
+// It is how a promoted follower or a migration receiver turns its
+// replicated state back into something restoreShard (and therefore
+// Server.InstallShard) accepts — the restore replays the combined log
+// and verifies Digest, so a corrupt hand-off cannot be installed.
+func (t *Tail) BuildSnapshot(prefix []core.Command) (*Snapshot, error) {
+	if len(prefix) != t.From {
+		return nil, fmt.Errorf("serve: tail for shard %d starts at %d but prefix holds %d commands",
+			t.Shard, t.From, len(prefix))
+	}
+	log := make([]core.Command, 0, len(prefix)+len(t.Commands))
+	log = append(log, prefix...)
+	log = append(log, t.Commands...)
+	return &Snapshot{
+		Version:        snapshotVersion,
+		Shard:          t.Shard,
+		Config:         t.Config,
+		Now:            t.Now,
+		Seed:           t.Seed,
+		Log:            log,
+		Batch:          t.Batch,
+		DeferredJoins:  t.DeferredJoins,
+		DeferredLeaves: t.DeferredLeaves,
+		Admission:      t.Admission,
+		Digest:         t.Digest,
+	}, nil
+}
+
+// VerifyTail replays a complete tail (From == 0) on a fresh engine and
+// reports whether the replayed digest matches the tail's. It is the
+// cluster-level differential check: a primary's full tail must replay
+// byte-identically through core.Replay alone.
+func VerifyTail(t *Tail) (uint64, error) {
+	if t.From != 0 {
+		return 0, fmt.Errorf("serve: verify needs a complete tail, got from=%d", t.From)
+	}
+	ccfg, err := t.Config.coreConfig()
+	if err != nil {
+		return 0, err
+	}
+	eng, err := core.Replay(ccfg, t.Seed, t.Commands, t.Now)
+	if err != nil {
+		return 0, err
+	}
+	return eng.StateDigest(), nil
+}
+
 // restoreShard rebuilds a stopped shard from a snapshot: replay the log
 // over the seed to the recorded clock, verify the engine digest, then
 // reinstate the admission books and the pending queues. The returned

@@ -112,6 +112,14 @@ type ShardStatus struct {
 	AnomalyBackpressureSpikes int64 `json:"anomaly_backpressure_spikes"`
 	DeferredJoinPeak          int64 `json:"deferred_join_peak"`
 
+	// Cluster gauges (see ClusterStats): present only when the cluster
+	// layer is attached. ClusterRole is this node's role for the shard;
+	// the migration counters are node-wide and repeat on every shard.
+	ClusterRole      string `json:"cluster_role,omitempty"`
+	ReplLagSlots     int64  `json:"repl_lag_slots,omitempty"`
+	MigrationsOK     int64  `json:"migrations_ok,omitempty"`
+	MigrationsFailed int64  `json:"migrations_failed,omitempty"`
+
 	Tasks []TaskStatus `json:"tasks,omitempty"`
 }
 
