@@ -503,6 +503,110 @@ func TestReceiverCrashMidMigration(t *testing.T) {
 	}
 }
 
+// TestTablePromoteRefusesWithoutState: a pushed table naming this node
+// primary must not flip the role unless the node actually holds the
+// shard's state. Only the initial placement (version 1 — no write can
+// have been acked before the first table existed) seeds from the local
+// engine; any later table is refused when the node has no replica, so
+// an empty or stale node can never silently serve a shard whose acked
+// writes live elsewhere.
+func TestTablePromoteRefusesWithoutState(t *testing.T) {
+	tn := newTestNode(t, "n1", 1)
+	defer tn.close(t)
+	v2 := &RouteTable{
+		Version: 2,
+		Shards:  []ShardRoute{{Shard: 0, Primary: "n1"}},
+		Nodes:   map[string]string{"n1": tn.ts.URL},
+	}
+	tn.node.UpdateTable(v2)
+	if got := tn.node.roleOf(0); got != RoleNone {
+		t.Fatalf("empty node took the crown from a v2 table: role %d", got)
+	}
+
+	// The genuine fresh-cluster seed: version 1 crowns the local state.
+	tn2 := newTestNode(t, "n2", 1)
+	defer tn2.close(t)
+	v1 := &RouteTable{
+		Version: 1,
+		Shards:  []ShardRoute{{Shard: 0, Primary: "n2"}},
+		Nodes:   map[string]string{"n2": tn2.ts.URL},
+	}
+	tn2.node.UpdateTable(v1)
+	if got := tn2.node.roleOf(0); got != RolePrimary {
+		t.Fatalf("initial placement did not seed the primary: role %d", got)
+	}
+}
+
+// TestOrphanShardStaysUnrouted: when a shard loses both its primary and
+// its only follower, no survivor holds the state, so the coordinator
+// must leave the shard routed at its dead primary (unrouted in
+// practice) rather than crown a rank-chosen survivor — and further
+// heartbeat rounds and registrations must not reassign it either.
+func TestOrphanShardStaysUnrouted(t *testing.T) {
+	const shards = 4
+	byID := map[string]*testNode{}
+	coord, err := NewCoordinator(CoordinatorOptions{
+		Shards: shards, Replicas: 1, MinNodes: 3, HeartbeatMisses: 2,
+		Client: &http.Client{Timeout: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+	for _, id := range []string{"n1", "n2", "n3"} {
+		tn := newTestNode(t, id, shards)
+		byID[id] = tn
+		if err := tn.node.Register(cts.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab := coord.Table()
+	doomed := 0
+	primary := tab.Shards[doomed].Primary
+	follower := tab.Shards[doomed].Followers[0]
+	survivorID := ""
+	for id := range byID {
+		if id != primary && id != follower {
+			survivorID = id
+		}
+	}
+	survivor := byID[survivorID]
+	defer survivor.close(t)
+
+	// Land an acked write on the doomed shard so losing it would matter.
+	c := testClient()
+	mustPost(t, c, fmt.Sprintf("%s/v1/shards/%d/commands", byID[primary].ts.URL, doomed),
+		`{"op":"join","task":"a","weight":"1/4"}`)
+
+	byID[primary].crash()
+	byID[follower].crash()
+	coord.CheckNodes()
+	coord.CheckNodes() // second miss crosses the threshold
+	coord.CheckNodes() // retry round: still no holder of the state
+	tab = coord.Table()
+	if got := tab.Shards[doomed].Primary; got != primary {
+		t.Fatalf("orphaned shard %d reassigned %s → %s without a verified promote", doomed, primary, got)
+	}
+	if got := survivor.node.roleOf(doomed); got == RolePrimary {
+		t.Fatalf("survivor %s took primary for shard %d without the state", survivorID, doomed)
+	}
+	// A registration-triggered rebalance must not crown the survivor
+	// either.
+	late := newTestNode(t, "n4", shards)
+	defer late.close(t)
+	if err := late.node.Register(cts.URL); err != nil {
+		t.Fatal(err)
+	}
+	tab = coord.Table()
+	if got := tab.Shards[doomed].Primary; got != primary {
+		t.Fatalf("join rebalance reassigned orphaned shard %d %s → %s", doomed, primary, got)
+	}
+	if got := late.node.roleOf(doomed); got != RoleNone {
+		t.Fatalf("late joiner holds role %d for the orphaned shard", got)
+	}
+}
+
 // BenchmarkClusterMigration measures one full live hand-off (warm
 // stream, freeze, final delta, digest-checked promote, demote) of a
 // shard with a populated log, ping-ponging between two nodes.

@@ -273,8 +273,14 @@ func (c *Coordinator) MigrateShard(shard int, to string) (*PromoteResponse, erro
 	}
 
 	c.mu.Lock()
-	c.table.Shards[shard].Primary = to
-	c.table.Shards[shard] = placeOne(c.aliveLocked(), shard, c.opts.Replicas, to)
+	route := placeOne(c.aliveLocked(), shard, c.opts.Replicas, to)
+	// Pin the digest-verified promotee even if a concurrent heartbeat
+	// marked it dead mid-migration — placeOne would otherwise fall back
+	// to rank order and crown a node without the shard's state. If the
+	// target really is dead, the next round fails over from its
+	// followers.
+	route.Primary = to
+	c.table.Shards[shard] = route
 	tab, bases := c.publishLocked()
 	c.mu.Unlock()
 	c.pushTable(tab, bases)
@@ -300,8 +306,13 @@ func (c *Coordinator) handleMigrate(w http.ResponseWriter, r *http.Request) {
 }
 
 // CheckNodes runs one heartbeat round: health-check every live node,
-// fail over the shards of any node that crossed the miss threshold, and
-// re-push the current table (heals nodes that missed a push).
+// fail over the shards of any dead primary, and re-push the current
+// table (heals nodes that missed a push). A shard's primary only moves
+// in the table after a successful digest-verified promote; shards whose
+// promotion failed (or that have no live follower) stay routed at their
+// dead primary — effectively unrouted — and are retried every round, so
+// a node without replicated state never inherits a shard by placement
+// rank alone.
 func (c *Coordinator) CheckNodes() {
 	c.mu.Lock()
 	type probe struct {
@@ -315,6 +326,7 @@ func (c *Coordinator) CheckNodes() {
 		}
 	}
 	c.mu.Unlock()
+	sort.Slice(probes, func(i, j int) bool { return probes[i].id < probes[j].id })
 
 	healthy := make(map[string]bool, len(probes))
 	for _, p := range probes {
@@ -342,32 +354,25 @@ func (c *Coordinator) CheckNodes() {
 			died = append(died, id)
 		}
 	}
-	if len(died) == 0 || c.table == nil {
-		tab := (*RouteTable)(nil)
-		var bases []string
-		if c.table != nil {
-			// Re-push the unchanged table so nodes that missed an update
-			// converge.
-			tab = c.table.Clone()
-			for _, id := range c.aliveLocked() {
-				bases = append(bases, c.nodes[id].base)
-			}
-		}
+	if c.table == nil {
 		c.mu.Unlock()
-		if tab != nil {
-			c.pushTable(tab, bases)
-		}
 		return
 	}
 	sort.Strings(died)
-	log.Printf("cluster: coordinator: nodes %v declared dead, failing over", died)
-	deadSet := make(map[string]bool, len(died))
-	for _, id := range died {
-		deadSet[id] = true
+	if len(died) > 0 {
+		log.Printf("cluster: coordinator: nodes %v declared dead, failing over", died)
 	}
-	// Promote a surviving in-sync follower for every shard the dead
-	// nodes owned — from the OLD table, because those followers hold the
-	// replicated state. The promote endpoint digest-verifies the install.
+	// Orphaned shards: the table primary is dead — newly died this round
+	// or still dead from an earlier round whose promotion failed. Promote
+	// a surviving follower from the CURRENT table, because those
+	// followers hold the replicated state; the promote endpoint
+	// digest-verifies the install before the node takes the role.
+	deadSet := make(map[string]bool, len(c.nodes))
+	for id, ni := range c.nodes {
+		if ni.dead {
+			deadSet[id] = true
+		}
+	}
 	type promotion struct {
 		shard int
 		id    string
@@ -388,7 +393,7 @@ func (c *Coordinator) CheckNodes() {
 			}
 		}
 		if len(cands) == 0 {
-			log.Printf("cluster: coordinator: shard %d lost its primary %s and has no live follower", s, route.Primary)
+			log.Printf("cluster: coordinator: shard %d lost its primary %s and has no live follower; unrouted until one registers", s, route.Primary)
 			continue
 		}
 		p := cands[0]
@@ -396,6 +401,18 @@ func (c *Coordinator) CheckNodes() {
 			p.rest = append(p.rest, alt.id)
 		}
 		promos = append(promos, p)
+	}
+	if len(died) == 0 && len(promos) == 0 {
+		// Re-push the unchanged table so nodes that missed an update
+		// converge.
+		tab := c.table.Clone()
+		var bases []string
+		for _, id := range c.aliveLocked() {
+			bases = append(bases, c.nodes[id].base)
+		}
+		c.mu.Unlock()
+		c.pushTable(tab, bases)
+		return
 	}
 	c.mu.Unlock()
 
@@ -429,8 +446,33 @@ func (c *Coordinator) CheckNodes() {
 	for s, id := range promoted {
 		c.table.Shards[s].Primary = id
 	}
-	c.table.Shards = Rebalance(c.table.Shards, c.aliveLocked(), c.opts.Replicas)
-	tab, bases := c.publishLocked()
+	// Recompute follower sets only for shards with a live primary;
+	// orphaned shards keep their old route untouched (and are retried
+	// next round) so placement rank alone can never crown a node that
+	// holds no replica.
+	aliveIDs := c.aliveLocked()
+	aliveSet := make(map[string]bool, len(aliveIDs))
+	for _, id := range aliveIDs {
+		aliveSet[id] = true
+	}
+	for s := range c.table.Shards {
+		if !aliveSet[c.table.Shards[s].Primary] {
+			continue
+		}
+		c.table.Shards[s] = placeOne(aliveIDs, s, c.opts.Replicas, c.table.Shards[s].Primary)
+	}
+	var tab *RouteTable
+	var bases []string
+	if len(died) > 0 || len(promoted) > 0 {
+		tab, bases = c.publishLocked()
+	} else {
+		// Every promotion failed: nothing moved, so re-push the current
+		// table without burning a version.
+		tab = c.table.Clone()
+		for _, id := range aliveIDs {
+			bases = append(bases, c.nodes[id].base)
+		}
+	}
 	c.mu.Unlock()
 	c.pushTable(tab, bases)
 }

@@ -74,15 +74,22 @@ type followerState struct {
 // the replication progress (primary), the warm replica (follower), and
 // the migration gate.
 //
-// Lock order: Node.mu before shardState.mu, never the reverse.
+// Lock order: Node.updateMu before Node.mu before shardState.replMu
+// before shardState.mu, never the reverse.
 type shardState struct {
 	mu        sync.Mutex
 	role      int32
 	frozen    bool          // migration hand-off in progress: mutations wait
 	unfrozen  chan struct{} // closed when the gate opens
+	migrating bool          // a migration owns the shard (warm phase included)
 	forward   string        // drain target after a hand-off, until the table flips
 	followers map[string]*followerState
 	replica   *Replica
+
+	// replMu serializes replication pushes for the shard so follower
+	// progress advances monotonically without holding mu — which reads
+	// and the migration gate consult — across network round trips.
+	replMu sync.Mutex
 }
 
 // NodeOptions configures a cluster node around an existing serve
@@ -109,6 +116,12 @@ type Node struct {
 	cs     *serve.ClusterStats
 	client *http.Client
 	gateTO time.Duration
+
+	// updateMu serializes whole UpdateTable runs (version check plus the
+	// per-shard role reconcile) so two concurrent pushes cannot
+	// interleave their reconcile loops and leave a shard's role set from
+	// the older table.
+	updateMu sync.Mutex
 
 	mu    sync.Mutex // guards table; ordered before any shardState.mu
 	table *RouteTable
@@ -233,6 +246,8 @@ func (n *Node) Table() *RouteTable {
 // UpdateTable installs a newer routing table and reconciles every
 // shard's role against it. Stale versions are ignored.
 func (n *Node) UpdateTable(tab *RouteTable) {
+	n.updateMu.Lock()
+	defer n.updateMu.Unlock()
 	n.mu.Lock()
 	if n.table != nil && tab.Version <= n.table.Version {
 		n.mu.Unlock()
@@ -250,22 +265,16 @@ func (n *Node) UpdateTable(tab *RouteTable) {
 		st.mu.Lock()
 		switch {
 		case route.Primary == n.id:
-			if st.role != RolePrimary {
-				// The coordinator promotes explicitly before flipping the
-				// table, so normally the role already matches. A fresh
-				// cluster's first table lands here: the local shard is the
-				// seed state and simply takes the crown. If a replica with
-				// data exists (promote push lost), install it now.
-				if st.replica != nil && st.replica.last != nil {
-					if snap, err := st.replica.Snapshot(); err == nil {
-						//lint:allow lockorder the install must land before the role flips under st.mu, so a concurrent mutation never sees a promoted shard without its replicated state
-						if err := n.srv.InstallShard(snap); err != nil {
-							log.Printf("cluster: node %s shard %d: installing replica on table promote: %v", n.id, s, err)
-						}
-					}
-				}
-				st.role = RolePrimary
+			//lint:allow lockorder the verified replica install must land before the role flips under st.mu, so a concurrent mutation never sees a promoted shard without its replicated state
+			if st.role != RolePrimary && !n.takeTableCrownLocked(s, st, tab) {
+				// Refused: keep the current role and replica so a later
+				// explicit /promote (digest-verified) can still land. The
+				// shard stays unrouted here until the coordinator heals it.
+				n.cs.SetRole(s, st.role)
+				st.mu.Unlock()
+				continue
 			}
+			st.role = RolePrimary
 			st.replica = nil
 			st.forward = ""
 			n.pruneFollowersLocked(st, route)
@@ -286,6 +295,37 @@ func (n *Node) UpdateTable(tab *RouteTable) {
 		n.cs.SetRole(s, st.role)
 		st.mu.Unlock()
 	}
+}
+
+// takeTableCrownLocked decides whether a pushed table naming this node
+// primary may actually flip the role. The coordinator promotes
+// explicitly (digest-verified) before flipping the table, so normally
+// the role already matches and this never runs. Two exceptions are
+// legitimate: the initial placement (version 1 — no write can have been
+// acked anywhere before the first table existed, so the local seed
+// state is the shard's origin), and a follower whose replica holds data
+// (its /promote landed but the response was lost) — the replica is
+// installed, digest-checked, before the flip. Anything else — a
+// missing or empty replica past version 1, a failed install — refuses
+// the crown: promoting over stale or empty local state would silently
+// drop acknowledged commands. Requires st.mu.
+func (n *Node) takeTableCrownLocked(shard int, st *shardState, tab *RouteTable) bool {
+	if st.replica != nil && st.replica.last != nil {
+		snap, err := st.replica.Snapshot()
+		if err == nil {
+			err = n.srv.InstallShard(snap)
+		}
+		if err != nil {
+			log.Printf("cluster: node %s shard %d: refusing table promote, replica install failed: %v", n.id, shard, err)
+			return false
+		}
+		return true
+	}
+	if st.role == RoleNone && st.replica == nil && tab.Version == 1 {
+		return true
+	}
+	log.Printf("cluster: node %s shard %d: refusing table promote without replicated state (table v%d)", n.id, shard, tab.Version)
+	return false
 }
 
 // pruneFollowersLocked drops progress for nodes that stopped following

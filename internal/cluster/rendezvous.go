@@ -99,12 +99,14 @@ func placeOne(nodes []string, shard, replicas int, keep string) ShardRoute {
 	return r
 }
 
-// Rebalance recomputes the placement over the current nodes while
-// keeping every surviving primary in place. Shard data lives on the
-// primary; moving it is a migration, not a routing edit, so only shards
-// whose primary is gone get a new one — the highest-ranked survivor,
-// which by follower placement already holds a replica. Follower sets
-// are recomputed freely (a new follower just resyncs from index 0).
+// Rebalance recomputes the follower sets over the current nodes while
+// keeping every primary in place — including a dead one. Shard data
+// lives on the primary; moving it is a migration (or, when the primary
+// died, a digest-verified promote), never a routing edit, so a shard
+// whose primary is gone keeps its old route untouched until failover
+// crowns a follower that proved it holds the state. Follower sets of
+// live-primary shards are recomputed freely (a new follower just
+// resyncs from index 0).
 func Rebalance(prev []ShardRoute, nodes []string, replicas int) []ShardRoute {
 	alive := make(map[string]bool, len(nodes))
 	for _, n := range nodes {
@@ -112,11 +114,13 @@ func Rebalance(prev []ShardRoute, nodes []string, replicas int) []ShardRoute {
 	}
 	routes := make([]ShardRoute, len(prev))
 	for s, old := range prev {
-		keep := ""
-		if alive[old.Primary] {
-			keep = old.Primary
+		if !alive[old.Primary] {
+			// Crowning a survivor by placement rank alone could hand the
+			// shard to a node without its state; leave it for failover.
+			routes[s] = old
+			continue
 		}
-		routes[s] = placeOne(nodes, s, replicas, keep)
+		routes[s] = placeOne(nodes, s, replicas, old.Primary)
 	}
 	return routes
 }

@@ -54,8 +54,10 @@ func TestPlaceSpreads(t *testing.T) {
 
 // TestRebalanceKeepsPrimaries: adding a node must not move any existing
 // primary (data lives there; moving it is a migration, not a routing
-// edit), and removing a node must re-home only its own shards — onto a
-// node that was already in the old route's ranking.
+// edit), and removing a node must not re-home its shards either — a
+// routing edit cannot know which survivor really holds the state, so
+// the orphaned route stays untouched until a digest-verified promote
+// (coordinator failover) flips it.
 func TestRebalanceKeepsPrimaries(t *testing.T) {
 	nodes := []string{"n1", "n2", "n3"}
 	prev := Place(nodes, 32, 1)
@@ -69,20 +71,21 @@ func TestRebalanceKeepsPrimaries(t *testing.T) {
 
 	shrunk := Rebalance(prev, []string{"n1", "n2"}, 1)
 	for s := range prev {
-		if prev[s].Primary != "n3" {
-			if shrunk[s].Primary != prev[s].Primary {
-				t.Fatalf("shard %d primary moved %s → %s though its node survived", s, prev[s].Primary, shrunk[s].Primary)
+		if shrunk[s].Primary != prev[s].Primary {
+			t.Fatalf("shard %d primary moved %s → %s on a routing edit", s, prev[s].Primary, shrunk[s].Primary)
+		}
+		if prev[s].Primary == "n3" {
+			// Orphaned: the whole route (followers included) is frozen so
+			// failover can still promote from the recorded follower set.
+			if len(shrunk[s].Followers) != len(prev[s].Followers) {
+				t.Fatalf("shard %d orphaned route was edited: %v → %v", s, prev[s].Followers, shrunk[s].Followers)
 			}
 			continue
 		}
-		if shrunk[s].Primary == "n3" {
-			t.Fatalf("shard %d still routed to removed node", s)
-		}
-		// The new primary is the highest-ranked survivor, i.e. the node a
-		// single-follower placement over the survivors would pick first.
-		want := placeOne([]string{"n1", "n2"}, s, 0, "").Primary
-		if shrunk[s].Primary != want {
-			t.Fatalf("shard %d re-homed to %s, want highest-ranked survivor %s", s, shrunk[s].Primary, want)
+		for _, f := range shrunk[s].Followers {
+			if f == "n3" {
+				t.Fatalf("shard %d keeps removed node %s as follower", s, f)
+			}
 		}
 	}
 }

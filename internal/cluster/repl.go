@@ -33,26 +33,36 @@ func (n *Node) replicateMode(shard int, force bool) error {
 	if tab == nil || shard >= len(tab.Shards) {
 		return nil
 	}
-	route := tab.Shards[shard]
 	st := &n.states[shard]
+	st.replMu.Lock()
+	defer st.replMu.Unlock()
+	//lint:allow lockorder replMu exists to serialize pushes against each other without st.mu: a slow follower round trip blocks only other pushes of the same shard, never reads or the migration gate
+	return n.replicatePush(shard, st, tab.Shards[shard], tab, force)
+}
+
+// replicatePush does the push with st.replMu held. st.mu is taken only
+// to snapshot and reconcile follower progress around the network round
+// trips, so reads and the gate path never wait on a follower, and two
+// transient primaries pushing the same shard at each other cannot
+// deadlock (handleRepl needs only st.mu, which is free mid-push).
+func (n *Node) replicatePush(shard int, st *shardState, route ShardRoute, tab *RouteTable, force bool) error {
+	type target struct {
+		id string
+		fs followerState // working copy; reconciled under st.mu after
+	}
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.role != RolePrimary {
+		st.mu.Unlock()
 		return fmt.Errorf("cluster: shard %d is no longer primary here", shard)
 	}
 	if st.frozen {
+		st.mu.Unlock()
 		return fmt.Errorf("cluster: shard %d is handing off", shard)
 	}
-	//lint:allow lockorder pushes run under st.mu by design: the lock serializes them against role flips and the migration hand-off
-	return n.replicateLocked(shard, st, route, tab, force)
-}
-
-// replicateLocked does the push with st.mu held, serializing pushes
-// against role flips and the migration hand-off.
-func (n *Node) replicateLocked(shard int, st *shardState, route ShardRoute, tab *RouteTable, force bool) error {
 	if st.followers == nil {
 		st.followers = make(map[string]*followerState)
 	}
+	var targets []target
 	minAcked := -1
 	for _, fid := range route.Followers {
 		if fid == n.id {
@@ -63,10 +73,12 @@ func (n *Node) replicateLocked(shard int, st *shardState, route ShardRoute, tab 
 			fs = &followerState{}
 			st.followers[fid] = fs
 		}
+		targets = append(targets, target{id: fid, fs: *fs})
 		if minAcked < 0 || fs.acked < minAcked {
 			minAcked = fs.acked
 		}
 	}
+	st.mu.Unlock()
 	if minAcked < 0 {
 		n.cs.SetReplLag(shard, 0)
 		return nil // no followers configured
@@ -82,34 +94,43 @@ func (n *Node) replicateLocked(shard int, st *shardState, route ShardRoute, tab 
 	}
 	var firstErr error
 	var maxLag int64
-	for _, fid := range route.Followers {
-		if fid == n.id {
-			continue
-		}
-		fs := st.followers[fid]
-		if !force && fs.acked == tail.Total && fs.now == tail.Now && !fs.stale {
+	for i := range targets {
+		tg := &targets[i]
+		if !force && tg.fs.acked == tail.Total && tg.fs.now == tail.Now && !tg.fs.stale {
 			continue // caught up (as far as log and clock can tell)
 		}
-		base := tab.Nodes[fid]
+		base := tab.Nodes[tg.id]
 		if base == "" {
-			fs.stale = true
+			tg.fs.stale = true
 			if firstErr == nil {
-				firstErr = fmt.Errorf("follower %s has no known base", fid)
+				firstErr = fmt.Errorf("follower %s has no known base", tg.id)
 			}
 			continue
 		}
-		if err := n.pushToFollower(shard, base, tail, fs); err != nil {
-			fs.stale = true
+		if err := n.pushToFollower(shard, base, tail, &tg.fs); err != nil {
+			tg.fs.stale = true
 			if firstErr == nil {
-				firstErr = fmt.Errorf("follower %s: %w", fid, err)
+				firstErr = fmt.Errorf("follower %s: %w", tg.id, err)
 			}
 			continue
 		}
-		fs.stale = false
-		if lag := tail.Now - fs.now; lag > maxLag {
+		tg.fs.stale = false
+		if lag := tail.Now - tg.fs.now; lag > maxLag {
 			maxLag = lag
 		}
 	}
+	// Reconcile progress, unless the shard was demoted or its follower
+	// set replaced while we pushed — then the acks describe a role this
+	// node no longer holds.
+	st.mu.Lock()
+	if st.role == RolePrimary && st.followers != nil {
+		for i := range targets {
+			if fs, ok := st.followers[targets[i].id]; ok {
+				*fs = targets[i].fs
+			}
+		}
+	}
+	st.mu.Unlock()
 	n.cs.SetReplLag(shard, maxLag)
 	return firstErr
 }
@@ -295,13 +316,22 @@ func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	}
 	st := &n.states[shard]
 	st.mu.Lock()
-	if st.role != RolePrimary || st.frozen {
+	if st.role != RolePrimary || st.frozen || st.migrating {
 		st.mu.Unlock()
 		writeClusterError(w, http.StatusConflict, "not_primary",
 			fmt.Sprintf("shard %d is not an idle primary here", shard))
 		return
 	}
+	// Claim the shard for this migration so a second concurrent migrate
+	// cannot start a duplicate warm stream; the hand-off itself
+	// re-validates role and gate after it reacquires st.mu.
+	st.migrating = true
 	st.mu.Unlock()
+	defer func() {
+		st.mu.Lock()
+		st.migrating = false
+		st.mu.Unlock()
+	}()
 
 	// Phase 1 — warm stream outside the gate: writes keep flowing while
 	// the bulk of the log crosses over.
@@ -354,13 +384,23 @@ func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
 func (n *Node) migrateHandoff(shard int, req *migrateRequest, fs *followerState) (PromoteResponse, string, error) {
 	st := &n.states[shard]
 	st.mu.Lock()
-	st.frozen = true
-	st.unfrozen = make(chan struct{})
+	froze := false
 	defer func() {
-		st.frozen = false
-		close(st.unfrozen)
+		if froze {
+			st.frozen = false
+			close(st.unfrozen)
+		}
 		st.mu.Unlock()
 	}()
+	if st.role != RolePrimary || st.frozen {
+		// The shard was demoted (failover, table push) or another gate
+		// closed while the warm stream ran without the lock; handing off
+		// now could cut a stale final tail or promote a second primary.
+		return PromoteResponse{}, "handoff", fmt.Errorf("shard %d is no longer an idle primary here", shard)
+	}
+	st.frozen = true
+	st.unfrozen = make(chan struct{})
+	froze = true
 	// The final delta and promote round trips deliberately run with
 	// st.mu held: the gate freeze IS the serialization point, and every
 	// other acquirer (mutations, replication pushes) must queue behind
